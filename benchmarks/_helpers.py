@@ -1,0 +1,22 @@
+"""Shared plumbing for the benchmark harness.
+
+Every bench renders its table/series through here so the artifacts land
+in ``results/`` (one text file per experiment id) and EXPERIMENTS.md can
+quote them verbatim.  pytest captures stdout, so files are the reliable
+channel; we still print for ``-s`` runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Write an experiment artifact and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n=== {experiment_id} ===")
+    print(text)

@@ -1,0 +1,204 @@
+"""Experiment ABL -- ablations of the design choices.
+
+Three knobs the paper's correctness argument leans on, each swept under
+two asynchrony profiles: *mild* (uniform delays -- any conforming
+choice works quickly) and *harsh* (the slow-but-timely leader of the
+negative-scenario family, where the AWB2 mechanism has to do real
+work):
+
+* **f shape** (condition f2's growth rate): under mild conditions every
+  conforming ``f`` converges promptly; under a slow leader only the
+  linear ``f`` converges within a practical horizon -- (f2) promises
+  *finite* convergence, and the ablation shows the rate of divergence
+  is the practical price.
+* **Timeout policy** (line 27): the paper's adaptive ``max+1`` vs a
+  constant timeout.  The constant policy discards adaptivity, which is
+  fatal exactly when the timely leader is slow (Lemma 2's mechanism).
+* **Chaos duration** (Figure 1's prefix): false suspicions accumulate
+  with the length of the timers' chaotic era, yet the election absorbs
+  arbitrarily long (finite) chaos -- convergence within the same
+  horizon either way.
+"""
+
+from __future__ import annotations
+
+from _helpers import emit
+
+from repro.analysis.report import format_table
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.runner import Run
+from repro.sim.rng import RngRegistry
+from repro.sim.schedulers import UniformDelay
+from repro.timers.awb import AsymptoticallyWellBehavedTimer
+from repro.timers.functions import LinearF, LogF, SqrtF
+from repro.workloads.scenarios import _slow_leader_delay
+
+
+def awb_behaviors(f, rng, n, chaos_until=0.0, jitter=0.4):
+    return {
+        pid: AsymptoticallyWellBehavedTimer(f, rng, chaos_until=chaos_until, jitter=jitter)
+        for pid in range(n)
+    }
+
+
+def _run(seed, horizon, f, delay_factory, algo_config=None, chaos_until=0.0):
+    rng = RngRegistry(seed)
+    return Run(
+        WriteEfficientOmega,
+        n=4,
+        seed=seed,
+        horizon=horizon,
+        delay_model=delay_factory(rng),
+        timer_behaviors=awb_behaviors(f, rng, 4, chaos_until=chaos_until),
+        algo_config=algo_config or {},
+        log_reads=False,
+    ).execute()
+
+
+def _max_suspicion(result):
+    return max(
+        result.memory.register(f"SUSPICIONS[{j}][{k}]").peek()
+        for j in range(4)
+        for k in range(4)
+    )
+
+
+def test_ablation_f_shape(benchmark):
+    shapes = [
+        ("linear f(x)=2x", LinearF(2.0)),
+        ("sqrt f(x)=2*sqrt(x)", SqrtF(2.0)),
+        ("log f(x)=3*log(1+x)", LogF(3.0)),
+    ]
+
+    def sweep():
+        mild, harsh = [], []
+        for label, f in shapes:
+            result = _run(5, 8000.0, f, lambda rng: UniformDelay(rng, 0.5, 1.5))
+            mild.append((label, result.stabilization(margin=160.0), _max_suspicion(result)))
+        harsh_horizons = {"linear f(x)=2x": 16000.0, "sqrt f(x)=2*sqrt(x)": 40000.0,
+                          "log f(x)=3*log(1+x)": 40000.0}
+        for label, f in shapes:
+            hz = harsh_horizons[label]
+            result = _run(5, hz, f, lambda rng: _slow_leader_delay(4, 0, rng))
+            harsh.append((label, result.stabilization(margin=hz * 0.02), _max_suspicion(result), hz))
+        return mild, harsh
+
+    mild, harsh = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for label, report, _ in mild:
+        assert report.stabilized, f"{label} must converge under mild asynchrony"
+    harsh_by = {label.split()[0]: report for label, report, _, _ in harsh}
+    assert harsh_by["linear"].stabilized
+    assert not harsh_by["sqrt"].stabilized and not harsh_by["log"].stabilized
+
+    lines = [
+        "Ablation: AWB2 lower-bound function shape",
+        "",
+        "mild asynchrony (uniform delays, horizon 8000): any conforming f works",
+        format_table(
+            ["f", "stabilized", "t_stabilize", "max suspicions"],
+            [[label, r.stabilized, r.time if r.time else "-", s] for label, r, s in mild],
+        ),
+        "",
+        "harsh asynchrony (slow timely leader, beta ~ 25):",
+        format_table(
+            ["f", "stabilized", "t_stabilize", "max suspicions", "horizon"],
+            [
+                [label, r.stabilized, r.time if r.time else "-", s, hz]
+                for label, r, s, hz in harsh
+            ],
+        ),
+        "",
+        "shape: (f2) promises finite convergence for every divergent f, and all",
+        "deliver under mild conditions; when the leader's write period is large,",
+        "sub-linear f needs suspicion counts far beyond any practical horizon",
+        "(2*sqrt(x) > 25 needs x > 156; 3*log(1+x) > 25 needs x > 4000) --",
+        "'asymptotically well-behaved' is exactly as weak as it sounds.",
+    ]
+    emit("ABL_f_shape", "\n".join(lines))
+
+
+def test_ablation_timeout_policy(benchmark):
+    def sweep():
+        out = []
+        for policy, extra in [("max", {}), ("sum", {}), ("const", {"const_timeout": 4.0})]:
+            result = _run(
+                6,
+                20000.0,
+                LinearF(2.0),
+                lambda rng: _slow_leader_delay(4, 0, rng),
+                algo_config={"timeout_policy": policy, **extra},
+            )
+            report = result.stabilization(margin=400.0)
+            late_susp = len(
+                [
+                    rec
+                    for rec in result.memory.writes_in(16000.0, 20000.0)
+                    if rec.register.startswith("SUSPICIONS")
+                ]
+            )
+            out.append((policy, report, late_susp))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_policy = {policy: (report, late) for policy, report, late in rows}
+    assert by_policy["max"][0].stabilized, "the paper's policy must converge"
+    assert not by_policy["const"][0].stabilized, "constant timeouts cannot adapt"
+    assert by_policy["const"][1] > by_policy["max"][1], "const keeps suspecting"
+
+    table = [
+        [policy, report.stabilized, report.time if report.time else "-", late]
+        for policy, report, late in rows
+    ]
+    lines = [
+        "Ablation: line-27 timeout policy (slow timely leader, horizon 20000)",
+        format_table(["policy", "stabilized", "t_stabilize", "suspicion writes in [16k,20k]"], table),
+        "",
+        "shape: the paper's adaptive max+1 converges; a fixed timeout keeps",
+        "falsely suspecting the slow-but-timely leader forever (Lemma 2 breaks",
+        "without adaptivity).  sum+1 over-waits: its huge timeouts slow every",
+        "detection, and rare hand-over suspicions keep nudging near-tied lexmin",
+        "sums past this horizon -- growth speed is not free.",
+    ]
+    emit("ABL_timeout_policy", "\n".join(lines))
+
+
+def test_ablation_chaos_duration(benchmark):
+    def sweep():
+        out = []
+        for chaos_until in (0.0, 3000.0, 6000.0):
+            result = _run(
+                9,
+                30000.0,
+                LinearF(2.0),
+                lambda rng: _slow_leader_delay(4, 0, rng),
+                chaos_until=chaos_until,
+            )
+            report = result.stabilization(margin=600.0)
+            suspicions = len(
+                [rec for rec in result.memory.write_log if rec.register.startswith("SUSPICIONS")]
+            )
+            out.append((chaos_until, report, suspicions))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    counts = [suspicions for _, _, suspicions in rows]
+    for chaos_until, report, _ in rows:
+        assert report.stabilized, f"chaos until {chaos_until} must still converge"
+    assert counts == sorted(counts), "suspicion churn must grow with chaos duration"
+    assert counts[-1] > counts[0], "long chaos should visibly add false suspicions"
+
+    table = [
+        [chaos_until, report.stabilized, report.time, suspicions]
+        for chaos_until, report, suspicions in rows
+    ]
+    lines = [
+        "Ablation: duration of the timers' chaotic era (slow leader, horizon 30000)",
+        format_table(["chaos until", "stabilized", "t_stabilize", "total suspicion writes"], table),
+        "",
+        "shape: false suspicions accumulate with the length of the chaotic",
+        "prefix, and the election absorbs arbitrarily long finite chaos -- the",
+        "suspicion counters (hence timeouts) just start higher.  MATCHES the",
+        "paper's tolerance claim for the AWB2 prefix.",
+    ]
+    emit("ABL_chaos_duration", "\n".join(lines))

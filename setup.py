@@ -1,0 +1,7 @@
+"""Legacy shim so ``pip install -e .`` works offline without the
+``wheel`` package (the environment has no network access); metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Measurement and verification of the paper's properties on run traces.
+
+* :mod:`~repro.analysis.omega_props` -- the Omega specification
+  (Validity, Eventual Leadership, Termination) checked on observer
+  samples;
+* :mod:`~repro.analysis.write_stats` -- forever-writer / forever-reader
+  censuses, single-writer stabilization points, and boundedness verdicts
+  (Theorems 2, 3, 6, 7 and Lemmas 5, 6);
+* :mod:`~repro.analysis.lowerbound` -- the Theorem 5 ingredients:
+  bounded-state recurrence detection and the writer census the theorem
+  predicts;
+* :mod:`~repro.analysis.report` -- plain-text tables and series for
+  benches and EXPERIMENTS.md.
+"""
+
+from repro.analysis.omega_props import (
+    StabilizationReport,
+    check_eventual_leadership,
+    check_termination,
+    check_validity,
+)
+from repro.analysis.suspicion import (
+    cumulative_suspicions,
+    suspicion_quiescence,
+)
+from repro.analysis.timeline import TimelineReport, build_timeline, render_timeline
+from repro.analysis.write_stats import (
+    BoundednessVerdict,
+    boundedness,
+    forever_readers,
+    forever_writers,
+    single_writer_point,
+    tail_written_registers,
+)
+
+__all__ = [
+    "BoundednessVerdict",
+    "StabilizationReport",
+    "TimelineReport",
+    "boundedness",
+    "build_timeline",
+    "check_eventual_leadership",
+    "check_termination",
+    "check_validity",
+    "cumulative_suspicions",
+    "forever_readers",
+    "forever_writers",
+    "render_timeline",
+    "single_writer_point",
+    "suspicion_quiescence",
+    "tail_written_registers",
+]

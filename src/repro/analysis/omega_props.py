@@ -1,0 +1,145 @@
+"""The Omega specification, checked on observer samples.
+
+The oracle must satisfy (paper Section 2.2):
+
+* **Validity** -- every ``leader()`` returns a process identity;
+* **Eventual Leadership** -- there is a finite time and a correct
+  ``p_l`` such that afterwards every invocation returns ``l``;
+* **Termination** -- invocations by correct processes terminate.
+
+Eventual Leadership refers to a global time the processes cannot see;
+the harness *can* see it, so the property becomes a concrete statement
+about the tail of the sampled outputs.  Termination is structural in a
+simulator (no blocking primitives), so we check its witness instead:
+every correct process completed invocations, each within the a-priori
+op bound of ``n^2`` reads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.interfaces import OmegaAlgorithm
+from repro.sim.crash import CrashPlan
+from repro.sim.tracing import RunTrace
+
+
+@dataclass
+class StabilizationReport:
+    """Eventual-leadership verdict for one run."""
+
+    stabilized: bool
+    #: Earliest sample time from which every correct process's output is
+    #: the common final value (None when not stabilized).
+    time: Optional[float]
+    #: The common final leader, if any.
+    leader: Optional[int]
+    #: Whether that leader is a correct process.
+    leader_correct: bool
+    #: Last time each correct process's sampled output changed.
+    last_change_by_pid: Dict[int, float] = field(default_factory=dict)
+    #: Final sampled output per correct process.
+    final_by_pid: Dict[int, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # truthiness == the verdict
+        return self.stabilized
+
+
+def check_validity(trace: RunTrace, n: int) -> bool:
+    """Every sampled ``leader()`` output is a process identity."""
+    return all(0 <= leader < n for _, _, leader in trace.leader_samples())
+
+
+def check_eventual_leadership(
+    trace: RunTrace,
+    crash_plan: CrashPlan,
+    horizon: float,
+    margin: float = 0.0,
+) -> StabilizationReport:
+    """Decide Eventual Leadership from the sampled outputs.
+
+    The verdict is *empirical*: stabilization must be visible within the
+    horizon.  A run that would stabilize later is reported as not
+    stabilized -- benches choose horizons generously above the
+    scenario's stabilization knobs.
+
+    ``margin`` demands the common output held for at least that much
+    virtual time before the horizon; even with the default ``0.0`` a
+    common value appearing only at the very last sample does not count.
+    """
+    by_pid: Dict[int, List[tuple[float, int]]] = {}
+    for t, pid, leader in trace.leader_samples():
+        if crash_plan.is_correct(pid):
+            by_pid.setdefault(pid, []).append((t, leader))
+
+    if not by_pid or any(not samples for samples in by_pid.values()):
+        return StabilizationReport(False, None, None, False)
+
+    final_by_pid = {pid: samples[-1][1] for pid, samples in by_pid.items()}
+    last_change: Dict[int, float] = {}
+    settle_time: Dict[int, float] = {}
+    for pid, samples in by_pid.items():
+        final = final_by_pid[pid]
+        change = 0.0
+        settle = samples[0][0]
+        for idx, (t, leader) in enumerate(samples):
+            if leader != final:
+                change = t
+                settle = samples[idx + 1][0] if idx + 1 < len(samples) else math.inf
+        last_change[pid] = change
+        settle_time[pid] = settle
+
+    common = set(final_by_pid.values())
+    leader = common.pop() if len(common) == 1 else None
+    leader_correct = leader is not None and crash_plan.is_correct(leader)
+    stabilized = leader is not None and leader_correct
+    time = max(settle_time.values()) if stabilized else None
+    if time is not None and (not math.isfinite(time) or time + margin >= horizon):
+        stabilized, time = False, None
+    return StabilizationReport(
+        stabilized=stabilized,
+        time=time,
+        leader=leader if stabilized else leader,
+        leader_correct=leader_correct,
+        last_change_by_pid=last_change,
+        final_by_pid=final_by_pid,
+    )
+
+
+@dataclass
+class TerminationReport:
+    """Structural witness of the Termination property."""
+
+    ok: bool
+    invocations_by_pid: Dict[int, int]
+    max_ops_by_pid: Dict[int, int]
+    bound: int
+
+
+def check_termination(
+    algorithms: Sequence[OmegaAlgorithm],
+    crash_plan: CrashPlan,
+) -> TerminationReport:
+    """Check every correct process completed ``leader()`` invocations,
+    each within the ``n^2`` read bound."""
+    n = len(algorithms)
+    bound = n * n
+    invocations = {alg.pid: alg.leader_invocations for alg in algorithms}
+    max_ops = {alg.pid: alg.max_leader_ops for alg in algorithms}
+    ok = all(
+        invocations[pid] > 0 and max_ops[pid] <= bound
+        for pid in range(n)
+        if crash_plan.is_correct(pid)
+    )
+    return TerminationReport(ok=ok, invocations_by_pid=invocations, max_ops_by_pid=max_ops, bound=bound)
+
+
+__all__ = [
+    "StabilizationReport",
+    "TerminationReport",
+    "check_eventual_leadership",
+    "check_termination",
+    "check_validity",
+]

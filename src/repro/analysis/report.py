@@ -1,0 +1,80 @@
+"""Plain-text tables and series for benches and EXPERIMENTS.md.
+
+No plotting dependency is available offline, so "figures" are rendered
+as aligned text tables and unicode sparklines -- enough to read off the
+*shape* the paper's claims are about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render an aligned, pipe-separated table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row arity does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if math.isinf(cell):
+            return "inf"
+        return f"{cell:.2f}"
+    if isinstance(cell, frozenset) or isinstance(cell, set):
+        return "{" + ",".join(str(x) for x in sorted(cell)) + "}"
+    return str(cell)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a numeric series (empty-safe)."""
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in values:
+        if not math.isfinite(v):
+            chars.append("?")
+            continue
+        idx = 0 if span == 0 else int((v - lo) / span * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def format_series(label: str, xs: Sequence[float], ys: Sequence[float], width: int = 64) -> str:
+    """A labelled, downsampled sparkline with range annotations."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return f"{label}: (empty)"
+    step = max(1, len(ys) // width)
+    sampled = [ys[i] for i in range(0, len(ys), step)]
+    finite = [v for v in sampled if math.isfinite(v)]
+    lo = min(finite) if finite else float("nan")
+    hi = max(finite) if finite else float("nan")
+    return (
+        f"{label}: {sparkline(sampled)}  "
+        f"[x: {xs[0]:.0f}..{xs[-1]:.0f}, y: {lo:.2f}..{hi:.2f}]"
+    )
+
+
+__all__ = ["format_series", "format_table", "sparkline"]

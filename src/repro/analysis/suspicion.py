@@ -1,0 +1,88 @@
+"""Suspicion dynamics: the observable core of Lemma 2.
+
+The convergence mechanism of both algorithms is entirely visible in the
+``SUSPICIONS`` write stream: false suspicions accumulate (raising
+timeouts) until timers out-wait the leader's write period, after which
+the stream goes quiet.  These helpers extract that signal for the
+chaos/ablation experiments and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.memory.memory import SharedMemory
+
+
+def suspicion_writes(memory: SharedMemory) -> List[Tuple[float, int, str]]:
+    """All ``(time, suspecting pid, register)`` suspicion writes."""
+    return [
+        (rec.time, rec.pid, rec.register)
+        for rec in memory.write_log
+        if rec.register.startswith("SUSPICIONS")
+    ]
+
+
+def cumulative_suspicions(
+    memory: SharedMemory,
+    horizon: float,
+    bucket: float = 250.0,
+) -> Tuple[List[float], List[float]]:
+    """Cumulative suspicion-write counts sampled every ``bucket``.
+
+    The series a healthy AWB run produces rises and then flattens; a
+    run with AWB2 violated keeps rising (see the chaos example and the
+    negative-scenario tests).
+    """
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    times = sorted(t for t, _, _ in suspicion_writes(memory))
+    xs: List[float] = []
+    ys: List[float] = []
+    count = 0
+    idx = 0
+    t = 0.0
+    while t <= horizon:
+        while idx < len(times) and times[idx] < t:
+            count += 1
+            idx += 1
+        xs.append(t)
+        ys.append(float(count))
+        t += bucket
+    return xs, ys
+
+
+@dataclass(frozen=True, slots=True)
+class SuspicionQuiescence:
+    """When (and whether) the suspicion stream went quiet."""
+
+    total: int
+    #: Time of the last suspicion write (None when there was none).
+    last_write: Optional[float]
+    #: True when no suspicion write landed in the final ``tail`` units.
+    quiesced: bool
+
+
+def suspicion_quiescence(
+    memory: SharedMemory,
+    horizon: float,
+    tail: float = 0.2,
+) -> SuspicionQuiescence:
+    """Quiescence verdict: Lemma 2 predicts quiet tails under AWB;
+    the capped-timer violation predicts a never-quiet stream.
+
+    ``tail`` is a fraction of the horizon.
+    """
+    if not 0 < tail < 1:
+        raise ValueError("tail must be a fraction in (0, 1)")
+    times = [t for t, _, _ in suspicion_writes(memory)]
+    last = max(times) if times else None
+    return SuspicionQuiescence(
+        total=len(times),
+        last_write=last,
+        quiesced=last is None or last < horizon * (1.0 - tail),
+    )
+
+
+__all__ = ["SuspicionQuiescence", "cumulative_suspicions", "suspicion_quiescence", "suspicion_writes"]

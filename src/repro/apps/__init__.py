@@ -1,0 +1,35 @@
+"""Applications of the Omega oracle.
+
+The paper's whole motivation for Omega is that it is the *weakest*
+failure detector for consensus in crash-prone shared memory [19], and
+that Paxos-style replication is built on it [9, 16].  This package
+closes that loop:
+
+* :mod:`~repro.apps.adopt_commit` -- the adopt-commit safety object
+  from 1WnR registers (the classic building block);
+* :mod:`~repro.apps.consensus` -- single-disk Disk-Paxos-style
+  consensus driven by any of this repo's Omega algorithms;
+* :mod:`~repro.apps.smr` -- a replicated state machine running one
+  consensus instance per log slot;
+* :mod:`~repro.apps.lease` -- leader-lease analysis on election traces.
+"""
+
+from repro.apps.adopt_commit import AdoptCommit, AdoptCommitOutcome
+from repro.apps.consensus import ConsensusProcess, ConsensusShared, PaxosCell
+from repro.apps.disk_paxos import DiskFleet, DiskPaxosCell, DiskPaxosProcess
+from repro.apps.lease import LeaseReport, lease_intervals
+from repro.apps.smr import ReplicatedStateMachine
+
+__all__ = [
+    "AdoptCommit",
+    "AdoptCommitOutcome",
+    "ConsensusProcess",
+    "ConsensusShared",
+    "DiskFleet",
+    "DiskPaxosCell",
+    "DiskPaxosProcess",
+    "LeaseReport",
+    "PaxosCell",
+    "ReplicatedStateMachine",
+    "lease_intervals",
+]

@@ -1,0 +1,225 @@
+"""Omega-based consensus over shared memory (single-disk Disk Paxos).
+
+Gafni & Lamport's Disk Paxos [9] runs Paxos with disk blocks instead of
+acceptors; with the shared memory itself as the single "disk" it
+reduces to round-based shared-memory Paxos over 1WnR registers -- each
+process ``p`` owns one block register ``BLOCK[p] = (mbal, bal, inp)``:
+
+* ``mbal`` -- the largest ballot ``p`` has started;
+* ``bal``  -- the largest ballot in which ``p`` wrote a value (phase 2);
+* ``inp``  -- the value written at ``bal``.
+
+A ballot ``b`` belonging to ``p`` (``b = k*n + p + 1``; ballots are
+globally unique and proposer-identifying) proceeds:
+
+* *Phase 1*: write ``(b, bal, inp)``; read all blocks; abort if any
+  ``mbal > b``; otherwise the value is the ``inp`` of the largest
+  ``bal`` seen (or the proposer's input when none).
+* *Phase 2*: write ``(b, b, v)``; read all blocks; abort if any
+  ``mbal > b``; otherwise **decide** ``v``.
+
+Safety (validity + agreement) holds under arbitrary interleaving and
+any number of concurrent proposers -- tested under an "anarchy" mode
+where *everyone* proposes.  Liveness needs a single eventual proposer,
+which is exactly what Omega provides: each process proposes only while
+``leader()`` returns itself, so once the paper's algorithm stabilizes,
+one proposer remains and its ballot eventually tops every abort.
+
+:class:`ConsensusProcess` composes this with any Omega implementation
+from :mod:`repro.core`: the process runs the election's ``T2``/``T3``
+tasks *and* the consensus task side by side, sharing the memory and the
+oracle -- the paper's deployment story end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.interfaces import (
+    AlgorithmContext,
+    LocalStep,
+    OmegaAlgorithm,
+    ReadReg,
+    Task,
+    WriteReg,
+)
+from repro.memory.arrays import RegisterArray
+from repro.memory.memory import SharedMemory
+
+#: A block: (mbal, bal, inp).
+Block = Tuple[int, int, Any]
+EMPTY_BLOCK: Block = (0, 0, None)
+
+
+@dataclass(frozen=True, slots=True)
+class AttemptOutcome:
+    """Result of one ballot attempt."""
+
+    decided: bool
+    value: Any
+    #: Largest competing ``mbal`` observed (valid on abort).
+    max_mbal_seen: int
+
+
+class PaxosCell:
+    """Per-process protocol state for one consensus instance."""
+
+    def __init__(self, blocks: RegisterArray, pid: int, n: int) -> None:
+        self.blocks = blocks
+        self.pid = pid
+        self.n = n
+        # Local copy of the own block (owner never re-reads it).
+        self.mbal, self.bal, self.inp = EMPTY_BLOCK
+
+    def next_ballot(self, above: int) -> int:
+        """Smallest ballot of this process strictly greater than ``above``."""
+        b = self.pid + 1
+        while b <= above:
+            b += self.n
+        return b
+
+    def attempt(self, ballot: int, my_value: Any) -> Task:
+        """Run phases 1 and 2 of ``ballot``; yields register operations
+        and returns an :class:`AttemptOutcome`."""
+        pid, n = self.pid, self.n
+        # ---------------- Phase 1 ----------------
+        self.mbal = ballot
+        yield WriteReg(self.blocks.register(pid), (ballot, self.bal, self.inp))
+        max_mbal = ballot
+        best_bal, best_inp = self.bal, self.inp
+        aborted = False
+        for q in range(n):
+            if q == pid:
+                continue
+            mb, bl, ip = (yield ReadReg(self.blocks.register(q))) or EMPTY_BLOCK
+            max_mbal = max(max_mbal, mb)
+            if mb > ballot:
+                aborted = True
+            if bl > best_bal:
+                best_bal, best_inp = bl, ip
+        if aborted:
+            return AttemptOutcome(False, None, max_mbal)
+        value = best_inp if best_bal > 0 else my_value
+        # ---------------- Phase 2 ----------------
+        self.bal, self.inp = ballot, value
+        yield WriteReg(self.blocks.register(pid), (ballot, ballot, value))
+        for q in range(n):
+            if q == pid:
+                continue
+            mb, _, _ = (yield ReadReg(self.blocks.register(q))) or EMPTY_BLOCK
+            max_mbal = max(max_mbal, mb)
+            if mb > ballot:
+                aborted = True
+        if aborted:
+            return AttemptOutcome(False, None, max_mbal)
+        return AttemptOutcome(True, value, max_mbal)
+
+
+@dataclass
+class ConsensusShared:
+    """Shared layout: the election's registers plus Paxos blocks."""
+
+    omega_cls: Type[OmegaAlgorithm]
+    omega_shared: Any
+    blocks: RegisterArray  # BLOCK[n] of (mbal, bal, inp)
+    decision: RegisterArray  # DEC[n]: None or the decided value
+    n: int
+
+
+class ConsensusProcess(OmegaAlgorithm):
+    """A process running an Omega election *and* one consensus instance.
+
+    Config keys:
+
+    ``omega_cls``
+        The election algorithm class (default
+        :class:`~repro.core.algorithm1.WriteEfficientOmega`), plus any
+        config that class consumes.
+    ``inputs``
+        Mapping pid -> proposed value (default ``"v<pid>"``).
+    ``anarchy``
+        When true every process proposes regardless of ``leader()`` --
+        the safety stress mode (liveness is then only probabilistic).
+    """
+
+    display_name = "consensus-on-omega"
+
+    def __init__(self, ctx: AlgorithmContext, shared: ConsensusShared) -> None:
+        super().__init__(ctx, shared)
+        self.omega: OmegaAlgorithm = shared.omega_cls(ctx, shared.omega_shared)
+        self.cell = PaxosCell(shared.blocks, self.pid, self.n)
+        inputs: Dict[int, Any] = ctx.config.get("inputs", {})
+        self.my_value: Any = inputs.get(self.pid, f"v{self.pid}")
+        self.anarchy: bool = bool(ctx.config.get("anarchy", False))
+        #: The decided value, once known to this process.
+        self.decision: Optional[Any] = None
+        #: Virtual time at which this process learned the decision
+        #: (observer metadata -- the algorithm never branches on it).
+        self.decided_at: Optional[float] = None
+
+    @classmethod
+    def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> ConsensusShared:
+        omega_cls: Type[OmegaAlgorithm] = config.get("omega_cls", WriteEfficientOmega)
+        return ConsensusShared(
+            omega_cls=omega_cls,
+            omega_shared=omega_cls.create_shared(memory, n, config),
+            blocks=memory.create_array("BLOCK", n, initial=EMPTY_BLOCK),
+            decision=memory.create_array("DEC", n, initial=None),
+            n=n,
+        )
+
+    # -- delegate the election machinery --------------------------------
+    def main_task(self) -> Task:
+        return self.omega.main_task()
+
+    def timer_task(self) -> Optional[Task]:
+        return self.omega.timer_task()
+
+    def initial_timeout(self) -> Optional[float]:
+        return self.omega.initial_timeout()
+
+    def peek_leader(self) -> int:
+        return self.omega.peek_leader()
+
+    def leader_query(self) -> Task:
+        return self.omega.leader_query()
+
+    def extra_tasks(self) -> List[Task]:
+        return [self._consensus_task()] + self.omega.extra_tasks()
+
+    # -- the consensus task ---------------------------------------------
+    def _consensus_task(self) -> Task:
+        pid, n = self.pid, self.n
+        ballot = self.cell.next_ballot(0)
+        while self.decision is None:
+            # Learn a published decision, if any.
+            for q in range(n):
+                if q == pid:
+                    continue
+                d = yield ReadReg(self.shared.decision.register(q))
+                if d is not None:
+                    self.decision = d
+                    break
+            if self.decision is not None:
+                break
+            if self.anarchy:
+                am_leader = True
+            else:
+                ld = yield from self.omega.leader_query()
+                am_leader = ld == pid
+            if not am_leader:
+                yield LocalStep()  # back off; re-check next turn
+                continue
+            outcome = yield from self.cell.attempt(ballot, self.my_value)
+            if outcome.decided:
+                self.decision = outcome.value
+            else:
+                ballot = self.cell.next_ballot(outcome.max_mbal_seen)
+        self.decided_at = self.ctx.clock()
+        yield WriteReg(self.shared.decision.register(pid), self.decision)
+        # Task ends; the election tasks keep running.
+
+
+__all__ = ["AttemptOutcome", "Block", "ConsensusProcess", "ConsensusShared", "EMPTY_BLOCK", "PaxosCell"]

@@ -1,0 +1,157 @@
+"""Replicated state machine: one consensus instance per log slot.
+
+The canonical use of an eventual leader (Paxos, [16]): the process that
+``leader()`` nominates proposes client commands into consecutive log
+slots; every process learns decisions in order and applies them to its
+local copy of the state.  Agreement per slot gives identical logs;
+Omega gives progress once the election stabilizes -- including after
+the current leader crashes, which the SMR bench exercises.
+
+Commands come from a global workload list (``config["commands"]``); the
+leader for slot ``s`` proposes ``(commands[s], proposer_pid)``, so logs
+record *who* got each command decided -- visibly shifting after a
+leader change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.apps.consensus import EMPTY_BLOCK, PaxosCell
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.interfaces import (
+    AlgorithmContext,
+    LocalStep,
+    OmegaAlgorithm,
+    ReadReg,
+    Task,
+    WriteReg,
+)
+from repro.memory.arrays import RegisterArray
+from repro.memory.memory import SharedMemory
+
+
+@dataclass
+class SlotRegisters:
+    """The per-slot consensus registers."""
+
+    blocks: RegisterArray
+    decision: RegisterArray
+
+
+@dataclass
+class SMRShared:
+    """Election registers plus lazily allocated per-slot instances."""
+
+    omega_cls: Type[OmegaAlgorithm]
+    omega_shared: Any
+    memory: SharedMemory
+    n: int
+    slots: Dict[int, SlotRegisters] = field(default_factory=dict)
+
+    def slot(self, index: int) -> SlotRegisters:
+        """Registers of slot ``index`` (allocated on first use).
+
+        Allocation is infrastructure, not an algorithm step: the
+        register *names* are a deterministic function of the slot, so
+        every process addresses the same registers.
+        """
+        if index not in self.slots:
+            self.slots[index] = SlotRegisters(
+                blocks=self.memory.create_array(f"LOG{index}.BLOCK", self.n, initial=EMPTY_BLOCK),
+                decision=self.memory.create_array(f"LOG{index}.DEC", self.n, initial=None),
+            )
+        return self.slots[index]
+
+
+class ReplicatedStateMachine(OmegaAlgorithm):
+    """A process replicating a command log over repeated consensus.
+
+    Config keys:
+
+    ``commands``
+        The global list of client commands; its length bounds the log.
+    ``omega_cls``
+        Election algorithm class (default Algorithm 1), plus its config.
+    """
+
+    display_name = "smr-on-omega"
+
+    def __init__(self, ctx: AlgorithmContext, shared: SMRShared) -> None:
+        super().__init__(ctx, shared)
+        self.omega: OmegaAlgorithm = shared.omega_cls(ctx, shared.omega_shared)
+        self.commands: List[Any] = list(ctx.config.get("commands", []))
+        #: The applied log: slot -> decided (command, proposer) entries,
+        #: in slot order.  Identical across processes (agreement).
+        self.log: List[Tuple[Any, int]] = []
+        #: (slot, decide_time) pairs -- throughput series for the bench.
+        self.decide_times: List[Tuple[int, float]] = []
+
+    @classmethod
+    def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> SMRShared:
+        omega_cls: Type[OmegaAlgorithm] = config.get("omega_cls", WriteEfficientOmega)
+        return SMRShared(
+            omega_cls=omega_cls,
+            omega_shared=omega_cls.create_shared(memory, n, config),
+            memory=memory,
+            n=n,
+        )
+
+    # -- delegate the election machinery --------------------------------
+    def main_task(self) -> Task:
+        return self.omega.main_task()
+
+    def timer_task(self) -> Optional[Task]:
+        return self.omega.timer_task()
+
+    def initial_timeout(self) -> Optional[float]:
+        return self.omega.initial_timeout()
+
+    def peek_leader(self) -> int:
+        return self.omega.peek_leader()
+
+    def leader_query(self) -> Task:
+        return self.omega.leader_query()
+
+    def extra_tasks(self) -> List[Task]:
+        return [self._smr_task()] + self.omega.extra_tasks()
+
+    # -- the replication task -------------------------------------------
+    def _smr_task(self) -> Task:
+        pid, n = self.pid, self.n
+        for slot_index in range(len(self.commands)):
+            regs = self.shared.slot(slot_index)
+            cell = PaxosCell(regs.blocks, pid, n)
+            ballot = cell.next_ballot(0)
+            decision: Optional[Any] = None
+            published = False
+            while decision is None:
+                for q in range(n):
+                    if q == pid:
+                        continue
+                    d = yield ReadReg(regs.decision.register(q))
+                    if d is not None:
+                        decision = d
+                        break
+                if decision is not None:
+                    break
+                ld = yield from self.omega.leader_query()
+                if ld != pid:
+                    yield LocalStep()
+                    continue
+                outcome = yield from cell.attempt(ballot, (self.commands[slot_index], pid))
+                if outcome.decided:
+                    decision = outcome.value
+                    yield WriteReg(regs.decision.register(pid), decision)
+                    published = True
+                else:
+                    ballot = cell.next_ballot(outcome.max_mbal_seen)
+            if not published:
+                yield WriteReg(regs.decision.register(pid), decision)
+            self.log.append(decision)
+            self.decide_times.append((slot_index, self.ctx.clock()))
+        # Log complete; the election tasks keep running.
+
+
+__all__ = ["ReplicatedStateMachine", "SMRShared", "SlotRegisters"]

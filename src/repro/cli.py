@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Execute one (algorithm, scenario, seed) run and print the election
+    report, the writer/boundedness censuses, and the leadership
+    timeline.
+``compare``
+    Run several algorithms on one scenario and print the comparison
+    table (the Section 5 trade-off, on demand).
+``list``
+    Show the available algorithms and scenarios.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run --algorithm alg1 --scenario leader-crash --seed 3
+    python -m repro compare --scenario nominal --seeds 0 1 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.analysis.report import format_table
+from repro.analysis.timeline import build_timeline, render_timeline
+from repro.analysis.write_stats import forever_writers, growing_registers
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.algorithm2 import BoundedOmega
+from repro.core.baseline import EventuallySynchronousOmega
+from repro.core.interfaces import OmegaAlgorithm
+from repro.core.variants import MultiWriterOmega, StepCounterOmega
+from repro.workloads import scenarios as scen_mod
+from repro.workloads.scenarios import Scenario
+from repro.workloads.sweep import summarize_result
+
+ALGORITHMS: Dict[str, Type[OmegaAlgorithm]] = {
+    "alg1": WriteEfficientOmega,
+    "alg2": BoundedOmega,
+    "alg1-nwnr": MultiWriterOmega,
+    "alg1-no-timer": StepCounterOmega,
+    "baseline": EventuallySynchronousOmega,
+}
+
+SCENARIOS: Dict[str, Callable[..., Scenario]] = {
+    "nominal": scen_mod.nominal,
+    "chaotic-timers": scen_mod.chaotic_timers,
+    "leader-crash": scen_mod.leader_crash,
+    "cascade": scen_mod.cascade,
+    "all-but-one": scen_mod.all_but_one,
+    "awb-only": scen_mod.awb_only,
+    "ev-sync": scen_mod.ev_sync,
+    "scrambled": scen_mod.scrambled,
+    "random-faults": scen_mod.random_faults,
+    "san": scen_mod.san,
+    "capped-timers": scen_mod.capped_timers,
+    "slow-leader-awb": scen_mod.slow_leader_awb,
+}
+
+
+def _build_scenario(name: str, n: Optional[int], horizon: Optional[float]) -> Scenario:
+    factory = SCENARIOS[name]
+    kwargs = {}
+    if n is not None:
+        kwargs["n"] = n
+    if horizon is not None:
+        kwargs["horizon"] = horizon
+    return factory(**kwargs)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("algorithms:")
+    for name, cls in ALGORITHMS.items():
+        print(f"  {name:14s} {cls.display_name} -- {cls.__doc__.strip().splitlines()[0]}")
+    print("\nscenarios:")
+    for name, factory in SCENARIOS.items():
+        scen = factory()
+        print(f"  {name:16s} n={scen.n:<3d} horizon={scen.horizon:<8.0f} {scen.description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scen = _build_scenario(args.scenario, args.n, args.horizon)
+    algorithm = ALGORITHMS[args.algorithm]
+    print(f"running {algorithm.display_name} on {scen.name} (seed {args.seed})...")
+    result = scen.run(algorithm, seed=args.seed)
+
+    report = result.stabilization(margin=scen.margin)
+    print(f"\nstabilized: {report.stabilized}")
+    if report.leader is not None:
+        print(f"leader: p{report.leader} (correct: {report.leader_correct})")
+    if report.time is not None:
+        print(f"stabilization time: {report.time:.0f}")
+
+    writers = forever_writers(result.memory, result.horizon, window=result.horizon / 20)
+    growing = growing_registers(result.memory, result.horizon)
+    print(f"forever writers: {sorted(writers)}")
+    print(f"still-growing registers: {sorted(growing) if growing else 'none (bounded)'}")
+    print(
+        f"traffic: {result.memory.total_writes} writes / {result.memory.total_reads} reads; "
+        f"{result.sim.events_fired} events"
+    )
+    if args.timeline:
+        print("\nleadership timeline:")
+        print(render_timeline(build_timeline(result.trace, result.crash_plan)))
+    return 0 if report.stabilized or scen.name.startswith("capped") else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    scen = _build_scenario(args.scenario, args.n, args.horizon)
+    names = args.algorithms or list(ALGORITHMS)
+    rows = []
+    for name in names:
+        algorithm = ALGORITHMS[name]
+        per_seed = []
+        for seed in args.seeds:
+            result = scen.run(algorithm, seed=seed)
+            per_seed.append(summarize_result(result, scen))
+        stab = [r for r in per_seed if r.stabilized]
+        times = [r.stabilization_time for r in stab]
+        rows.append(
+            [
+                name,
+                f"{len(stab)}/{len(per_seed)}",
+                sum(times) / len(times) if times else float("inf"),
+                max(r.forever_writer_count for r in per_seed),
+                max(r.growing_register_count for r in per_seed) == 0,
+                sum(r.total_writes for r in per_seed) // len(per_seed),
+            ]
+        )
+    print(f"scenario: {scen.name} ({scen.description}); seeds {args.seeds}")
+    print(
+        format_table(
+            ["algorithm", "stabilized", "mean t_stab", "forever writers", "bounded", "writes/run"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Eventual leader election in asynchronous shared memory (DSN 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list algorithms and scenarios").set_defaults(func=cmd_list)
+
+    run_p = sub.add_parser("run", help="execute one run and print the report")
+    run_p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="alg1")
+    run_p.add_argument("--scenario", choices=sorted(SCENARIOS), default="nominal")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--n", type=int, default=None, help="override process count")
+    run_p.add_argument("--horizon", type=float, default=None, help="override horizon")
+    run_p.add_argument("--timeline", action="store_true", help="render the leadership timeline")
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare algorithms on one scenario")
+    cmp_p.add_argument("--scenario", choices=sorted(SCENARIOS), default="nominal")
+    cmp_p.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS), default=None)
+    cmp_p.add_argument("--seeds", nargs="*", type=int, default=[0, 1])
+    cmp_p.add_argument("--n", type=int, default=None)
+    cmp_p.add_argument("--horizon", type=float, default=None)
+    cmp_p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""The paper's contribution: Omega algorithms for ``AS[n, AWB]``.
+
+* :class:`~repro.core.algorithm1.WriteEfficientOmega` -- paper Figure 2:
+  after stabilization a single process writes the shared memory and all
+  shared variables except one entry of ``PROGRESS`` are bounded.
+* :class:`~repro.core.algorithm2.BoundedOmega` -- paper Figure 5: all
+  shared variables bounded (boolean hand-shake), every correct process
+  writes forever (unavoidable, Theorem 5).
+* :mod:`~repro.core.variants` -- Section 3.5: the nWnR (multi-writer)
+  suspicion-vector variant and the timer-free step-counter variant.
+* :mod:`~repro.core.baseline` -- an eventually-synchronous baseline in
+  the style of Guerraoui & Raynal [13], the only prior shared-memory
+  Omega the paper cites.
+* :mod:`~repro.core.mutants` -- deliberately broken variants used to
+  reproduce the lower bounds (Lemmas 5 and 6) as falsification
+  experiments.
+* :mod:`~repro.core.runner` -- assembles kernel, memory, timers,
+  crashes and an algorithm into a reproducible run.
+"""
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.algorithm2 import BoundedOmega
+from repro.core.baseline import EventuallySynchronousOmega
+from repro.core.interfaces import (
+    AlgorithmContext,
+    FetchAdd,
+    LocalStep,
+    OmegaAlgorithm,
+    ReadReg,
+    SetTimer,
+    WriteReg,
+)
+from repro.core.lexmin import lexmin_pair
+from repro.core.runner import Run, RunResult
+from repro.core.variants import MultiWriterOmega, StepCounterOmega
+
+__all__ = [
+    "AlgorithmContext",
+    "BoundedOmega",
+    "EventuallySynchronousOmega",
+    "FetchAdd",
+    "LocalStep",
+    "MultiWriterOmega",
+    "OmegaAlgorithm",
+    "ReadReg",
+    "Run",
+    "RunResult",
+    "SetTimer",
+    "StepCounterOmega",
+    "WriteEfficientOmega",
+    "WriteReg",
+    "lexmin_pair",
+]

@@ -1,0 +1,202 @@
+"""Algorithm 1 (paper Figure 2): the write-efficient Omega.
+
+Faithful line-by-line transcription of the paper's Figure 2.  Shared
+state (all 1WnR atomic registers):
+
+* ``SUSPICIONS[n][n]`` -- naturals; ``SUSPICIONS[j][k] = x`` means
+  ``p_j`` has suspected ``p_k`` ``x`` times.  Row ``j`` owned by
+  ``p_j``.  **Not critical** (AWB1 does not constrain accesses to it).
+* ``PROGRESS[n]`` -- naturals; ``p_i`` increases ``PROGRESS[i]`` while
+  it considers itself leader.  **Critical.**
+* ``STOP[n]`` -- booleans; ``p_i`` sets ``STOP[i]`` true when it stops
+  competing.  **Critical.**
+
+Per the paper's Section 3.2 remark, a process keeps local copies of the
+registers it owns and never issues shared *reads* for them -- only the
+writes hit shared memory.  The task structure is:
+
+* ``T1`` (``leader()``): return the least-suspected candidate
+  (lines 1-5), as the ``_leader_query`` sub-generator;
+* ``T2``: the repeat-forever loop (lines 6-12), :meth:`main_task`;
+* ``T3``: the timer handler (lines 13-27), :meth:`timer_task`.
+
+Properties proved in the paper and checked by this repo's tests and
+benches: eventual common correct leader (Theorem 1); all shared
+variables except ``PROGRESS[ell]`` bounded (Theorem 2); eventually a
+single writer, always writing the same variable (Theorem 3);
+write-optimality (Theorem 4 via Lemmas 5-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.interfaces import (
+    AlgorithmContext,
+    OmegaAlgorithm,
+    ReadReg,
+    SetTimer,
+    Task,
+    WriteReg,
+)
+from repro.core.lexmin import lexmin_pair
+from repro.memory.arrays import RegisterArray, RegisterMatrix
+from repro.memory.memory import SharedMemory
+
+
+@dataclass
+class Algorithm1Shared:
+    """Shared-register layout of Algorithm 1."""
+
+    suspicions: RegisterMatrix  # SUSPICIONS[n][n], row-owned, non-critical
+    progress: RegisterArray  # PROGRESS[n], self-owned, critical
+    stop: RegisterArray  # STOP[n], self-owned, critical
+    n: int
+
+
+class WriteEfficientOmega(OmegaAlgorithm):
+    """Per-process instance of the Figure 2 algorithm.
+
+    Config keys (``ctx.config``):
+
+    ``initial_candidates``
+        Initial ``candidates_i`` set; any set containing ``i`` is legal
+        (the paper allows any).  Default: all processes.
+    """
+
+    display_name = "alg1-write-efficient"
+    uses_timer = True
+
+    def __init__(self, ctx: AlgorithmContext, shared: Algorithm1Shared) -> None:
+        super().__init__(ctx, shared)
+        i, n = self.pid, self.n
+        #: Timeout policy (ablation knob; the paper's line 27 is "max"):
+        #: "max"   -- max_k SUSPICIONS[i][k] + 1 (the paper's rule)
+        #: "sum"   -- sum_k SUSPICIONS[i][k] + 1 (grows faster)
+        #: "const" -- a fixed timeout (drops adaptivity; Lemma 2 breaks
+        #:            whenever the constant under-shoots the leader's
+        #:            write period -- the ablation bench shows it).
+        self.timeout_policy: str = ctx.config.get("timeout_policy", "max")
+        self.const_timeout: float = float(ctx.config.get("const_timeout", 2.0))
+        if self.timeout_policy not in ("max", "sum", "const"):
+            raise ValueError(f"unknown timeout_policy {self.timeout_policy!r}")
+        initial = ctx.config.get("initial_candidates")
+        #: candidates_i -- must contain i, and p_i never removes itself.
+        self.candidates: Set[int] = set(initial) | {i} if initial is not None else set(range(n))
+        #: last_i[k] -- greatest value read from PROGRESS[k]; arbitrary
+        #: initial values are tolerated (self-stabilization, footnote 7),
+        #: the None sentinel just forces a first-round refresh.
+        self.last: List[Optional[int]] = [None] * n
+        # Local copies of the registers p_i owns (Section 3.2 remark).
+        self._my_progress: int = shared.progress.peek(i)
+        self._my_stop: bool = bool(shared.stop.peek(i))
+        self._my_suspicions: List[int] = [shared.suspicions.peek(i, k) for k in range(n)]
+
+    # ------------------------------------------------------------------
+    # Shared layout
+    # ------------------------------------------------------------------
+    @classmethod
+    def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> Algorithm1Shared:
+        return Algorithm1Shared(
+            suspicions=memory.create_matrix("SUSPICIONS", n, initial=0, critical=False),
+            progress=memory.create_array("PROGRESS", n, initial=0, critical=True),
+            stop=memory.create_array("STOP", n, initial=True, critical=True),
+            n=n,
+        )
+
+    # ------------------------------------------------------------------
+    # Task T1 -- leader() (lines 1-5)
+    # ------------------------------------------------------------------
+    def _leader_query(self) -> Task:
+        """One ``leader()`` invocation; returns the elected identity.
+
+        Reads ``SUSPICIONS[j][k]`` for every candidate ``k`` and every
+        ``j != i`` (own row comes from the local copy).
+        """
+        ops = 0
+        susp: Dict[int, int] = {}
+        for k in sorted(self.candidates):
+            total = self._my_suspicions[k]
+            for j in range(self.n):
+                if j == self.pid:
+                    continue
+                total += yield ReadReg(self.shared.suspicions.register(j, k))  # line 3
+                ops += 1
+            susp[k] = total
+        _, leader = lexmin_pair((susp[k], k) for k in susp)  # line 4
+        self._note_leader_invocation(ops)
+        return leader  # line 5
+
+    def leader_query(self):
+        """Public task ``T1`` (see :class:`OmegaAlgorithm.leader_query`)."""
+        return self._leader_query()
+
+    # ------------------------------------------------------------------
+    # Task T2 -- main loop (lines 6-12)
+    # ------------------------------------------------------------------
+    def main_task(self) -> Task:
+        while True:  # line 6: repeat forever
+            ld = yield from self._leader_query()
+            while ld == self.pid:  # line 7
+                self._my_progress += 1
+                yield WriteReg(self.shared.progress.register(self.pid), self._my_progress)  # line 8
+                if self._my_stop:  # line 9
+                    self._my_stop = False
+                    yield WriteReg(self.shared.stop.register(self.pid), False)
+                ld = yield from self._leader_query()  # re-evaluate the while guard
+            if not self._my_stop:  # line 11
+                self._my_stop = True
+                yield WriteReg(self.shared.stop.register(self.pid), True)
+
+    # ------------------------------------------------------------------
+    # Task T3 -- timer handler (lines 13-27)
+    # ------------------------------------------------------------------
+    def timer_task(self) -> Task:
+        i, n = self.pid, self.n
+        for k in range(n):  # line 14
+            if k == i:
+                continue
+            stop_k = yield ReadReg(self.shared.stop.register(k))  # line 15
+            progress_k = yield ReadReg(self.shared.progress.register(k))  # line 16
+            if progress_k != self.last[k]:  # line 17
+                self.candidates.add(k)  # line 18
+                self.last[k] = progress_k  # line 19
+            elif stop_k:  # line 20
+                self.candidates.discard(k)  # line 21
+            elif k in self.candidates:  # line 22
+                self._my_suspicions[k] += 1
+                yield WriteReg(self.shared.suspicions.register(i, k), self._my_suspicions[k])  # line 23
+                self.candidates.discard(k)  # line 24
+        yield SetTimer(self._next_timeout())  # line 27
+
+    def _next_timeout(self) -> float:
+        """Line 27: ``max_k SUSPICIONS[i][k] + 1`` over the own row.
+
+        Only registers owned by ``p_i`` are involved, so this uses the
+        local copies -- exactly the paper's observation that the timeout
+        is computable without shared reads.  Alternative policies are
+        ablation knobs (see ``timeout_policy`` in ``__init__``).
+        """
+        if self.timeout_policy == "sum":
+            return float(sum(self._my_suspicions) + 1)
+        if self.timeout_policy == "const":
+            return self.const_timeout
+        return float(max(self._my_suspicions) + 1)
+
+    def initial_timeout(self) -> Optional[float]:
+        return self._next_timeout()
+
+    # ------------------------------------------------------------------
+    # Observer
+    # ------------------------------------------------------------------
+    def peek_leader(self) -> int:
+        """Uncounted ``leader()`` evaluated on current register values."""
+        pairs = []
+        for k in sorted(self.candidates):
+            total = sum(self.shared.suspicions.peek(j, k) for j in range(self.n))
+            pairs.append((total, k))
+        return lexmin_pair(pairs)[1]
+
+
+__all__ = ["Algorithm1Shared", "WriteEfficientOmega"]

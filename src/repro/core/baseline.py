@@ -1,0 +1,134 @@
+"""Baseline: an Omega for *eventually synchronous* shared memory.
+
+The only prior shared-memory Omega the paper cites is Guerraoui &
+Raynal's SEUS 2006 protocol [13], which assumes the whole system is
+eventually synchronous: "there is a time after which there are a lower
+bound and an upper bound for any process to execute a local step, or a
+shared memory access" -- a strictly stronger assumption than AWB, where
+only one process must become timely.
+
+This module implements a faithful representative of that class: the
+classic heartbeat / adaptive-timeout construction.
+
+* Every process increments its own ``HB[i]`` forever (so *all*
+  processes write the shared memory forever, and ``HB`` is unbounded --
+  both costs Algorithm 1 avoids).
+* Every process periodically checks every other heartbeat; if ``HB[k]``
+  did not move for ``patience[k]`` consecutive checks, ``k`` is
+  suspected.  When a suspected process shows progress the false
+  suspicion doubles ``patience[k]`` (the usual adaptive-timeout trick,
+  mirroring [2, 17]).
+* ``leader() = min(id not currently suspected)``.
+
+Under eventual synchrony the doubling stabilizes and the smallest
+correct id wins.  Under AWB-only scenarios (followers stay arbitrarily
+asynchronous) the baseline's output can keep changing -- the comparison
+benches demonstrate precisely that assumption gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.interfaces import (
+    AlgorithmContext,
+    LocalStep,
+    OmegaAlgorithm,
+    ReadReg,
+    SetTimer,
+    Task,
+    WriteReg,
+)
+from repro.memory.arrays import RegisterArray
+from repro.memory.memory import SharedMemory
+
+
+@dataclass
+class BaselineShared:
+    """Shared layout: a single heartbeat array."""
+
+    heartbeat: RegisterArray  # HB[n], self-owned, critical
+    n: int
+
+
+class EventuallySynchronousOmega(OmegaAlgorithm):
+    """Heartbeat + adaptive timeout leader election.
+
+    Config keys:
+
+    ``check_timeout`` (default ``4.0``)
+        Timer value between monitoring sweeps.
+    ``initial_patience`` (default ``2``)
+        Initial number of unchanged sweeps before suspecting.
+    """
+
+    display_name = "baseline-ev-sync"
+    uses_timer = True
+
+    def __init__(self, ctx: AlgorithmContext, shared: BaselineShared) -> None:
+        super().__init__(ctx, shared)
+        n = self.n
+        self.check_timeout: float = float(ctx.config.get("check_timeout", 4.0))
+        initial_patience: int = int(ctx.config.get("initial_patience", 2))
+        self._my_hb: int = shared.heartbeat.peek(self.pid)
+        self.last_seen: List[Optional[int]] = [None] * n
+        self.misses: List[int] = [0] * n
+        self.patience: List[int] = [initial_patience] * n
+        self.suspected: List[bool] = [False] * n
+
+    @classmethod
+    def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> BaselineShared:
+        return BaselineShared(
+            heartbeat=memory.create_array("HB", n, initial=0, critical=True),
+            n=n,
+        )
+
+    # ------------------------------------------------------------------
+    def main_task(self) -> Task:
+        """Increment the own heartbeat forever -- every process writes
+        the shared memory forever, by design of this algorithm class."""
+        i = self.pid
+        while True:
+            self._my_hb += 1
+            yield WriteReg(self.shared.heartbeat.register(i), self._my_hb)
+
+    def timer_task(self) -> Task:
+        i, n = self.pid, self.n
+        for k in range(n):
+            if k == i:
+                continue
+            hb_k = yield ReadReg(self.shared.heartbeat.register(k))
+            if hb_k != self.last_seen[k]:
+                if self.suspected[k]:
+                    # False suspicion: back off.
+                    self.patience[k] *= 2
+                    self.suspected[k] = False
+                self.misses[k] = 0
+                self.last_seen[k] = hb_k
+            else:
+                self.misses[k] += 1
+                if self.misses[k] >= self.patience[k]:
+                    self.suspected[k] = True
+        yield SetTimer(self.check_timeout)
+
+    def initial_timeout(self) -> Optional[float]:
+        return self.check_timeout
+
+    def leader_query(self) -> Task:
+        """Public task ``T1``: this algorithm answers from local
+        suspicion state, so the invocation costs one local step."""
+        yield LocalStep()
+        self._note_leader_invocation(0)
+        return self.peek_leader()
+
+    # ------------------------------------------------------------------
+    def peek_leader(self) -> int:
+        """``min(id not suspected)``; self is never suspected."""
+        for k in range(self.n):
+            if k == self.pid or not self.suspected[k]:
+                return k
+        return self.pid  # unreachable: the loop always hits self.pid
+
+
+__all__ = ["BaselineShared", "EventuallySynchronousOmega"]

@@ -1,0 +1,94 @@
+"""Exploration of the paper's open question.
+
+Section 5 leaves open: *"Is it possible to design a leader algorithm in
+which there is a time after which the eventual leader is not required
+to read the shared memory?"* (Algorithm 1 is only quasi-optimal on the
+read side: everybody, leader included, reads ``SUSPICIONS`` forever.)
+
+:class:`LazyLeaderOmega` is the natural first attempt: once a process
+has seen itself win ``lazy_after`` consecutive ``leader()``
+evaluations, it stops reading -- it answers ``leader()`` from its
+cached verdict and skips the monitoring reads, while still *writing*
+``PROGRESS`` (Lemma 5 forbids it to stop writing).
+
+The experiments show exactly where this attempt stands:
+
+* under **stable** conditions it works and delivers the prize: the
+  leader's read traffic drops to zero after the confidence threshold;
+* under **post-stabilization disturbance** (the leader is stalled long
+  enough for followers to suspect and move on) it fails permanently:
+  the lazy leader can never learn it was demoted, so it keeps
+  outputting itself -- Eventual Leadership is violated forever.
+
+So the naive approach does not answer the open question positively: a
+leader that reads nothing cannot detect demotion, and in the AWB model
+demotion is always possible while suspicion counts can still shift.
+This is evidence (not proof) that the answer is "no" without either a
+stronger model or a mechanism letting followers *write into the
+leader's face* something it must see -- which is again a read.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.interfaces import LocalStep, SetTimer, Task
+
+
+class LazyLeaderOmega(WriteEfficientOmega):
+    """Algorithm 1 plus a leader-side read-elision heuristic.
+
+    Config keys:
+
+    ``lazy_after`` (default 25)
+        Consecutive self-elections after which the process stops
+        reading.  Unlike the test mutants this is a *candidate
+        algorithm*: it consults no clock and uses only information the
+        paper's model provides.
+    """
+
+    display_name = "alg1-lazy-leader"
+
+    def __init__(self, ctx, shared) -> None:
+        super().__init__(ctx, shared)
+        self.lazy_after: int = int(ctx.config.get("lazy_after", 25))
+        self._confidence = 0
+        #: Once true, this process never reads shared memory again.
+        self.lazy = False
+
+    def _leader_query(self) -> Task:
+        if self.lazy:
+            yield LocalStep()  # an invocation still takes a step
+            self._note_leader_invocation(0)
+            return self.pid
+        leader = yield from super()._leader_query()
+        if leader == self.pid:
+            self._confidence += 1
+            if self._confidence >= self.lazy_after:
+                self.lazy = True
+        else:
+            self._confidence = 0
+        return leader
+
+    def timer_task(self) -> Optional[Task]:
+        if not self.lazy:
+            return super().timer_task()
+        return self._lazy_timer_task()
+
+    def _lazy_timer_task(self) -> Task:
+        # No reads: burn the monitoring steps and re-arm.  Suspicions
+        # are frozen (they are reads away), so the timeout is whatever
+        # the local copies last said.
+        for k in range(self.n):
+            if k != self.pid:
+                yield LocalStep()
+        yield SetTimer(self._next_timeout())
+
+    def peek_leader(self) -> int:
+        if self.lazy:
+            return self.pid
+        return super().peek_leader()
+
+
+__all__ = ["LazyLeaderOmega"]

@@ -1,0 +1,194 @@
+"""Operation vocabulary and the algorithm/process interface.
+
+Algorithms are written as generator coroutines that *yield operations*
+(one shared-memory access or local step at a time -- the paper's notion
+of a step) and receive results through ``send``.  The runner applies
+each operation at a virtual-time instant, which is the operation's
+linearization point, then delays the process per its step-delay model.
+
+This style keeps algorithm code close to the paper's pseudo-code (each
+numbered line maps to one or two yields) while giving the scheduler
+total control over interleaving -- the property every experiment relies
+on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Union,
+)
+
+from repro.memory.mwmr import MultiWriterRegister
+from repro.memory.register import AtomicRegister
+
+Register = Union[AtomicRegister, MultiWriterRegister]
+
+#: A process task: yields operations, receives operation results.
+Task = Generator["Operation", Any, Any]
+
+
+# ----------------------------------------------------------------------
+# Operations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class ReadReg:
+    """Atomically read ``register``; the read value is sent back."""
+
+    register: Register
+
+
+@dataclass(frozen=True, slots=True)
+class WriteReg:
+    """Atomically write ``value`` to ``register`` (owner-checked)."""
+
+    register: Register
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class FetchAdd:
+    """Atomic fetch&add on a multi-writer register; old value sent back."""
+
+    register: MultiWriterRegister
+    amount: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SetTimer:
+    """Arm this process's timer to timeout value ``timeout``.
+
+    The realized duration is decided by the process's
+    :class:`~repro.timers.awb.TimerBehavior` (assumption AWB2).
+    """
+
+    timeout: float
+
+
+@dataclass(frozen=True, slots=True)
+class LocalStep:
+    """A local computation step: consumes scheduling delay, touches no
+    shared memory.  Used by the timer-free variant's counting loop."""
+
+
+Operation = Union[ReadReg, WriteReg, FetchAdd, SetTimer, LocalStep]
+
+
+# ----------------------------------------------------------------------
+# Algorithm interface
+# ----------------------------------------------------------------------
+@dataclass
+class AlgorithmContext:
+    """Everything a per-process algorithm instance may depend on.
+
+    Attributes
+    ----------
+    pid / n:
+        This process's identity and the system size.
+    clock:
+        Read-only virtual clock (observer use only -- the paper's
+        processes have no global clock; algorithms must not branch on
+        it.  Mutants *do*, which is the point of mutants).
+    rng:
+        Per-process random stream for tie-breaking randomness if an
+        algorithm wants any (none of the paper's algorithms do).
+    config:
+        Free-form algorithm options (e.g. initial candidate sets).
+    """
+
+    pid: int
+    n: int
+    clock: Callable[[], float]
+    rng: Any
+    config: Dict[str, Any] = field(default_factory=dict)
+
+
+class OmegaAlgorithm(abc.ABC):
+    """Base class for per-process Omega algorithm instances.
+
+    Lifecycle: the runner calls :meth:`create_shared` once, constructs
+    one instance per process, arms initial timers from
+    :meth:`initial_timeout`, then drives :meth:`main_task` (the paper's
+    task ``T2``) and, on every timer expiry, a fresh :meth:`timer_task`
+    (task ``T3``) -- interleaved round-robin inside the process.
+    ``leader()`` (task ``T1``) appears in two forms: as part of
+    ``main_task``'s own reads (counted), and as the uncounted observer
+    :meth:`peek_leader` used by the harness to sample outputs.
+    """
+
+    #: Human-readable name used in reports.
+    display_name: str = "omega"
+    #: Whether the algorithm arms timers (the step-counter variant doesn't).
+    uses_timer: bool = True
+
+    def __init__(self, ctx: AlgorithmContext, shared: Any) -> None:
+        self.ctx = ctx
+        self.pid = ctx.pid
+        self.n = ctx.n
+        self.shared = shared
+        #: Completed leader() invocations and the largest op count one
+        #: needed -- the Termination property's structural witness.
+        self.leader_invocations = 0
+        self.max_leader_ops = 0
+
+    # -- shared layout --------------------------------------------------
+    @classmethod
+    @abc.abstractmethod
+    def create_shared(cls, memory: Any, n: int, config: Dict[str, Any]) -> Any:
+        """Create the algorithm's shared registers; returns the layout."""
+
+    # -- tasks ----------------------------------------------------------
+    @abc.abstractmethod
+    def main_task(self) -> Task:
+        """The paper's task ``T2`` -- an infinite loop."""
+
+    def timer_task(self) -> Optional[Task]:
+        """A fresh ``T3`` body for one timer expiry (``None`` if unused)."""
+        return None
+
+    def extra_tasks(self) -> List[Task]:
+        """Additional perpetual tasks (the step-counter variant's loop)."""
+        return []
+
+    def initial_timeout(self) -> Optional[float]:
+        """Timeout to arm at start-up, or ``None``."""
+        return 1.0 if self.uses_timer else None
+
+    def leader_query(self) -> Task:
+        """Task ``T1``: one counted ``leader()`` invocation, usable as a
+        sub-generator (``ld = yield from alg.leader_query()``) by the
+        algorithm itself or by an application built on the oracle."""
+        raise NotImplementedError(f"{type(self).__name__} does not expose leader_query")
+
+    # -- observation ----------------------------------------------------
+    @abc.abstractmethod
+    def peek_leader(self) -> int:
+        """Observer ``leader()``: computed from current register values
+        without counting accesses.  Must satisfy Validity."""
+
+    def _note_leader_invocation(self, ops: int) -> None:
+        """Record one completed in-algorithm ``leader()`` invocation."""
+        self.leader_invocations += 1
+        if ops > self.max_leader_ops:
+            self.max_leader_ops = ops
+
+
+__all__ = [
+    "AlgorithmContext",
+    "FetchAdd",
+    "LocalStep",
+    "OmegaAlgorithm",
+    "Operation",
+    "ReadReg",
+    "Register",
+    "SetTimer",
+    "Task",
+    "WriteReg",
+]

@@ -1,0 +1,43 @@
+"""The paper's ``lex min`` tie-breaking rule.
+
+``leader()`` returns the *least suspected* candidate; ties on the
+suspicion count are broken by process identity:
+
+    ``(a, i) < (b, j)  iff  a < b  or  (a = b and i < j)``
+
+which is exactly lexicographic order on ``(count, id)`` pairs.  Kept in
+its own module because three algorithms and the observer all share it,
+and because it is a natural target for property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Tuple
+
+
+def lexmin_pair(pairs: Iterable[Tuple[int, int]]) -> Tuple[int, int]:
+    """Return the lexicographically smallest ``(count, id)`` pair.
+
+    Raises ``ValueError`` on an empty iterable (the algorithms guarantee
+    ``i in candidates_i``, so their calls are never empty).
+    """
+    best: Tuple[int, int] | None = None
+    for pair in pairs:
+        if best is None or pair < best:
+            best = pair
+    if best is None:
+        raise ValueError("lexmin of an empty collection")
+    return best
+
+
+def least_suspected(suspicions: Mapping[int, int]) -> int:
+    """The id minimising ``(suspicions[id], id)`` -- the elected leader.
+
+    >>> least_suspected({2: 5, 0: 7, 1: 5})
+    1
+    """
+    count, pid = lexmin_pair((count, pid) for pid, count in suspicions.items())
+    return pid
+
+
+__all__ = ["least_suspected", "lexmin_pair"]

@@ -1,0 +1,382 @@
+"""Run assembly: algorithm + kernel + memory + timers + crash plan.
+
+A :class:`Run` wires one algorithm class into the substrates and drives
+it to a horizon; the outcome is a :class:`RunResult` bundling the trace,
+the shared-memory access log, and everything the analysis layer needs.
+Every run is a pure function of its configuration and seed.
+
+Execution model
+---------------
+Each process multiplexes its tasks (``T2``, ``T3`` instances, extras)
+round-robin, one *operation* per scheduled step -- the paper's "step"
+granularity.  After each operation the process is re-scheduled after a
+delay drawn from the run's step-delay model; that model is where
+asynchrony and assumption AWB1 live.  Timer expirations enqueue a fresh
+``T3`` task.  Crashes stop a process between steps, permanently.
+
+When a :class:`~repro.memory.disk.Disk` is attached, every register
+operation becomes an interval: the process blocks for the sampled
+latency and the operation takes effect at the sampled linearization
+point inside the interval (the SAN deployment of Section 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.interfaces import (
+    AlgorithmContext,
+    FetchAdd,
+    LocalStep,
+    OmegaAlgorithm,
+    Operation,
+    ReadReg,
+    SetTimer,
+    Task,
+    WriteReg,
+)
+from repro.memory.disk import Disk
+from repro.memory.memory import SharedMemory
+from repro.sim.crash import CrashPlan
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.schedulers import StepDelayModel, UniformDelay
+from repro.sim.tracing import RunTrace
+from repro.timers.awb import AsymptoticallyWellBehavedTimer, TimerBehavior
+from repro.timers.functions import LinearF
+from repro.timers.service import TimerService
+
+
+@dataclass
+class _TaskState:
+    """One task coroutine plus the value to send on its next turn."""
+
+    gen: Task
+    name: str
+    inbox: Any = None
+    started: bool = False
+
+
+class ProcessRuntime:
+    """Drives one process: task multiplexing, stepping, crash, timers."""
+
+    def __init__(self, run: "Run", pid: int, algorithm: OmegaAlgorithm) -> None:
+        self.run = run
+        self.pid = pid
+        self.algorithm = algorithm
+        self.tasks: deque[_TaskState] = deque()
+        self.tasks.append(_TaskState(algorithm.main_task(), "T2"))
+        for idx, gen in enumerate(algorithm.extra_tasks()):
+            self.tasks.append(_TaskState(gen, f"extra{idx}"))
+        self.crashed = False
+        self.blocked = False
+        self.steps_taken = 0
+        self.timer_expirations = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the initial timer and schedule the first step."""
+        timeout = self.algorithm.initial_timeout()
+        if timeout is not None:
+            self.run.timer_service.set_timer(self.pid, timeout, self.on_timer)
+        self._schedule_next_step()
+
+    def crash(self) -> None:
+        """Crash-stop: no further step or timer action, ever."""
+        self.crashed = True
+        self.run.timer_service.cancel(self.pid)
+
+    def on_timer(self) -> None:
+        """Timer expiry: enqueue a fresh ``T3`` task."""
+        if self.crashed:
+            return
+        self.timer_expirations += 1
+        gen = self.algorithm.timer_task()
+        if gen is not None:
+            self.tasks.append(_TaskState(gen, "T3"))
+
+    # ------------------------------------------------------------------
+    def _schedule_next_step(self) -> None:
+        delay = self.run.delay_model.delay(self.pid, self.run.sim.now)
+        if delay <= 0:
+            raise ValueError(f"step-delay model returned non-positive delay {delay}")
+        self.run.sim.schedule_after(delay, self.step, kind="step", pid=self.pid)
+
+    def step(self) -> None:
+        """Execute one operation of the front task."""
+        if self.crashed or self.blocked:
+            return
+        if self.run.crash_plan.is_crashed(self.pid, self.run.sim.now):
+            self.crash()
+            return
+        if not self.tasks:
+            return  # all tasks exhausted; process is passive (not crashed)
+        task = self.tasks[0]
+        try:
+            if task.started:
+                op = task.gen.send(task.inbox)
+            else:
+                task.started = True
+                op = next(task.gen)
+        except StopIteration:
+            self.tasks.popleft()
+            self._schedule_next_step()
+            return
+        task.inbox = None
+        self.steps_taken += 1
+        self._apply(task, op)
+
+    # ------------------------------------------------------------------
+    def _apply(self, task: _TaskState, op: Operation) -> None:
+        run = self.run
+        if isinstance(op, SetTimer):
+            run.timer_service.set_timer(self.pid, op.timeout, self.on_timer)
+            run.trace.record(run.sim.now, "timer_set", pid=self.pid, timeout=op.timeout)
+        elif isinstance(op, LocalStep):
+            pass
+        elif isinstance(op, (ReadReg, WriteReg)) and run.disk is not None:
+            self._apply_via_disk(task, op)
+            return  # the disk path schedules the continuation itself
+        elif isinstance(op, ReadReg):
+            task.inbox = op.register.read(self.pid)
+        elif isinstance(op, WriteReg):
+            op.register.write(self.pid, op.value)
+        elif isinstance(op, FetchAdd):
+            task.inbox = op.register.fetch_add(self.pid, op.amount)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown operation {op!r}")
+        self.tasks.rotate(-1)
+        self._schedule_next_step()
+
+    def _apply_via_disk(self, task: _TaskState, op: Operation) -> None:
+        """Interval semantics: block, linearize mid-interval, resume."""
+        run = self.run
+        disk = run.disk
+        assert disk is not None
+        sample = disk.sample(self.pid)
+        inv = run.sim.now
+        lin_t = inv + sample.lin_offset
+        resp_t = inv + sample.resp_offset
+        cell: Dict[str, Any] = {}
+        register = op.register
+
+        def linearize() -> None:
+            # An in-flight operation takes effect even if the invoker
+            # crashed meanwhile (it already left the process).
+            if isinstance(op, WriteReg):
+                register.write(self.pid, op.value)
+                disk.note_write(self.pid, register.name, inv, lin_t, resp_t)
+            else:
+                cell["value"] = register.read(self.pid)
+                disk.note_read(self.pid, register.name, inv, lin_t, resp_t)
+
+        def resume() -> None:
+            self.blocked = False
+            if self.crashed:
+                return
+            task.inbox = cell.get("value")
+            self.tasks.rotate(-1)
+            self._schedule_next_step()
+
+        self.blocked = True
+        run.sim.schedule_after(sample.lin_offset, linearize, kind="disk-lin", pid=self.pid)
+        run.sim.schedule_after(sample.resp_offset, resume, kind="disk-resp", pid=self.pid)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """Everything a finished run produced."""
+
+    algorithm_name: str
+    n: int
+    horizon: float
+    seed: int
+    trace: RunTrace
+    memory: SharedMemory
+    sim: Simulator
+    crash_plan: CrashPlan
+    algorithms: List[OmegaAlgorithm]
+    timer_service: TimerService
+    disk: Optional[Disk]
+    snapshots: List[Tuple[float, Tuple[Tuple[str, Any], ...]]] = field(default_factory=list)
+
+    # Convenience delegations to the analysis layer --------------------
+    def stabilization(self, margin: float = 0.0) -> "Any":
+        """Eventual-leadership verdict (see :mod:`repro.analysis.omega_props`)."""
+        from repro.analysis.omega_props import check_eventual_leadership
+
+        return check_eventual_leadership(self.trace, self.crash_plan, self.horizon, margin=margin)
+
+    def final_leaders(self) -> Dict[int, int]:
+        """Last sampled ``leader()`` output of each live process."""
+        out: Dict[int, int] = {}
+        for t, pid, leader in self.trace.leader_samples():
+            out[pid] = leader
+        for pid in list(out):
+            if not self.crash_plan.is_correct(pid):
+                del out[pid]
+        return out
+
+
+class Run:
+    """A configured, reproducible execution.
+
+    Parameters
+    ----------
+    algorithm_cls:
+        The :class:`OmegaAlgorithm` subclass to run.
+    n:
+        Number of processes (>= 2).
+    seed:
+        Run seed; every random stream derives from it.
+    horizon:
+        Virtual-time end of the run.
+    delay_model:
+        Step-delay model; defaults to mild uniform asynchrony.
+    timer_behaviors:
+        Per-pid timer behaviours; default is an immediately
+        well-behaved AWB timer with ``f(x) = x`` (no chaotic prefix).
+    crash_plan:
+        Defaults to fault-free.
+    sample_interval:
+        Observer ``leader()`` sampling period.
+    snapshot_interval:
+        If set, record full shared-memory snapshots at this period
+        (Theorem 5 harness).
+    disk:
+        Optional SAN model; when present every register access is an
+        interval operation.
+    scramble:
+        Optional hook ``scramble(memory, rng)`` run after layout
+        creation and before instances are built -- used to set arbitrary
+        initial register values (self-stabilization, footnote 7).
+    algo_config:
+        Passed to the algorithm via ``AlgorithmContext.config``.
+    log_reads:
+        Forwarded to :class:`SharedMemory`.
+    """
+
+    def __init__(
+        self,
+        algorithm_cls: Type[OmegaAlgorithm],
+        n: int,
+        *,
+        seed: int = 0,
+        horizon: float = 2000.0,
+        delay_model: Optional[StepDelayModel] = None,
+        timer_behaviors: Optional[Dict[int, TimerBehavior]] = None,
+        crash_plan: Optional[CrashPlan] = None,
+        sample_interval: float = 5.0,
+        snapshot_interval: Optional[float] = None,
+        disk: Optional[Disk] = None,
+        scramble: Optional[Callable[[SharedMemory, Any], None]] = None,
+        algo_config: Optional[Dict[str, Any]] = None,
+        log_reads: bool = True,
+    ) -> None:
+        if n < 2:
+            raise ValueError("need at least two processes")
+        self.algorithm_cls = algorithm_cls
+        self.n = n
+        self.seed = seed
+        self.horizon = horizon
+        self.sample_interval = sample_interval
+        self.snapshot_interval = snapshot_interval
+        self.disk = disk
+        self.rng = RngRegistry(seed)
+
+        self.sim = Simulator()
+        self.memory = SharedMemory(clock=lambda: self.sim.now, log_reads=log_reads)
+        self.delay_model: StepDelayModel = delay_model or UniformDelay(self.rng, 0.5, 1.5)
+        self.crash_plan = crash_plan or CrashPlan.none(n)
+        self.trace = RunTrace()
+        config = dict(algo_config or {})
+
+        behaviors: Dict[int, TimerBehavior] = dict(timer_behaviors or {})
+        for pid in range(n):
+            if pid not in behaviors:
+                behaviors[pid] = AsymptoticallyWellBehavedTimer(
+                    LinearF(1.0), self.rng, chaos_until=0.0, jitter=0.25
+                )
+        self.timer_service = TimerService(self.sim, behaviors)
+
+        shared = algorithm_cls.create_shared(self.memory, n, config)
+        if scramble is not None:
+            scramble(self.memory, self.rng.stream("scramble"))
+        self.algorithms: List[OmegaAlgorithm] = []
+        for pid in range(n):
+            ctx = AlgorithmContext(
+                pid=pid,
+                n=n,
+                clock=lambda: self.sim.now,
+                rng=self.rng.stream(f"algo:{pid}"),
+                config=config,
+            )
+            self.algorithms.append(algorithm_cls(ctx, shared))
+        self.runtimes = [ProcessRuntime(self, pid, alg) for pid, alg in enumerate(self.algorithms)]
+        self.snapshots: List[Tuple[float, Tuple[Tuple[str, Any], ...]]] = []
+
+    # ------------------------------------------------------------------
+    def _install_crashes(self) -> None:
+        for pid in range(self.n):
+            t = self.crash_plan.crash_time(pid)
+            if t <= self.horizon:
+                runtime = self.runtimes[pid]
+
+                def crash(rt: ProcessRuntime = runtime, when: float = t) -> None:
+                    rt.crash()
+                    self.trace.record(when, "crash", pid=rt.pid)
+
+                self.sim.schedule_at(t, crash, kind="crash", pid=pid)
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        for pid, runtime in enumerate(self.runtimes):
+            if not runtime.crashed:
+                self.trace.record(now, "leader_sample", pid=pid, leader=self.algorithms[pid].peek_leader())
+        nxt = now + self.sample_interval
+        if nxt <= self.horizon:
+            self.sim.schedule_at(nxt, self._sample, kind="sample")
+
+    def _snapshot(self) -> None:
+        assert self.snapshot_interval is not None
+        self.snapshots.append((self.sim.now, self.memory.snapshot()))
+        nxt = self.sim.now + self.snapshot_interval
+        if nxt <= self.horizon:
+            self.sim.schedule_at(nxt, self._snapshot, kind="snapshot")
+
+    # ------------------------------------------------------------------
+    def execute(self, max_events: Optional[int] = None) -> RunResult:
+        """Run to the horizon and return the result bundle."""
+        self._install_crashes()
+        for runtime in self.runtimes:
+            runtime.start()
+        self.sim.schedule_at(0.0, self._sample, kind="sample")
+        if self.snapshot_interval is not None:
+            self.sim.schedule_at(0.0, self._snapshot, kind="snapshot")
+        self.sim.run(until=self.horizon, max_events=max_events)
+        # Final observer sample at the horizon.
+        for pid, runtime in enumerate(self.runtimes):
+            if not runtime.crashed:
+                self.trace.record(
+                    self.horizon, "leader_sample", pid=pid, leader=self.algorithms[pid].peek_leader()
+                )
+        return RunResult(
+            algorithm_name=self.algorithm_cls.display_name,
+            n=self.n,
+            horizon=self.horizon,
+            seed=self.seed,
+            trace=self.trace,
+            memory=self.memory,
+            sim=self.sim,
+            crash_plan=self.crash_plan,
+            algorithms=self.algorithms,
+            timer_service=self.timer_service,
+            disk=self.disk,
+            snapshots=self.snapshots,
+        )
+
+
+__all__ = ["ProcessRuntime", "Run", "RunResult"]

@@ -1,0 +1,36 @@
+"""Shared-memory substrate: atomic registers, arrays, statistics, disks.
+
+The paper's processes communicate *only* by reading and writing atomic
+one-writer/multi-reader (1WnR) registers.  This package provides:
+
+* :class:`~repro.memory.register.AtomicRegister` -- an owner-checked
+  1WnR register whose operations linearize at simulator-time points;
+* :class:`~repro.memory.arrays.RegisterArray` /
+  :class:`~repro.memory.arrays.RegisterMatrix` -- the shapes the
+  algorithms use (``PROGRESS[n]``, ``STOP[n]``, ``SUSPICIONS[n][n]``,
+  ``LAST[n][n]``), with per-entry ownership;
+* :class:`~repro.memory.memory.SharedMemory` -- the namespace plus the
+  access statistics that the theorems are *checked* against (who wrote
+  when, which registers are still growing, global state snapshots);
+* :class:`~repro.memory.mwmr.MultiWriterRegister` -- for the paper's
+  Section 3.5 nWnR variant;
+* :mod:`~repro.memory.disk` -- a network-attached-disk model (the SAN
+  deployment the paper motivates) with non-instantaneous operations;
+* :mod:`~repro.memory.linearizability` -- a checker for single-writer
+  interval histories produced by the disk model.
+"""
+
+from repro.memory.arrays import RegisterArray, RegisterMatrix
+from repro.memory.memory import AccessKind, SharedMemory
+from repro.memory.mwmr import MultiWriterRegister
+from repro.memory.register import AtomicRegister, OwnershipError
+
+__all__ = [
+    "AccessKind",
+    "AtomicRegister",
+    "MultiWriterRegister",
+    "OwnershipError",
+    "RegisterArray",
+    "RegisterMatrix",
+    "SharedMemory",
+]

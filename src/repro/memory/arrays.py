@@ -1,0 +1,155 @@
+"""Register arrays and matrices with per-entry ownership.
+
+The algorithms' shared state is naturally array-shaped:
+
+* ``PROGRESS[n]``      -- entry ``i`` owned by ``p_i``           (Algorithm 1)
+* ``STOP[n]``          -- entry ``i`` owned by ``p_i``           (both)
+* ``SUSPICIONS[n][n]`` -- row ``j`` owned by ``p_j``             (both)
+* ``PROGRESS[n][n]``   -- row ``i`` owned by ``p_i``             (Algorithm 2)
+* ``LAST[n][n]``       -- entry ``(i, k)`` owned by ``p_k``      (Algorithm 2)
+
+Note the last one: ``LAST`` is *column*-owned -- the hand-shake partner,
+not the row process, writes it.  Ownership is therefore a function of
+the index, supplied at construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.memory.register import AtomicRegister
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.memory import SharedMemory
+
+
+class RegisterArray:
+    """A fixed-length array of 1WnR registers, one per index.
+
+    Parameters
+    ----------
+    owner_of:
+        Maps index to owning pid.  Defaults to identity (entry ``i``
+        owned by ``p_i``), which covers ``PROGRESS`` and ``STOP``.
+    """
+
+    def __init__(
+        self,
+        memory: Optional["SharedMemory"],
+        name: str,
+        n: int,
+        initial: Any = 0,
+        critical: bool = False,
+        owner_of: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("array length must be positive")
+        self.name = name
+        self.n = n
+        owner_fn = owner_of or (lambda i: i)
+        self._regs: List[AtomicRegister] = []
+        for i in range(n):
+            reg_name = f"{name}[{i}]"
+            if memory is not None:
+                reg = memory.create_register(
+                    reg_name, owner=owner_fn(i), initial=initial, critical=critical
+                )
+            else:
+                reg = AtomicRegister(reg_name, owner=owner_fn(i), initial=initial, critical=critical)
+            self._regs.append(reg)
+
+    def register(self, i: int) -> AtomicRegister:
+        """The underlying register at index ``i``."""
+        return self._regs[i]
+
+    def read(self, i: int, reader: int) -> Any:
+        """Atomic counted read of entry ``i``."""
+        return self._regs[i].read(reader)
+
+    def write(self, i: int, writer: int, value: Any) -> None:
+        """Atomic counted write of entry ``i`` (owner-checked)."""
+        self._regs[i].write(writer, value)
+
+    def peek(self, i: int) -> Any:
+        """Observer read of entry ``i`` (uncounted)."""
+        return self._regs[i].peek()
+
+    def peek_all(self) -> List[Any]:
+        """Observer snapshot of the whole array."""
+        return [r.peek() for r in self._regs]
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class RegisterMatrix:
+    """An ``n x n`` matrix of 1WnR registers with per-entry ownership.
+
+    Parameters
+    ----------
+    owner_of:
+        Maps ``(row, col)`` to the owning pid.  Defaults to row
+        ownership (``SUSPICIONS``); Algorithm 2's ``LAST`` passes
+        ``lambda row, col: col``.
+    """
+
+    def __init__(
+        self,
+        memory: Optional["SharedMemory"],
+        name: str,
+        n: int,
+        initial: Any = 0,
+        critical: bool = False,
+        owner_of: Optional[Callable[[int, int], int]] = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("matrix size must be positive")
+        self.name = name
+        self.n = n
+        owner_fn = owner_of or (lambda row, col: row)
+        self._regs: List[List[AtomicRegister]] = []
+        for i in range(n):
+            row: List[AtomicRegister] = []
+            for j in range(n):
+                reg_name = f"{name}[{i}][{j}]"
+                if memory is not None:
+                    reg = memory.create_register(
+                        reg_name, owner=owner_fn(i, j), initial=initial, critical=critical
+                    )
+                else:
+                    reg = AtomicRegister(
+                        reg_name, owner=owner_fn(i, j), initial=initial, critical=critical
+                    )
+                row.append(reg)
+            self._regs.append(row)
+
+    def register(self, i: int, j: int) -> AtomicRegister:
+        """The underlying register at ``(i, j)``."""
+        return self._regs[i][j]
+
+    def read(self, i: int, j: int, reader: int) -> Any:
+        """Atomic counted read of entry ``(i, j)``."""
+        return self._regs[i][j].read(reader)
+
+    def write(self, i: int, j: int, writer: int, value: Any) -> None:
+        """Atomic counted write of entry ``(i, j)`` (owner-checked)."""
+        self._regs[i][j].write(writer, value)
+
+    def peek(self, i: int, j: int) -> Any:
+        """Observer read of entry ``(i, j)`` (uncounted)."""
+        return self._regs[i][j].peek()
+
+    def peek_column(self, j: int) -> List[Any]:
+        """Observer snapshot of column ``j`` (e.g. all suspicions of ``p_j``)."""
+        return [self._regs[i][j].peek() for i in range(self.n)]
+
+    def peek_row(self, i: int) -> List[Any]:
+        """Observer snapshot of row ``i``."""
+        return [self._regs[i][j].peek() for j in range(self.n)]
+
+    def column_sum(self, j: int) -> Any:
+        """Observer sum of column ``j`` -- the paper's ``sum_j SUSPICIONS[j][k]``."""
+        return sum(self.peek_column(j))
+
+
+__all__ = ["RegisterArray", "RegisterMatrix"]

@@ -1,0 +1,141 @@
+"""Network-attached-disk model: shared memory with operation latency.
+
+The paper motivates shared-memory Omega with storage-area networks:
+"some distributed systems are made up of computers that communicate
+through a network of attached disks ... that implements a shared memory
+abstraction" (Section 1).  On such hardware a register operation is not
+instantaneous: it has an *invocation*, takes effect at some hidden
+*linearization point*, and later *responds*.
+
+:class:`Disk` supplies the latency behaviour and keeps the interval
+history; the runner (see :mod:`repro.core.runner`) blocks a process for
+the full latency and applies the register operation at the sampled
+linearization point.  The recorded history is validated by
+:mod:`repro.memory.linearizability`, so the SAN experiments double as a
+test that the substrate really provides atomic registers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class DiskOpRecord:
+    """One completed disk operation with its interval and hidden witness.
+
+    ``version`` is the write sequence number of the value involved: for
+    a write, the version it created; for a read, the version it
+    returned.  Versions exist only inside the disk model (algorithm
+    values like booleans repeat, so raw values cannot identify writes).
+    ``lin`` is the hidden linearization witness -- the checker must *not*
+    use it (it reconstructs validity from intervals alone); tests use it
+    to cross-check the checker.
+    """
+
+    op_id: int
+    kind: str  # "read" | "write"
+    pid: int
+    register: str
+    version: int
+    inv: float
+    lin: float
+    resp: float
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySample:
+    """Sampled timing of one disk access, as offsets from invocation."""
+
+    lin_offset: float
+    resp_offset: float
+
+
+class LatencyModel:
+    """Uniform access latency in ``[lo, hi]`` with a uniform
+    linearization point inside the interval."""
+
+    def __init__(self, rng: RngRegistry, lo: float = 1.0, hi: float = 5.0) -> None:
+        if not (0 < lo <= hi):
+            raise ValueError("need 0 < lo <= hi")
+        self.lo = lo
+        self.hi = hi
+        self._rng = rng
+
+    def sample(self, pid: int) -> LatencySample:
+        stream = self._rng.stream(f"disk:{pid}")
+        total = stream.uniform(self.lo, self.hi)
+        lin = stream.uniform(0.0, total)
+        return LatencySample(lin_offset=lin, resp_offset=total)
+
+
+class Disk:
+    """A network-attached disk fronting a set of registers.
+
+    The disk does not store values itself -- registers stay in
+    :class:`~repro.memory.memory.SharedMemory` so all the accounting
+    keeps working; the disk adds latency, version bookkeeping and the
+    interval history.
+    """
+
+    def __init__(self, latency: LatencyModel, name: str = "disk0") -> None:
+        self.name = name
+        self.latency = latency
+        self.history: List[DiskOpRecord] = []
+        self._op_ids = itertools.count()
+        self._versions: dict[str, int] = {}
+        self._read_versions: dict[str, int] = {}
+
+    def sample(self, pid: int) -> LatencySample:
+        """Sample latency offsets for one access by ``pid``."""
+        return self.latency.sample(pid)
+
+    # ------------------------------------------------------------------
+    # History bookkeeping (called by the runner at linearization time)
+    # ------------------------------------------------------------------
+    def note_write(self, pid: int, register: str, inv: float, lin: float, resp: float) -> int:
+        """Record a write; returns the version it created."""
+        version = self._versions.get(register, -1) + 1
+        self._versions[register] = version
+        self._read_versions[register] = version
+        self.history.append(
+            DiskOpRecord(
+                op_id=next(self._op_ids),
+                kind="write",
+                pid=pid,
+                register=register,
+                version=version,
+                inv=inv,
+                lin=lin,
+                resp=resp,
+            )
+        )
+        return version
+
+    def note_read(self, pid: int, register: str, inv: float, lin: float, resp: float) -> int:
+        """Record a read; returns the version it observed."""
+        version = self._read_versions.get(register, -1)
+        self.history.append(
+            DiskOpRecord(
+                op_id=next(self._op_ids),
+                kind="read",
+                pid=pid,
+                register=register,
+                version=version,
+                inv=inv,
+                lin=lin,
+                resp=resp,
+            )
+        )
+        return version
+
+    def ops_for(self, register: str) -> List[DiskOpRecord]:
+        """All recorded operations on one register, in op-id order."""
+        return [rec for rec in self.history if rec.register == register]
+
+
+__all__ = ["Disk", "DiskOpRecord", "LatencyModel", "LatencySample"]

@@ -1,0 +1,140 @@
+"""Linearizability checking for single-writer register histories.
+
+The disk model produces *interval* histories: each operation has an
+invocation and a response, and reads report the write *version* they
+returned.  For a single-writer register whose writes are issued in
+program order, Lamport's classical characterization says such a history
+is atomic iff three conditions hold:
+
+1. **No read from the future** -- a read may not return a version whose
+   write was invoked after the read responded.
+2. **No stale read** -- a read may not return a version that was
+   already overwritten before the read was invoked (i.e. the *next*
+   write responded before the read began).
+3. **No new/old inversion** -- if one read responds before another is
+   invoked, the later read must not return an older version.
+
+These are checked purely from ``(inv, resp, version)``; the recorded
+linearization witness is deliberately ignored (tests use it to validate
+the checker itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.memory.disk import DiskOpRecord
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """A single linearizability violation."""
+
+    register: str
+    rule: str
+    detail: str
+
+
+@dataclass(slots=True)
+class LinearizabilityReport:
+    """Outcome of a history check."""
+
+    ok: bool
+    violations: List[Violation] = field(default_factory=list)
+    registers_checked: int = 0
+    ops_checked: int = 0
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"linearizable: {self.ops_checked} ops over "
+                f"{self.registers_checked} registers"
+            )
+        lines = [f"NOT linearizable ({len(self.violations)} violations):"]
+        lines += [f"  [{v.register}] {v.rule}: {v.detail}" for v in self.violations[:10]]
+        return "\n".join(lines)
+
+
+def check_single_writer_history(history: Sequence[DiskOpRecord]) -> LinearizabilityReport:
+    """Check an interval history of single-writer registers.
+
+    Version ``-1`` denotes the initial value (conceptually written
+    before the run started).
+    """
+    by_register: Dict[str, List[DiskOpRecord]] = {}
+    for rec in history:
+        by_register.setdefault(rec.register, []).append(rec)
+
+    report = LinearizabilityReport(ok=True)
+    for register, ops in sorted(by_register.items()):
+        report.registers_checked += 1
+        report.ops_checked += len(ops)
+        writes = sorted((o for o in ops if o.kind == "write"), key=lambda o: o.version)
+        reads = [o for o in ops if o.kind == "read"]
+        write_by_version = {w.version: w for w in writes}
+
+        # Single-writer sanity: versions are consecutive and program-ordered.
+        for i, w in enumerate(writes):
+            if w.version != i:
+                report.violations.append(
+                    Violation(register, "version-gap", f"write versions not consecutive at {w}")
+                )
+            if i > 0 and writes[i - 1].inv > w.inv:
+                report.violations.append(
+                    Violation(
+                        register,
+                        "program-order",
+                        f"writes {i - 1} and {i} out of invocation order",
+                    )
+                )
+
+        for r in reads:
+            if r.version >= 0:
+                w = write_by_version.get(r.version)
+                if w is None:
+                    report.violations.append(
+                        Violation(register, "phantom-read", f"read returned unknown version {r.version}")
+                    )
+                    continue
+                # Rule 1: no read from the future.
+                if w.inv > r.resp:
+                    report.violations.append(
+                        Violation(
+                            register,
+                            "read-from-future",
+                            f"read [{r.inv}, {r.resp}] returned version {r.version} "
+                            f"invoked at {w.inv}",
+                        )
+                    )
+            # Rule 2: no stale read.
+            nxt = write_by_version.get(r.version + 1)
+            if nxt is not None and nxt.resp < r.inv:
+                report.violations.append(
+                    Violation(
+                        register,
+                        "stale-read",
+                        f"read [{r.inv}, {r.resp}] returned version {r.version} but "
+                        f"version {r.version + 1} responded at {nxt.resp}",
+                    )
+                )
+
+        # Rule 3: no new/old inversion between non-overlapping reads.
+        reads_by_resp = sorted(reads, key=lambda o: o.resp)
+        for i, r1 in enumerate(reads_by_resp):
+            for r2 in reads_by_resp[i + 1 :]:
+                if r1.resp < r2.inv and r1.version > r2.version:
+                    report.violations.append(
+                        Violation(
+                            register,
+                            "new-old-inversion",
+                            f"read ending {r1.resp} saw version {r1.version}; later read "
+                            f"starting {r2.inv} saw older version {r2.version}",
+                        )
+                    )
+
+    report.ok = not report.violations
+    return report
+
+
+__all__ = ["LinearizabilityReport", "Violation", "check_single_writer_history"]

@@ -1,0 +1,183 @@
+"""Point-to-point channels with pluggable timing and loss.
+
+A channel behaviour answers one question per message: *when* does it
+arrive (or ``None`` for a drop).  The three shipped behaviours span the
+assumptions the related work uses:
+
+* :class:`TimelyLinks` -- always-bounded delays (synchronous control);
+* :class:`FairLossyLinks` -- arbitrary finite delays and probabilistic
+  drops, but infinitely many messages get through (the fair-lossy
+  channels of [2]);
+* :class:`EventuallyTimelyLinks` -- the *eventual t-source* assumption
+  of Aguilera et al. [2]: after an unknown ``gst``, messages **from a
+  designated source set** are delivered within a bound; everything else
+  stays fair-lossy.
+
+This mirrors how :mod:`repro.sim.schedulers` realizes AWB1: the
+assumption lives in the environment model, not in the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Protocol
+
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One message in flight."""
+
+    sender: int
+    receiver: int
+    kind: str
+    payload: Any
+    sent_at: float
+
+
+class ChannelBehavior(Protocol):
+    """Decides the fate of each message."""
+
+    def delivery_delay(self, message: Message) -> Optional[float]:
+        """Delay until delivery, or ``None`` when the message is lost."""
+        ...
+
+
+class TimelyLinks:
+    """Uniformly bounded delays on every link, no loss."""
+
+    def __init__(self, rng: RngRegistry, lo: float = 0.5, hi: float = 2.0) -> None:
+        if not 0 < lo <= hi:
+            raise ValueError("need 0 < lo <= hi")
+        self.lo, self.hi = lo, hi
+        self._rng = rng
+
+    def delivery_delay(self, message: Message) -> Optional[float]:
+        stream = self._rng.stream(f"link:{message.sender}->{message.receiver}")
+        return stream.uniform(self.lo, self.hi)
+
+
+class FairLossyLinks:
+    """Arbitrary finite delays, probabilistic loss.
+
+    Fair-lossy in the [2] sense: each message is independently dropped
+    with ``loss`` < 1, so infinitely many of an infinite send sequence
+    get through.  ``cap`` keeps delays finite for the simulation
+    horizon without bounding them meaningfully.
+    """
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        loss: float = 0.2,
+        lo: float = 0.5,
+        hi: float = 30.0,
+        cap: float = 80.0,
+    ) -> None:
+        if not 0 <= loss < 1:
+            raise ValueError("loss must be in [0, 1)")
+        if not 0 < lo <= hi <= cap:
+            raise ValueError("need 0 < lo <= hi <= cap")
+        self.loss, self.lo, self.hi, self.cap = loss, lo, hi, cap
+        self._rng = rng
+
+    def delivery_delay(self, message: Message) -> Optional[float]:
+        stream = self._rng.stream(f"link:{message.sender}->{message.receiver}")
+        if stream.random() < self.loss:
+            return None
+        # Occasionally spike toward the cap: "arbitrary but finite".
+        if stream.random() < 0.1:
+            return stream.uniform(self.hi, self.cap)
+        return stream.uniform(self.lo, self.hi)
+
+
+class EventuallyTimelyLinks:
+    """The eventual t-source assumption of [2].
+
+    Messages from a pid in ``sources`` sent at or after ``gst`` are
+    delivered within ``[timely_lo, timely_hi]`` and never lost; all
+    other traffic follows ``base`` (typically fair-lossy).
+    """
+
+    def __init__(
+        self,
+        base: ChannelBehavior,
+        sources: Iterable[int],
+        gst: float,
+        rng: RngRegistry,
+        timely_lo: float = 0.5,
+        timely_hi: float = 2.0,
+    ) -> None:
+        if not 0 < timely_lo <= timely_hi:
+            raise ValueError("need 0 < timely_lo <= timely_hi")
+        self.base = base
+        self.sources = frozenset(sources)
+        self.gst = gst
+        self.timely_lo, self.timely_hi = timely_lo, timely_hi
+        self._rng = rng
+
+    def delivery_delay(self, message: Message) -> Optional[float]:
+        if message.sender in self.sources and message.sent_at >= self.gst:
+            stream = self._rng.stream(f"timely:{message.sender}->{message.receiver}")
+            return stream.uniform(self.timely_lo, self.timely_hi)
+        return self.base.delivery_delay(message)
+
+
+class Network:
+    """The message fabric: send, count, deliver through the kernel.
+
+    Delivery callbacks are installed by :class:`~repro.netsim.runtime.MpRun`;
+    the network itself only decides timing/loss and keeps the traffic
+    accounting (sent/delivered/dropped per pid).
+    """
+
+    def __init__(self, sim: Any, behavior: ChannelBehavior) -> None:
+        self._sim = sim
+        self.behavior = behavior
+        self.sent_by_pid: dict[int, int] = {}
+        self.delivered: int = 0
+        self.dropped: int = 0
+        self._deliver_cb = None  # type: ignore[assignment]
+
+    def install_delivery(self, callback) -> None:
+        """Set the ``callback(message)`` invoked at each delivery."""
+        self._deliver_cb = callback
+
+    def send(self, sender: int, receiver: int, kind: str, payload: Any) -> None:
+        """Send one message; the channel decides its fate."""
+        message = Message(sender, receiver, kind, payload, self._sim.now)
+        self.sent_by_pid[sender] = self.sent_by_pid.get(sender, 0) + 1
+        delay = self.behavior.delivery_delay(message)
+        if delay is None:
+            self.dropped += 1
+            return
+        if delay <= 0:
+            raise ValueError("channel behaviour produced non-positive delay")
+
+        def deliver() -> None:
+            self.delivered += 1
+            assert self._deliver_cb is not None
+            self._deliver_cb(message)
+
+        self._sim.schedule_after(delay, deliver, kind="message", pid=receiver)
+
+    def broadcast(self, sender: int, n: int, kind: str, payload: Any) -> None:
+        """Send to every process except the sender."""
+        for receiver in range(n):
+            if receiver != sender:
+                self.send(sender, receiver, kind, payload)
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.sent_by_pid.values())
+
+
+__all__ = [
+    "ChannelBehavior",
+    "EventuallyTimelyLinks",
+    "FairLossyLinks",
+    "Message",
+    "Network",
+    "TimelyLinks",
+]

@@ -1,0 +1,193 @@
+"""Event-driven runtime for message-passing processes.
+
+Message-passing Omega algorithms are reactive (handle a message, handle
+a timeout), so the runtime dispatches handler callbacks rather than
+stepping operation coroutines.  Local handler execution is modelled as
+instantaneous: in the related-work algorithms all the asynchrony that
+matters lives in the *channels* (that is precisely the [2] model, where
+process speeds are benign and links carry the timing assumption).
+
+Crash-stop semantics, observer sampling and determinism mirror the
+shared-memory runner, so the same analysis code consumes both.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Type
+
+from repro.netsim.network import ChannelBehavior, Message, Network, TimelyLinks
+from repro.sim.crash import CrashPlan
+from repro.sim.events import EventHandle
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import RunTrace
+
+
+class MpProcess(abc.ABC):
+    """Base class for message-passing processes.
+
+    Subclasses implement the three handlers and :meth:`peek_leader`.
+    The runtime injects :attr:`send`, :attr:`broadcast` and
+    :attr:`set_timer` before :meth:`on_start` runs.
+    """
+
+    display_name: str = "mp-process"
+
+    def __init__(self, pid: int, n: int, config: Dict[str, Any]) -> None:
+        self.pid = pid
+        self.n = n
+        self.config = config
+        self._run: Optional["MpRun"] = None
+
+    # -- wiring (installed by the runtime) -------------------------------
+    def send(self, receiver: int, kind: str, payload: Any = None) -> None:
+        """Send one message."""
+        assert self._run is not None
+        self._run.network.send(self.pid, receiver, kind, payload)
+
+    def broadcast(self, kind: str, payload: Any = None) -> None:
+        """Send to all other processes."""
+        assert self._run is not None
+        self._run.network.broadcast(self.pid, self.n, kind, payload)
+
+    def set_timer(self, tag: str, delay: float) -> None:
+        """(Re-)arm the named local timer."""
+        assert self._run is not None
+        self._run.set_timer(self.pid, tag, delay)
+
+    # -- handlers ---------------------------------------------------------
+    def on_start(self) -> None:
+        """Called once at time 0."""
+
+    @abc.abstractmethod
+    def on_message(self, message: Message) -> None:
+        """Called at each delivery addressed to this process."""
+
+    def on_timer(self, tag: str) -> None:
+        """Called when the named timer expires."""
+
+    @abc.abstractmethod
+    def peek_leader(self) -> int:
+        """Observer ``leader()`` output."""
+
+
+@dataclass
+class MpRunResult:
+    """Outcome bundle of a message-passing run."""
+
+    algorithm_name: str
+    n: int
+    horizon: float
+    seed: int
+    trace: RunTrace
+    network: Network
+    sim: Simulator
+    crash_plan: CrashPlan
+    processes: List[MpProcess]
+
+    def stabilization(self, margin: float = 0.0) -> Any:
+        from repro.analysis.omega_props import check_eventual_leadership
+
+        return check_eventual_leadership(self.trace, self.crash_plan, self.horizon, margin=margin)
+
+
+class MpRun:
+    """Assemble and execute a message-passing run."""
+
+    def __init__(
+        self,
+        process_cls: Type[MpProcess],
+        n: int,
+        *,
+        seed: int = 0,
+        horizon: float = 2000.0,
+        behavior: Optional[ChannelBehavior] = None,
+        crash_plan: Optional[CrashPlan] = None,
+        sample_interval: float = 5.0,
+        config: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if n < 2:
+            raise ValueError("need at least two processes")
+        self.n = n
+        self.seed = seed
+        self.horizon = horizon
+        self.rng = RngRegistry(seed)
+        self.sim = Simulator()
+        self.network = Network(self.sim, behavior or TimelyLinks(self.rng))
+        self.crash_plan = crash_plan or CrashPlan.none(n)
+        self.sample_interval = sample_interval
+        self.trace = RunTrace()
+        cfg = dict(config or {})
+        self.processes = [process_cls(pid, n, cfg) for pid in range(n)]
+        for proc in self.processes:
+            proc._run = self
+        self._crashed = [False] * n
+        self._timers: Dict[tuple[int, str], EventHandle] = {}
+        self.network.install_delivery(self._deliver)
+
+    # ------------------------------------------------------------------
+    def set_timer(self, pid: int, tag: str, delay: float) -> None:
+        if delay <= 0:
+            raise ValueError("timer delay must be positive")
+        key = (pid, tag)
+        previous = self._timers.get(key)
+        if previous is not None:
+            previous.cancel()
+
+        def fire() -> None:
+            if not self._crashed[pid]:
+                self.processes[pid].on_timer(tag)
+
+        self._timers[key] = self.sim.schedule_after(delay, fire, kind="mp-timer", pid=pid)
+
+    def _deliver(self, message: Message) -> None:
+        if not self._crashed[message.receiver]:
+            self.processes[message.receiver].on_message(message)
+
+    def _install_crashes(self) -> None:
+        for pid in range(self.n):
+            t = self.crash_plan.crash_time(pid)
+            if t <= self.horizon:
+
+                def crash(p: int = pid, when: float = t) -> None:
+                    self._crashed[p] = True
+                    self.trace.record(when, "crash", pid=p)
+
+                self.sim.schedule_at(t, crash, kind="crash", pid=pid)
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        for pid, proc in enumerate(self.processes):
+            if not self._crashed[pid]:
+                self.trace.record(now, "leader_sample", pid=pid, leader=proc.peek_leader())
+        nxt = now + self.sample_interval
+        if nxt <= self.horizon:
+            self.sim.schedule_at(nxt, self._sample, kind="sample")
+
+    # ------------------------------------------------------------------
+    def execute(self) -> MpRunResult:
+        self._install_crashes()
+        for pid, proc in enumerate(self.processes):
+            if not self.crash_plan.is_crashed(pid, 0.0):
+                proc.on_start()
+        self.sim.schedule_at(0.0, self._sample, kind="sample")
+        self.sim.run(until=self.horizon)
+        for pid, proc in enumerate(self.processes):
+            if not self._crashed[pid]:
+                self.trace.record(self.horizon, "leader_sample", pid=pid, leader=proc.peek_leader())
+        return MpRunResult(
+            algorithm_name=type(self.processes[0]).display_name,
+            n=self.n,
+            horizon=self.horizon,
+            seed=self.seed,
+            trace=self.trace,
+            network=self.network,
+            sim=self.sim,
+            crash_plan=self.crash_plan,
+            processes=self.processes,
+        )
+
+
+__all__ = ["MpProcess", "MpRun", "MpRunResult"]

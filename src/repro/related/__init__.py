@@ -1,0 +1,21 @@
+"""Related-work Omega algorithms (message passing).
+
+The paper's Section 1 contrasts its shared-memory construction with the
+two message-passing families:
+
+* the **timer-based approach** -- eventually timely links, adaptive
+  timeouts (Aguilera et al. [2, 3]; Larrea et al. [17]):
+  :class:`~repro.related.omega_tsource.TSourceOmega`;
+* the **message-pattern approach** -- no timing assumption at all, only
+  an ordering property on query winners (Mostefaoui et al. [21, 23]):
+  :class:`~repro.related.omega_pattern.PatternOmega`.
+
+Both run on :mod:`repro.netsim` and expose the same observer interface
+as the shared-memory algorithms, so the Omega property checks and the
+comparison bench treat all of them uniformly.
+"""
+
+from repro.related.omega_pattern import PatternOmega, pattern_friendly_links
+from repro.related.omega_tsource import TSourceOmega
+
+__all__ = ["PatternOmega", "TSourceOmega", "pattern_friendly_links"]

@@ -1,0 +1,101 @@
+"""Timer-based message-passing Omega under an eventual t-source.
+
+A compact representative of the Aguilera et al. [2, 3] family:
+
+* every process broadcasts ``ALIVE`` heartbeats every ``period``,
+  carrying its accusation vector;
+* every process watches each peer with an adaptive timeout: a silent
+  peer gets *accused* (its local accusation counter increments), and a
+  false accusation -- discovered when the peer's heartbeat shows up
+  after all -- doubles that peer's timeout;
+* accusation vectors merge by pointwise maximum as heartbeats arrive
+  (gossip), so after the t-source's links become timely its (bounded)
+  counter value propagates to everyone;
+* ``leader() = lexmin(accusations[j], j)``.
+
+Under the eventual t-source assumption
+(:class:`~repro.netsim.network.EventuallyTimelyLinks`), the source's
+accusations stop once its watchers' timeouts exceed the delivery bound
+(the doubling guarantees this), crashed or chronically slow processes
+keep accumulating accusations, and the election stabilizes -- the same
+Lemma-2 shape as the paper's shared-memory algorithms, with the timing
+assumption moved from a process's write cadence to its outgoing links.
+
+Simplification vs [2]: we elect the least-accused process rather than
+implementing their exact constant-time local outputs; the assumptions
+exercised (fair-lossy channels + one eventually timely source, adaptive
+timeouts, gossiped counters) are theirs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.lexmin import lexmin_pair
+from repro.netsim.network import Message
+from repro.netsim.runtime import MpProcess
+
+
+class TSourceOmega(MpProcess):
+    """Heartbeat / accusation-counter Omega (timer-based family).
+
+    Config keys:
+
+    ``period`` (default 2.0)
+        Heartbeat broadcast period.
+    ``initial_timeout`` (default 8.0)
+        Initial per-peer silence timeout.
+    """
+
+    display_name = "mp-tsource"
+
+    def __init__(self, pid: int, n: int, config: Dict[str, Any]) -> None:
+        super().__init__(pid, n, config)
+        self.period: float = float(config.get("period", 2.0))
+        initial_timeout: float = float(config.get("initial_timeout", 8.0))
+        #: Merged accusation counters (pointwise max over all gossip).
+        self.accusations: List[int] = [0] * n
+        self.timeout: List[float] = [initial_timeout] * n
+        self.heard_since_check: List[bool] = [False] * n
+        self.currently_accused: List[bool] = [False] * n
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self.set_timer("heartbeat", self.period)
+        for j in range(self.n):
+            if j != self.pid:
+                self.set_timer(f"watch:{j}", self.timeout[j])
+
+    def on_timer(self, tag: str) -> None:
+        if tag == "heartbeat":
+            self.broadcast("ALIVE", list(self.accusations))
+            self.set_timer("heartbeat", self.period)
+            return
+        assert tag.startswith("watch:")
+        j = int(tag.split(":", 1)[1])
+        if not self.heard_since_check[j]:
+            # Silent peer: accuse (locally; gossip spreads it).
+            self.accusations[j] += 1
+            self.currently_accused[j] = True
+        self.heard_since_check[j] = False
+        self.set_timer(tag, self.timeout[j])
+
+    def on_message(self, message: Message) -> None:
+        if message.kind != "ALIVE":
+            return
+        j = message.sender
+        self.heard_since_check[j] = True
+        if self.currently_accused[j]:
+            # False accusation discovered: back off for this peer.
+            self.timeout[j] *= 2.0
+            self.currently_accused[j] = False
+        for k, count in enumerate(message.payload):
+            if count > self.accusations[k]:
+                self.accusations[k] = count
+
+    # ------------------------------------------------------------------
+    def peek_leader(self) -> int:
+        return lexmin_pair((self.accusations[j], j) for j in range(self.n))[1]
+
+
+__all__ = ["TSourceOmega"]

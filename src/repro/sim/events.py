@@ -1,0 +1,123 @@
+"""Event records and the time-ordered event queue.
+
+The queue is the heart of the simulator: a binary heap of
+:class:`Event` records ordered by ``(time, seq)``.  The monotonically
+increasing sequence number makes ordering *stable*: two events scheduled
+for the same instant fire in the order they were scheduled, which keeps
+runs deterministic and makes the linearization order of same-time
+register operations well defined.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled simulator event.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    seq:
+        Scheduling sequence number; ties on ``time`` are broken by ``seq``
+        so that the queue is a stable priority queue.
+    kind:
+        A short label used for tracing and debugging (``"step"``,
+        ``"timer"``, ``"sample"``, ...).
+    callback:
+        Zero-argument callable invoked when the event fires.  ``None``
+        for cancelled events.
+    pid:
+        Process the event belongs to, or ``None`` for global events.
+    """
+
+    time: float
+    seq: int
+    kind: str
+    callback: Optional[Callable[[], None]]
+    pid: Optional[int] = None
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+@dataclass(slots=True)
+class EventHandle:
+    """Cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the event stays in the heap but its callback is
+    skipped when popped.  This is the standard O(1)-cancel trick and keeps
+    the heap invariant untouched.
+    """
+
+    event: Event
+    cancelled: bool = field(default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips its callback."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` records.
+
+    >>> q = EventQueue()
+    >>> _ = q.push(2.0, "b", None)
+    >>> _ = q.push(1.0, "a", None)
+    >>> q.pop()[0].kind
+    'a'
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[Event, EventHandle]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        kind: str,
+        callback: Optional[Callable[[], None]],
+        pid: Optional[int] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` at virtual time ``time``.
+
+        Returns an :class:`EventHandle` that can cancel the event.
+        Scheduling in the past is a programming error and raises.
+        """
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        event = Event(time=time, seq=next(self._seq), kind=kind, callback=callback, pid=pid)
+        handle = EventHandle(event)
+        heapq.heappush(self._heap, (event, handle))
+        return handle
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next (possibly cancelled) event, or ``None``."""
+        if not self._heap:
+            return None
+        return self._heap[0][0].time
+
+    def pop(self) -> tuple[Event, EventHandle]:
+        """Remove and return the next event with its handle."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+
+
+__all__ = ["Event", "EventHandle", "EventQueue"]

@@ -1,0 +1,157 @@
+"""The discrete-event simulator kernel.
+
+:class:`Simulator` owns the virtual clock and the event queue.  Higher
+layers (the process runner in :mod:`repro.core.runner`, the timer service
+in :mod:`repro.timers.service`) schedule callbacks; the kernel advances
+time to each event in order and fires it.
+
+The kernel deliberately knows nothing about processes, registers or
+timers -- it is a plain DES core, which keeps it easy to test in
+isolation and reusable by every substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.events import EventHandle, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, running twice...)."""
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    Parameters
+    ----------
+    trace_events:
+        When true, keep a count per event kind (cheap observability used
+        by tests and benches).
+
+    Notes
+    -----
+    Time is a ``float`` number of abstract *time units*.  Nothing in the
+    library interprets a unit as a second; the paper's model is untimed
+    except for the AWB bounds, which are expressed in the same units.
+    """
+
+    def __init__(self, trace_events: bool = True) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_fired = 0
+        self.events_skipped = 0
+        self._trace_events = trace_events
+        self.fired_by_kind: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        kind: str = "event",
+        pid: Optional[int] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``.
+
+        ``time`` may equal ``now`` (fires after currently-firing event)
+        but may not precede it.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        return self._queue.push(time, kind, callback, pid=pid)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        kind: str = "event",
+        pid: Optional[int] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback, kind=kind, pid=pid)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the run loop to return after the current event."""
+        self._stopped = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Fire events in order until a stop condition holds.
+
+        Parameters
+        ----------
+        until:
+            Inclusive virtual-time horizon.  Events scheduled strictly
+            after it stay queued; the clock is advanced to ``until``.
+        max_events:
+            Safety valve on the number of fired events.
+        stop_when:
+            Optional predicate evaluated after every event.
+
+        Returns
+        -------
+        float
+            The virtual time when the loop returned.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                assert next_time is not None
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event, handle = self._queue.pop()
+                self._now = event.time
+                if handle.cancelled or event.callback is None:
+                    self.events_skipped += 1
+                    continue
+                event.callback()
+                self.events_fired += 1
+                if self._trace_events:
+                    self.fired_by_kind[event.kind] = self.fired_by_kind.get(event.kind, 0) + 1
+                if self._stopped:
+                    break
+                if max_events is not None and self.events_fired >= max_events:
+                    break
+                if stop_when is not None and stop_when():
+                    break
+            else:
+                # Queue drained; advance the clock to the horizon if given.
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+
+__all__ = ["SimulationError", "Simulator"]

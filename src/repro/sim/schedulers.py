@@ -1,0 +1,240 @@
+"""Step-delay models: how asynchrony (and assumption AWB1) is realized.
+
+In the paper's model a process executes a sequence of *steps* (one
+shared-memory access or local operation per step) with arbitrary finite
+delays between consecutive steps.  A *step-delay model* is a function
+``delay(pid, now) -> float`` giving the delay the scheduler inserts
+after a process's current step.
+
+Assumption **AWB1** -- "there are a time tau_1, a bound beta and a
+correct process p_ell such that after tau_1 any two consecutive
+accesses by p_ell to its critical registers complete within beta" --
+is realized by :class:`PartiallySynchronousDelay`: after its ``gst``
+(global stabilization time, the model's tau_1) the designated process's
+per-step delays fall inside a bounded interval.  Since the algorithms
+execute a bounded number of steps between consecutive critical-register
+accesses, this bounds the critical-access gap, i.e. yields the paper's
+beta.  All other processes may remain arbitrarily asynchronous.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Protocol, Sequence
+
+from repro.sim.rng import RngRegistry
+
+
+class StepDelayModel(Protocol):
+    """Protocol for per-step scheduling delays."""
+
+    def delay(self, pid: int, now: float) -> float:
+        """Return the delay inserted after the step ``pid`` takes at ``now``."""
+        ...
+
+
+@dataclass
+class FixedDelay:
+    """Every step of every process takes exactly ``step`` time units.
+
+    This is the fully synchronous special case -- useful as a control in
+    experiments and for making hand-computed traces in unit tests.
+    """
+
+    step: float = 1.0
+
+    def delay(self, pid: int, now: float) -> float:
+        if self.step <= 0:
+            raise ValueError("step delay must be positive")
+        return self.step
+
+
+class UniformDelay:
+    """Steps take a uniformly random time in ``[lo, hi]`` per process.
+
+    Each process draws from its own named stream so schedules of
+    different processes are independent yet reproducible.
+    """
+
+    def __init__(self, rng: RngRegistry, lo: float = 0.5, hi: float = 1.5) -> None:
+        if not (0 < lo <= hi):
+            raise ValueError(f"need 0 < lo <= hi, got lo={lo}, hi={hi}")
+        self.lo = lo
+        self.hi = hi
+        self._rng = rng
+
+    def delay(self, pid: int, now: float) -> float:
+        return self._rng.stream(f"delay:{pid}").uniform(self.lo, self.hi)
+
+
+class HeavyTailDelay:
+    """Pareto-tailed step delays: mostly fast, occasionally very slow.
+
+    Models the "arbitrary but finite" delays of a genuinely asynchronous
+    process: there is no bound that holds for all steps, but every delay
+    is finite.  ``cap`` bounds the tail so simulated runs still converge
+    within their horizon (delays stay *finite* either way; the cap only
+    controls experiment duration, not the asynchrony semantics).
+    """
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        scale: float = 0.5,
+        shape: float = 1.3,
+        cap: float = 200.0,
+    ) -> None:
+        if scale <= 0 or shape <= 0 or cap <= 0:
+            raise ValueError("scale, shape and cap must be positive")
+        self.scale = scale
+        self.shape = shape
+        self.cap = cap
+        self._rng = rng
+
+    def delay(self, pid: int, now: float) -> float:
+        u = self._rng.stream(f"delay:{pid}").random()
+        # Inverse-CDF sample of a Pareto(shape) scaled by `scale`.
+        raw = self.scale / max(1e-12, (1.0 - u)) ** (1.0 / self.shape)
+        return min(raw, self.cap)
+
+
+class PartiallySynchronousDelay:
+    """AWB1: the designated process becomes timely after ``gst``.
+
+    Parameters
+    ----------
+    base:
+        Model used for every process before ``gst`` and for
+        non-designated processes forever (the "fully asynchronous" part
+        of AWB: nobody but ``p_ell`` is required to be timely).
+    timely_pids:
+        Processes whose speed is lower-bounded after ``gst`` -- usually a
+        single pid, the paper's ``p_ell``.
+    gst:
+        The stabilization time tau_1.
+    timely_lo / timely_hi:
+        Per-step delay bounds for timely processes after ``gst``.  The
+        induced bound beta on consecutive critical accesses is
+        ``timely_hi * (steps between critical accesses)``, which the
+        algorithms keep constant.
+    """
+
+    def __init__(
+        self,
+        base: StepDelayModel,
+        timely_pids: Iterable[int],
+        gst: float,
+        rng: RngRegistry,
+        timely_lo: float = 0.5,
+        timely_hi: float = 1.0,
+    ) -> None:
+        if not (0 < timely_lo <= timely_hi):
+            raise ValueError("need 0 < timely_lo <= timely_hi")
+        if gst < 0:
+            raise ValueError("gst must be non-negative")
+        self.base = base
+        self.timely_pids = frozenset(timely_pids)
+        self.gst = gst
+        self.timely_lo = timely_lo
+        self.timely_hi = timely_hi
+        self._rng = rng
+
+    def delay(self, pid: int, now: float) -> float:
+        if pid in self.timely_pids and now >= self.gst:
+            return self._rng.stream(f"timely:{pid}").uniform(self.timely_lo, self.timely_hi)
+        return self.base.delay(pid, now)
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """A scheduling stall: ``pid`` takes no step inside ``[start, end)``."""
+
+    pid: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("stall window must have positive length")
+
+
+class AdversarialStallDelay:
+    """Wrap a model and inject long, targeted stalls.
+
+    The adversary used by the lower-bound experiments (paper Section 4.1,
+    Figure 4): chosen processes are frozen over chosen windows, which is
+    legal behaviour for an asynchronous process.  A stalled process's
+    next step is pushed to the end of the stall window.
+    """
+
+    def __init__(self, base: StepDelayModel, stalls: Sequence[StallWindow]) -> None:
+        self.base = base
+        self.stalls = sorted(stalls, key=lambda s: (s.pid, s.start))
+
+    def delay(self, pid: int, now: float) -> float:
+        d = self.base.delay(pid, now)
+        wake = now + d
+        for stall in self.stalls:
+            if stall.pid == pid and stall.start <= wake < stall.end:
+                wake = stall.end
+        return wake - now
+
+
+class CompositeDelay:
+    """Dispatch to a per-pid model, with a default.
+
+    Lets scenarios give one process (say, a slow follower) a different
+    asynchrony profile than everyone else.
+    """
+
+    def __init__(self, default: StepDelayModel, per_pid: Optional[Dict[int, StepDelayModel]] = None) -> None:
+        self.default = default
+        self.per_pid = dict(per_pid or {})
+
+    def delay(self, pid: int, now: float) -> float:
+        model = self.per_pid.get(pid, self.default)
+        return model.delay(pid, now)
+
+
+@dataclass
+class RampDelay:
+    """Delays that grow over time: ``base * (1 + rate * now)``.
+
+    Used in negative tests: a process whose steps slow down without
+    bound never satisfies AWB1, and a run where *every* process uses
+    this model should not be required to elect a stable leader.
+    """
+
+    base: float = 1.0
+    rate: float = 0.01
+
+    def delay(self, pid: int, now: float) -> float:
+        if self.base <= 0 or self.rate < 0:
+            raise ValueError("base must be positive and rate non-negative")
+        return self.base * (1.0 + self.rate * now)
+
+
+def mean_delay(model: StepDelayModel, pid: int, now: float, samples: int = 256) -> float:
+    """Empirical mean of a model's delay at a point in time (test helper)."""
+    total = 0.0
+    for _ in range(samples):
+        d = model.delay(pid, now)
+        if not math.isfinite(d) or d < 0:
+            raise ValueError(f"model produced invalid delay {d}")
+        total += d
+    return total / samples
+
+
+__all__ = [
+    "AdversarialStallDelay",
+    "CompositeDelay",
+    "FixedDelay",
+    "HeavyTailDelay",
+    "PartiallySynchronousDelay",
+    "RampDelay",
+    "StallWindow",
+    "StepDelayModel",
+    "UniformDelay",
+    "mean_delay",
+]

@@ -1,0 +1,98 @@
+"""Structured run traces.
+
+A :class:`RunTrace` is an append-only log of typed records produced
+during a run: periodic leader samples, step counts, crash notifications,
+and any custom record an experiment wants.  The analysis layer
+(:mod:`repro.analysis`) consumes traces; the runner only produces them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry: a timestamped, typed bag of fields."""
+
+    time: float
+    kind: str
+    fields: Mapping[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class RunTrace:
+    """Append-only, queryable log of :class:`TraceRecord`.
+
+    Record kinds used by the library:
+
+    ``leader_sample``
+        ``pid``, ``leader`` -- output of the observer ``peek_leader``.
+    ``crash``
+        ``pid`` -- the process crashed at this instant.
+    ``timer_set`` / ``timer_fired``
+        ``pid``, ``timeout``, ``duration`` -- timer service activity.
+    ``leader_return``
+        ``pid``, ``leader``, ``ops`` -- a completed ``leader()``
+        invocation by the algorithm itself (used for the Termination
+        property and the op-count bound).
+    """
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+        self._by_kind: Dict[str, List[TraceRecord]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(self, time: float, kind: str, **fields: Any) -> TraceRecord:
+        """Append a record and return it."""
+        rec = TraceRecord(time=time, kind=kind, fields=fields)
+        self._records.append(rec)
+        self._by_kind.setdefault(kind, []).append(rec)
+        return rec
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of a kind, in time order."""
+        return list(self._by_kind.get(kind, []))
+
+    def last_of_kind(self, kind: str) -> Optional[TraceRecord]:
+        """Most recent record of a kind, or ``None``."""
+        records = self._by_kind.get(kind)
+        return records[-1] if records else None
+
+    # ------------------------------------------------------------------
+    # Leader-sample helpers (the most common query)
+    # ------------------------------------------------------------------
+    def leader_samples(self) -> List[Tuple[float, int, int]]:
+        """All ``(time, pid, leader)`` observer samples."""
+        return [(r.time, r["pid"], r["leader"]) for r in self.of_kind("leader_sample")]
+
+    def leader_samples_by_pid(self) -> Dict[int, List[Tuple[float, int]]]:
+        """Per-process list of ``(time, leader)`` samples."""
+        out: Dict[int, List[Tuple[float, int]]] = {}
+        for t, pid, leader in self.leader_samples():
+            out.setdefault(pid, []).append((t, leader))
+        return out
+
+    def sample_times(self) -> List[float]:
+        """Distinct times at which leader samples were taken."""
+        seen: List[float] = []
+        last = None
+        for t, _, _ in self.leader_samples():
+            if t != last:
+                seen.append(t)
+                last = t
+        return seen
+
+
+__all__ = ["RunTrace", "TraceRecord"]

@@ -1,0 +1,191 @@
+"""The ``f`` function library for assumption AWB2.
+
+An ``f`` function maps ``(tau, x)`` -- the time a timer is set and the
+timeout value it is set to -- to a duration lower bound.  Conditions
+(f1) and (f2) from the paper (see package docstring) are properties of
+``f`` alone; (f3) relates ``f`` to a realized-duration history and is
+checked by :func:`check_f3_domination`.
+
+Besides conforming functions the module ships deliberate violators
+(:class:`BoundedF`, non-divergent; :class:`DecreasingF`, non-monotone)
+used by negative tests: runs whose timers only dominate a *bounded*
+``f`` are allowed to suspect the leader forever, and the test suite
+demonstrates exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence, Tuple
+
+
+class FFunction(Protocol):
+    """Protocol for AWB2 lower-bound functions."""
+
+    #: The (tau_f, x_f) pair beyond which (f1) and (f3) are promised.
+    tau_f: float
+    x_f: float
+
+    def __call__(self, tau: float, x: float) -> float:
+        """Duration lower bound for a timer set at ``tau`` to value ``x``."""
+        ...
+
+
+@dataclass(frozen=True)
+class LinearF:
+    """``f(tau, x) = alpha * x`` -- the canonical divergent choice."""
+
+    alpha: float = 1.0
+    tau_f: float = 0.0
+    x_f: float = 0.0
+
+    def __call__(self, tau: float, x: float) -> float:
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        return self.alpha * x
+
+
+@dataclass(frozen=True)
+class AffineF:
+    """``f(tau, x) = alpha * x + c`` with ``alpha > 0``."""
+
+    alpha: float = 1.0
+    c: float = 0.0
+    tau_f: float = 0.0
+    x_f: float = 0.0
+
+    def __call__(self, tau: float, x: float) -> float:
+        return self.alpha * x + self.c
+
+
+@dataclass(frozen=True)
+class SqrtF:
+    """``f(tau, x) = alpha * sqrt(x)`` -- diverges, just slowly.
+
+    Exercises the "asymptotically" in *asymptotically well-behaved*:
+    timeouts must grow quadratically farther before the duration
+    outlasts a given bound, so convergence is visibly slower -- an
+    ablation in the Figure 1 bench.
+    """
+
+    alpha: float = 1.0
+    tau_f: float = 0.0
+    x_f: float = 0.0
+
+    def __call__(self, tau: float, x: float) -> float:
+        return self.alpha * math.sqrt(max(0.0, x))
+
+
+@dataclass(frozen=True)
+class LogF:
+    """``f(tau, x) = alpha * log(1 + x)`` -- divergent but glacial."""
+
+    alpha: float = 1.0
+    tau_f: float = 0.0
+    x_f: float = 0.0
+
+    def __call__(self, tau: float, x: float) -> float:
+        return self.alpha * math.log1p(max(0.0, x))
+
+
+@dataclass(frozen=True)
+class BoundedF:
+    """VIOLATOR of (f2): ``f(tau, x) = cap * x / (1 + x)`` never exceeds
+    ``cap``.  A timer dominating only this ``f`` may fire early forever."""
+
+    cap: float = 5.0
+    tau_f: float = 0.0
+    x_f: float = 0.0
+
+    def __call__(self, tau: float, x: float) -> float:
+        return self.cap * x / (1.0 + max(0.0, x))
+
+
+@dataclass(frozen=True)
+class DecreasingF:
+    """VIOLATOR of (f1): decreasing in ``x`` beyond every point."""
+
+    tau_f: float = 0.0
+    x_f: float = 0.0
+
+    def __call__(self, tau: float, x: float) -> float:
+        return 10.0 / (1.0 + max(0.0, x))
+
+
+# ----------------------------------------------------------------------
+# Property checks (used by tests and by the Figure 1 bench)
+# ----------------------------------------------------------------------
+def check_f1(
+    f: FFunction,
+    taus: Sequence[float],
+    xs: Sequence[float],
+) -> bool:
+    """Empirically check (f1): monotone beyond ``(tau_f, x_f)``.
+
+    Evaluates ``f`` on the grid of sample points at or beyond
+    ``(tau_f, x_f)`` and verifies it never decreases along either axis.
+    """
+    taus_ok = sorted(t for t in taus if t >= f.tau_f)
+    xs_ok = sorted(x for x in xs if x >= f.x_f)
+    for i, tau in enumerate(taus_ok):
+        for j, x in enumerate(xs_ok):
+            here = f(tau, x)
+            if i > 0 and f(taus_ok[i - 1], x) > here + 1e-12:
+                return False
+            if j > 0 and f(tau, xs_ok[j - 1]) > here + 1e-12:
+                return False
+    return True
+
+
+def check_f2_divergence(
+    f: FFunction,
+    threshold: float,
+    x_limit: float = 1e9,
+) -> Tuple[bool, float]:
+    """Empirically check (f2): does ``f(tau_f, x)`` exceed ``threshold``?
+
+    Returns ``(True, x*)`` with the first sampled ``x*`` achieving the
+    threshold, or ``(False, x_limit)``.  Doubling search from
+    ``max(1, x_f)``.
+    """
+    x = max(1.0, f.x_f)
+    while x <= x_limit:
+        if f(f.tau_f, x) > threshold:
+            return True, x
+        x *= 2.0
+    return False, x_limit
+
+
+def check_f3_domination(
+    f: FFunction,
+    realized: Iterable[Tuple[float, float, float]],
+    tau_f: float | None = None,
+    x_f: float | None = None,
+) -> bool:
+    """Check (f3) against a realized-duration history.
+
+    ``realized`` is an iterable of ``(tau, x, duration)`` triples --
+    exactly what :class:`~repro.timers.service.TimerService` records.
+    Only samples beyond the cut-offs are constrained.
+    """
+    tcut = f.tau_f if tau_f is None else tau_f
+    xcut = f.x_f if x_f is None else x_f
+    for tau, x, duration in realized:
+        if tau >= tcut and x >= xcut and duration < f(tau, x) - 1e-9:
+            return False
+    return True
+
+
+__all__ = [
+    "AffineF",
+    "BoundedF",
+    "DecreasingF",
+    "FFunction",
+    "LinearF",
+    "LogF",
+    "SqrtF",
+    "check_f1",
+    "check_f2_divergence",
+    "check_f3_domination",
+]

@@ -1,0 +1,43 @@
+"""Scenario library and sweep driver.
+
+Scenarios are named, parameterized run configurations shared by the
+test suite, the examples and every benchmark, so "the leader-crash
+workload" means the same thing everywhere.  The sweep driver runs an
+(algorithm x scenario x seed) matrix and emits the flat rows the
+comparison tables are built from.
+"""
+
+from repro.workloads.scenarios import (
+    Scenario,
+    all_but_one,
+    awb_only,
+    capped_timers,
+    cascade,
+    chaotic_timers,
+    ev_sync,
+    leader_crash,
+    nominal,
+    random_faults,
+    san,
+    scrambled,
+    slow_leader_awb,
+)
+from repro.workloads.sweep import SweepRow, run_matrix
+
+__all__ = [
+    "Scenario",
+    "SweepRow",
+    "all_but_one",
+    "awb_only",
+    "capped_timers",
+    "cascade",
+    "chaotic_timers",
+    "ev_sync",
+    "leader_crash",
+    "nominal",
+    "random_faults",
+    "run_matrix",
+    "san",
+    "scrambled",
+    "slow_leader_awb",
+]

@@ -1,0 +1,398 @@
+"""Canonical scenarios: the workloads every experiment draws from.
+
+Each scenario fixes the environment knobs -- asynchrony profile, timer
+behaviour, crash plan, initial-value scrambling, SAN latency -- and can
+instantiate a :class:`~repro.core.runner.Run` for any algorithm and
+seed.  Horizons are chosen generously above the stabilization knobs so
+"did not stabilize by the horizon" is meaningful evidence, not noise
+(Algorithm 2's hand-shake needs roughly 10x Algorithm 1's horizon under
+identical timers; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Type
+
+from repro.core.interfaces import OmegaAlgorithm
+from repro.core.runner import Run, RunResult
+from repro.memory.disk import Disk, LatencyModel
+from repro.memory.memory import SharedMemory
+from repro.sim.crash import CrashPlan
+from repro.sim.rng import RngRegistry
+from repro.sim.schedulers import (
+    HeavyTailDelay,
+    PartiallySynchronousDelay,
+    StepDelayModel,
+    UniformDelay,
+)
+from repro.timers.awb import (
+    AccurateTimer,
+    AsymptoticallyWellBehavedTimer,
+    CappedTimer,
+    TimerBehavior,
+)
+from repro.timers.functions import LinearF
+
+
+def scramble_registers(memory: SharedMemory, rng: Any) -> None:
+    """Set *arbitrary* initial register values (footnote 7).
+
+    Booleans get random booleans, integers random small naturals; the
+    algorithms must converge regardless (self-stabilization of the
+    shared variables).
+    """
+    for reg in memory.all_registers():
+        current = reg.peek()
+        if isinstance(current, bool):
+            reg.poke(rng.random() < 0.5)
+        elif isinstance(current, int):
+            reg.poke(rng.randrange(0, 8))
+
+
+@dataclass
+class Scenario:
+    """A named, reproducible run configuration."""
+
+    name: str
+    n: int
+    horizon: float
+    description: str = ""
+    sample_interval: float = 5.0
+    snapshot_interval: Optional[float] = None
+    #: Factories receive the run's RNG registry so each seed re-derives
+    #: fresh, independent randomness.
+    make_delay: Optional[Callable[[RngRegistry], StepDelayModel]] = None
+    make_timers: Optional[Callable[[RngRegistry, int], Dict[int, TimerBehavior]]] = None
+    make_crash_plan: Optional[Callable[[RngRegistry], CrashPlan]] = None
+    make_disk: Optional[Callable[[RngRegistry], Disk]] = None
+    scramble: Optional[Callable[[SharedMemory, Any], None]] = None
+    algo_config: Dict[str, Any] = field(default_factory=dict)
+    log_reads: bool = True
+    #: Stability margin expected of this scenario (passed to the
+    #: eventual-leadership verdict by tests/benches).
+    margin: float = 0.0
+
+    def build(self, algorithm_cls: Type[OmegaAlgorithm], seed: int = 0, **overrides: Any) -> Run:
+        """Instantiate a :class:`Run` for ``algorithm_cls`` at ``seed``."""
+        rng = RngRegistry(seed)
+        kwargs: Dict[str, Any] = dict(
+            seed=seed,
+            horizon=self.horizon,
+            sample_interval=self.sample_interval,
+            snapshot_interval=self.snapshot_interval,
+            delay_model=self.make_delay(rng) if self.make_delay else None,
+            timer_behaviors=self.make_timers(rng, self.n) if self.make_timers else None,
+            crash_plan=self.make_crash_plan(rng) if self.make_crash_plan else None,
+            disk=self.make_disk(rng) if self.make_disk else None,
+            scramble=self.scramble,
+            algo_config=dict(self.algo_config),
+            log_reads=self.log_reads,
+        )
+        kwargs.update(overrides)
+        return Run(algorithm_cls, self.n, **kwargs)
+
+    def run(self, algorithm_cls: Type[OmegaAlgorithm], seed: int = 0, **overrides: Any) -> RunResult:
+        """Build and execute in one step."""
+        return self.build(algorithm_cls, seed, **overrides).execute()
+
+
+# ----------------------------------------------------------------------
+# Timer factory helpers
+# ----------------------------------------------------------------------
+def _awb_timers(
+    alpha: float = 2.0,
+    chaos_until: float = 0.0,
+    jitter: float = 0.25,
+) -> Callable[[RngRegistry, int], Dict[int, TimerBehavior]]:
+    def make(rng: RngRegistry, n: int) -> Dict[int, TimerBehavior]:
+        return {
+            pid: AsymptoticallyWellBehavedTimer(
+                LinearF(alpha), rng, chaos_until=chaos_until, jitter=jitter
+            )
+            for pid in range(n)
+        }
+
+    return make
+
+
+def _accurate_timers() -> Callable[[RngRegistry, int], Dict[int, TimerBehavior]]:
+    def make(rng: RngRegistry, n: int) -> Dict[int, TimerBehavior]:
+        return {pid: AccurateTimer() for pid in range(n)}
+
+    return make
+
+
+# ----------------------------------------------------------------------
+# Canonical scenarios
+# ----------------------------------------------------------------------
+def nominal(n: int = 4, horizon: float = 4000.0) -> Scenario:
+    """Mild uniform asynchrony, well-behaved timers, no crashes.
+
+    The baseline sanity workload: every algorithm must elect the
+    lexmin-favoured process and stay stable.
+    """
+    return Scenario(
+        name=f"nominal-n{n}",
+        n=n,
+        horizon=horizon,
+        description="uniform delays, AWB timers without chaos, fault-free",
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        margin=horizon * 0.1,
+    )
+
+
+def chaotic_timers(n: int = 4, horizon: float = 6000.0, chaos_fraction: float = 0.2) -> Scenario:
+    """Figure 1 conditions: timers fire arbitrarily during a long prefix.
+
+    False suspicions pile up during the chaos era; once timers dominate
+    ``f`` the timeouts built from accumulated suspicions out-wait the
+    leader's write period and the election stabilizes.
+    """
+    chaos_until = horizon * chaos_fraction
+    return Scenario(
+        name=f"chaotic-timers-n{n}",
+        n=n,
+        horizon=horizon,
+        description=f"AWB timers misbehave until t={chaos_until:.0f}",
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0, chaos_until=chaos_until, jitter=0.5),
+        margin=horizon * 0.05,
+    )
+
+
+def leader_crash(n: int = 4, horizon: float = 6000.0, crash_at_fraction: float = 0.35) -> Scenario:
+    """The stable leader (lexmin favourite, pid 0) crashes mid-run.
+
+    Followers must notice the silence, suspect, and re-elect a correct
+    process -- the core liveness scenario.
+    """
+    crash_at = horizon * crash_at_fraction
+    return Scenario(
+        name=f"leader-crash-n{n}",
+        n=n,
+        horizon=horizon,
+        description=f"pid 0 crashes at t={crash_at:.0f}",
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        make_crash_plan=lambda rng: CrashPlan.single(n, 0, crash_at),
+        margin=horizon * 0.05,
+    )
+
+
+def cascade(n: int = 6, horizon: float = 8000.0) -> Scenario:
+    """Half the processes crash one by one (t-independence stress)."""
+    victims = list(range(n // 2))
+    return Scenario(
+        name=f"cascade-n{n}",
+        n=n,
+        horizon=horizon,
+        description=f"pids {victims} crash in sequence",
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        make_crash_plan=lambda rng: CrashPlan.cascade(
+            n, victims, start=horizon * 0.2, spacing=horizon * 0.08
+        ),
+        margin=horizon * 0.05,
+    )
+
+
+def all_but_one(n: int = 5, horizon: float = 6000.0, survivor: int = 2) -> Scenario:
+    """Extreme fault load: every process but one crashes (t = n-1).
+
+    Both algorithms are independent of ``t``; the survivor must elect
+    itself.
+    """
+    return Scenario(
+        name=f"all-but-one-n{n}",
+        n=n,
+        horizon=horizon,
+        description=f"all crash except pid {survivor}",
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        make_crash_plan=lambda rng: CrashPlan.all_but(
+            n, survivor, at=horizon * 0.2, spacing=horizon * 0.05
+        ),
+        margin=horizon * 0.05,
+    )
+
+
+def awb_only(n: int = 4, horizon: float = 8000.0, timely_pid: int = 0) -> Scenario:
+    """The paper's *exact* assumption and nothing more.
+
+    Only ``timely_pid`` becomes timely (AWB1) after a stabilization
+    time; every other process keeps heavy-tailed, unbounded-looking
+    delays forever.  AWB-based algorithms must stabilize; the
+    eventually-synchronous baseline has no such guarantee here.
+    """
+    gst = horizon * 0.15
+    return Scenario(
+        name=f"awb-only-n{n}",
+        n=n,
+        horizon=horizon,
+        description=f"only pid {timely_pid} timely after t={gst:.0f}; others heavy-tailed",
+        make_delay=lambda rng: PartiallySynchronousDelay(
+            base=HeavyTailDelay(rng, scale=0.6, shape=1.4, cap=60.0),
+            timely_pids={timely_pid},
+            gst=gst,
+            rng=rng,
+            timely_lo=0.5,
+            timely_hi=1.0,
+        ),
+        make_timers=_awb_timers(alpha=2.0, jitter=0.5),
+        margin=horizon * 0.02,
+    )
+
+
+def ev_sync(n: int = 4, horizon: float = 4000.0) -> Scenario:
+    """Eventually synchronous system: everyone timely after gst.
+
+    The assumption the baseline [13]-style algorithm needs; strictly
+    stronger than AWB.
+    """
+    gst = horizon * 0.15
+    return Scenario(
+        name=f"ev-sync-n{n}",
+        n=n,
+        horizon=horizon,
+        description=f"all processes timely after t={gst:.0f}",
+        make_delay=lambda rng: PartiallySynchronousDelay(
+            base=HeavyTailDelay(rng, scale=0.6, shape=1.4, cap=30.0),
+            timely_pids=set(range(n)),
+            gst=gst,
+            rng=rng,
+            timely_lo=0.5,
+            timely_hi=1.0,
+        ),
+        make_timers=_accurate_timers(),
+        margin=horizon * 0.02,
+    )
+
+
+def scrambled(n: int = 4, horizon: float = 6000.0) -> Scenario:
+    """Arbitrary initial register values (footnote 7 self-stabilization)."""
+    base = nominal(n, horizon)
+    base.name = f"scrambled-n{n}"
+    base.description = "registers start with arbitrary values"
+    base.scramble = scramble_registers
+    return base
+
+
+def random_faults(n: int = 5, horizon: float = 8000.0, max_failures: int | None = None) -> Scenario:
+    """Fuzz workload: random crash pattern drawn from the run seed.
+
+    Each seed yields a different legal fault pattern (up to ``n - 1``
+    crashes at random times in the first half of the run) -- the sweep
+    over seeds samples the fault space instead of hand-picking it.
+    """
+    return Scenario(
+        name=f"random-faults-n{n}",
+        n=n,
+        horizon=horizon,
+        description="seed-derived random crash pattern (up to n-1 crashes)",
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        make_crash_plan=lambda rng: CrashPlan.random(
+            n, rng, max_failures=max_failures, horizon=horizon * 0.5, probability=0.5
+        ),
+        margin=horizon * 0.05,
+    )
+
+
+def san(n: int = 3, horizon: float = 20000.0) -> Scenario:
+    """Network-attached-disk deployment (Section 1 motivation).
+
+    Every register access becomes an interval operation with uniform
+    latency; the linearizability of the resulting history is checked by
+    the SAN tests.  Horizon scales with latency (each algorithm step
+    now costs several time units).
+    """
+    return Scenario(
+        name=f"san-n{n}",
+        n=n,
+        horizon=horizon,
+        description="registers behind a disk with latency 1..4",
+        sample_interval=20.0,
+        make_delay=lambda rng: UniformDelay(rng, 0.3, 0.8),
+        make_timers=_awb_timers(alpha=10.0),
+        make_disk=lambda rng: Disk(LatencyModel(rng, lo=1.0, hi=4.0)),
+        margin=horizon * 0.02,
+    )
+
+
+def _slow_leader_delay(n: int, timely_pid: int, rng: RngRegistry) -> StepDelayModel:
+    """AWB1 with a *large* beta: the timely process is slow but bounded
+    (per-step delay in [4.5, 5.0] from the start), everyone else is fast
+    on average with heavy-tailed spikes.  Under this profile a follower's
+    monitoring cadence is much faster than the timely process's write
+    cadence, so only timeouts that grow without bound (AWB2) can learn
+    to wait it out -- the exact role condition (f2) plays in Lemma 2."""
+    return PartiallySynchronousDelay(
+        base=HeavyTailDelay(rng, scale=0.5, shape=1.3, cap=60.0),
+        timely_pids={timely_pid},
+        gst=0.0,
+        rng=rng,
+        timely_lo=4.5,
+        timely_hi=5.0,
+    )
+
+
+def capped_timers(n: int = 4, horizon: float = 4000.0, cap: float = 3.0, timely_pid: int = 0) -> Scenario:
+    """NEGATIVE scenario: follower timers violate AWB2 (bounded cap).
+
+    The timely process honours AWB1 but with a large beta (slow,
+    bounded steps); follower timers can never wait longer than ``cap``,
+    so they falsely suspect it forever, and the spiky followers keep
+    suspecting each other too -- the election churns without end.  The
+    positive twin :func:`slow_leader_awb` differs *only* in the timer
+    behaviour and stabilizes, demonstrating that AWB2 is load-bearing.
+    """
+
+    def make(rng: RngRegistry, count: int) -> Dict[int, TimerBehavior]:
+        return {pid: CappedTimer(rng, cap=cap) for pid in range(count)}
+
+    return Scenario(
+        name=f"capped-timers-n{n}",
+        n=n,
+        horizon=horizon,
+        description=f"AWB2 violated: timer durations capped at {cap}, slow timely leader",
+        make_delay=lambda rng: _slow_leader_delay(n, timely_pid, rng),
+        make_timers=make,
+        margin=horizon * 0.3,
+    )
+
+
+def slow_leader_awb(n: int = 4, horizon: float = 12000.0, timely_pid: int = 0) -> Scenario:
+    """POSITIVE twin of :func:`capped_timers`: identical asynchrony
+    profile, but asymptotically well-behaved timers.  Timeouts grow with
+    the accumulated suspicions until they dominate the slow leader's
+    write period, after which the election stabilizes (Lemma 2's
+    mechanism, observable in the trace)."""
+    return Scenario(
+        name=f"slow-leader-awb-n{n}",
+        n=n,
+        horizon=horizon,
+        description="slow timely leader, AWB timers (positive twin of capped-timers)",
+        make_delay=lambda rng: _slow_leader_delay(n, timely_pid, rng),
+        make_timers=_awb_timers(alpha=2.0, jitter=0.5),
+        margin=horizon * 0.02,
+    )
+
+
+__all__ = [
+    "Scenario",
+    "all_but_one",
+    "awb_only",
+    "capped_timers",
+    "cascade",
+    "chaotic_timers",
+    "ev_sync",
+    "leader_crash",
+    "nominal",
+    "random_faults",
+    "san",
+    "scramble_registers",
+    "scrambled",
+]

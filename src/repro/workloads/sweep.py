@@ -1,0 +1,128 @@
+"""Sweep driver: run an (algorithm x scenario x seed) matrix.
+
+Produces flat :class:`SweepRow` records that the comparison bench, the
+scalability bench and EXPERIMENTS.md all consume.  Keeping the driver
+here (rather than inside each bench) guarantees every table in the repo
+is produced by the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.omega_props import check_termination, check_validity
+from repro.analysis.write_stats import (
+    forever_writers,
+    growing_registers,
+    single_writer_point,
+)
+from repro.core.interfaces import OmegaAlgorithm
+from repro.core.runner import RunResult
+from repro.workloads.scenarios import Scenario
+
+
+@dataclass
+class SweepRow:
+    """One (algorithm, scenario, seed) outcome."""
+
+    algorithm: str
+    scenario: str
+    seed: int
+    n: int
+    horizon: float
+    stabilized: bool
+    stabilization_time: Optional[float]
+    leader: Optional[int]
+    valid: bool
+    termination_ok: bool
+    forever_writer_count: int
+    forever_writers: frozenset
+    growing_register_count: int
+    single_writer: bool
+    total_writes: int
+    total_reads: int
+
+    @staticmethod
+    def headers() -> List[str]:
+        return [
+            "algorithm",
+            "scenario",
+            "seed",
+            "stab",
+            "t_stab",
+            "leader",
+            "forever_writers",
+            "growing_regs",
+            "single_writer",
+            "writes",
+            "reads",
+        ]
+
+    def cells(self) -> List[object]:
+        return [
+            self.algorithm,
+            self.scenario,
+            self.seed,
+            self.stabilized,
+            self.stabilization_time if self.stabilization_time is not None else "-",
+            self.leader if self.leader is not None else "-",
+            self.forever_writers,
+            self.growing_register_count,
+            self.single_writer,
+            self.total_writes,
+            self.total_reads,
+        ]
+
+
+def summarize_result(result: RunResult, scenario: Scenario, window: float = 100.0) -> SweepRow:
+    """Condense one run into a sweep row."""
+    report = result.stabilization(margin=scenario.margin)
+    writers = forever_writers(result.memory, result.horizon, window=window)
+    swp = single_writer_point(result.memory, result.horizon, tail=window)
+    term = check_termination(result.algorithms, result.crash_plan)
+    return SweepRow(
+        algorithm=result.algorithm_name,
+        scenario=scenario.name,
+        seed=result.seed,
+        n=result.n,
+        horizon=result.horizon,
+        stabilized=report.stabilized,
+        stabilization_time=report.time,
+        leader=report.leader,
+        valid=check_validity(result.trace, result.n),
+        termination_ok=term.ok,
+        forever_writer_count=len(writers),
+        forever_writers=writers,
+        growing_register_count=len(growing_registers(result.memory, result.horizon)),
+        single_writer=swp.reached,
+        total_writes=result.memory.total_writes,
+        total_reads=result.memory.total_reads,
+    )
+
+
+def run_matrix(
+    algorithms: Dict[str, Type[OmegaAlgorithm]],
+    scenarios: Sequence[Scenario],
+    seeds: Iterable[int],
+    window: float = 100.0,
+) -> List[SweepRow]:
+    """Execute the full matrix and return one row per run."""
+    rows: List[SweepRow] = []
+    for scenario in scenarios:
+        for name, cls in algorithms.items():
+            for seed in seeds:
+                result = scenario.run(cls, seed=seed)
+                row = summarize_result(result, scenario, window=window)
+                row.algorithm = name  # prefer the caller's label
+                rows.append(row)
+    return rows
+
+
+def stabilization_rate(rows: Sequence[SweepRow]) -> Tuple[int, int]:
+    """``(stabilized, total)`` over a set of rows."""
+    stab = sum(1 for r in rows if r.stabilized)
+    return stab, len(rows)
+
+
+__all__ = ["SweepRow", "run_matrix", "stabilization_rate", "summarize_result"]

@@ -1,0 +1,74 @@
+"""Theorem 5 ingredients: state recurrence and the writer census."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lowerbound import state_recurrence, theorem5_census
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.algorithm2 import BoundedOmega
+from repro.core.runner import Run
+
+
+class TestStateRecurrence:
+    def test_empty(self):
+        report = state_recurrence([])
+        assert report.snapshots == 0
+        assert not report.recurrent
+
+    def test_recurrent_states_detected(self):
+        snap_a = (("R", 1),)
+        snap_b = (("R", 2),)
+        snapshots = [(float(t), snap_a if t % 2 == 0 else snap_b) for t in range(100)]
+        report = state_recurrence(snapshots, horizon=100.0)
+        assert report.recurrent
+        assert report.distinct_states == 2
+
+    def test_all_distinct_not_recurrent(self):
+        snapshots = [(float(t), (("R", t),)) for t in range(100)]
+        report = state_recurrence(snapshots, horizon=100.0)
+        assert not report.recurrent
+        assert report.max_recurrence == 1
+
+    def test_settle_fraction_skips_prefix(self):
+        # Recurrence only in the prefix; the tail is all-distinct.
+        snapshots = [(float(t), (("R", 0),)) for t in range(10)]
+        snapshots += [(float(t), (("R", t),)) for t in range(50, 100)]
+        report = state_recurrence(snapshots, settle_fraction=0.25, horizon=100.0)
+        assert not report.recurrent
+
+
+class TestTheorem5OnRealRuns:
+    """The paper's dichotomy, measured on both algorithms."""
+
+    @pytest.fixture(scope="class")
+    def alg1_row(self):
+        result = Run(
+            WriteEfficientOmega, n=3, seed=90, horizon=3000.0, snapshot_interval=25.0
+        ).execute()
+        return theorem5_census(result, bounded_memory=False, window=200.0)
+
+    @pytest.fixture(scope="class")
+    def alg2_row(self):
+        result = Run(
+            BoundedOmega, n=3, seed=91, horizon=6000.0, snapshot_interval=25.0
+        ).execute()
+        return theorem5_census(result, bounded_memory=True, window=200.0)
+
+    def test_alg1_single_forever_writer(self, alg1_row):
+        assert len(alg1_row.forever_writers) == 1
+        assert not alg1_row.all_correct_write_forever
+
+    def test_alg1_states_never_recur(self, alg1_row):
+        """PROGRESS[ell] grows, so every steady-state snapshot is new."""
+        assert not alg1_row.recurrence.recurrent
+
+    def test_alg2_all_correct_write_forever(self, alg2_row):
+        assert alg2_row.all_correct_write_forever
+        assert alg2_row.forever_writers == alg2_row.correct
+
+    def test_alg2_states_recur(self, alg2_row):
+        """Bounded shared memory: pigeonhole forces recurrence, the
+        Theorem 5 adversary's raw material."""
+        assert alg2_row.recurrence.recurrent
+        assert alg2_row.recurrence.max_recurrence >= 2

@@ -1,0 +1,61 @@
+"""Plain-text report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_bool_and_float_formatting(self):
+        out = format_table(["x"], [[True], [False], [1.234]])
+        assert "yes" in out and "no" in out and "1.23" in out
+
+    def test_set_formatting_sorted(self):
+        out = format_table(["s"], [[frozenset({3, 1})]])
+        assert "{1,3}" in out
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_inf_rendering(self):
+        assert "inf" in format_table(["x"], [[float("inf")]])
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_nan_marked(self):
+        assert "?" in sparkline([1.0, float("nan"), 2.0])
+
+
+class TestFormatSeries:
+    def test_label_and_ranges(self):
+        out = format_series("T_R", [0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert out.startswith("T_R:")
+        assert "x: 0..2" in out
+        assert "y: 1.00..3.00" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "(empty)" in format_series("x", [], [])

@@ -1,0 +1,104 @@
+"""Adopt-commit: validity, agreement, commitment -- under arbitrary
+interleavings driven by a deterministic toy scheduler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.adopt_commit import AdoptCommit, AdoptCommitOutcome
+from repro.core.interfaces import ReadReg, WriteReg
+from repro.memory.memory import SharedMemory
+
+
+def run_interleaved(n, values, schedule_seed):
+    """Drive n propose() generators with a random but seeded
+    interleaving; returns the outcomes."""
+    memory = SharedMemory(clock=lambda: 0.0)
+    ac = AdoptCommit(memory, n)
+    gens = {pid: ac.propose(pid, values[pid]) for pid in range(n)}
+    inbox = {pid: None for pid in range(n)}
+    outcomes = {}
+    rng = random.Random(schedule_seed)
+    started = set()
+    while gens:
+        pid = rng.choice(sorted(gens))
+        gen = gens[pid]
+        try:
+            if pid in started:
+                op = gen.send(inbox[pid])
+            else:
+                started.add(pid)
+                op = next(gen)
+        except StopIteration as stop:
+            outcomes[pid] = stop.value
+            del gens[pid]
+            continue
+        if isinstance(op, ReadReg):
+            inbox[pid] = op.register.read(pid)
+        elif isinstance(op, WriteReg):
+            op.register.write(pid, op.value)
+            inbox[pid] = None
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected op {op}")
+    return outcomes
+
+
+class TestSequential:
+    def test_solo_commits(self):
+        outcomes = run_interleaved(1, {0: "v"}, 0)
+        assert outcomes[0] == AdoptCommitOutcome(True, "v")
+
+    def test_unanimous_commit(self):
+        outcomes = run_interleaved(3, {0: "x", 1: "x", 2: "x"}, 1)
+        assert all(o.committed and o.value == "x" for o in outcomes.values())
+
+    def test_conflicting_values_all_decide(self):
+        outcomes = run_interleaved(2, {0: "a", 1: "b"}, 2)
+        assert len(outcomes) == 2
+
+
+class TestSafetyProperties:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agreement_two_values(self, seed):
+        """If anyone commits v, everyone adopts or commits v."""
+        outcomes = run_interleaved(3, {0: "a", 1: "b", 2: "a"}, seed)
+        committed = {o.value for o in outcomes.values() if o.committed}
+        assert len(committed) <= 1
+        if committed:
+            v = committed.pop()
+            assert all(o.value == v for o in outcomes.values())
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_validity(self, seed):
+        values = {0: "a", 1: "b", 2: "c"}
+        outcomes = run_interleaved(3, values, seed)
+        for o in outcomes.values():
+            assert o.value in values.values()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_commitment_on_unanimity(self, seed):
+        outcomes = run_interleaved(4, {p: "same" for p in range(4)}, seed)
+        assert all(o.committed for o in outcomes.values())
+
+
+class TestSafetyPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(2, 5),
+        st.integers(0, 2**31 - 1),
+        st.data(),
+    )
+    def test_agreement_random_inputs_random_schedules(self, n, seed, data):
+        values = {pid: data.draw(st.sampled_from(["a", "b", "c"])) for pid in range(n)}
+        outcomes = run_interleaved(n, values, seed)
+        committed = {o.value for o in outcomes.values() if o.committed}
+        assert len(committed) <= 1
+        if committed:
+            v = committed.pop()
+            assert all(o.value == v for o in outcomes.values())
+        for o in outcomes.values():
+            assert o.value in values.values()

@@ -1,0 +1,108 @@
+"""Omega-based consensus: validity, agreement, liveness, anarchy safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.consensus import ConsensusProcess
+from repro.core.algorithm2 import BoundedOmega
+from repro.core.runner import Run
+from repro.sim.crash import CrashPlan
+
+
+def decisions(result):
+    return {alg.pid: alg.decision for alg in result.algorithms}
+
+
+class TestLiveness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Run(ConsensusProcess, n=4, seed=100, horizon=1500.0).execute()
+
+    def test_every_correct_process_decides(self, result):
+        assert all(d is not None for d in decisions(result).values())
+
+    def test_agreement(self, result):
+        assert len(set(decisions(result).values())) == 1
+
+    def test_validity(self, result):
+        inputs = {f"v{pid}" for pid in range(4)}
+        assert set(decisions(result).values()) <= inputs
+
+    def test_decision_times_recorded(self, result):
+        assert all(alg.decided_at is not None for alg in result.algorithms)
+
+
+class TestAgainstCrashes:
+    def test_decides_despite_leader_crash(self):
+        plan = CrashPlan.single(4, 0, 120.0)
+        result = Run(
+            ConsensusProcess, n=4, seed=101, horizon=4000.0, crash_plan=plan
+        ).execute()
+        decided = {pid: d for pid, d in decisions(result).items() if plan.is_correct(pid)}
+        assert all(d is not None for d in decided.values())
+        assert len(set(decided.values())) == 1
+
+    def test_decides_with_all_but_one_crashing(self):
+        plan = CrashPlan.all_but(3, survivor=1, at=400.0, spacing=50.0)
+        result = Run(
+            ConsensusProcess, n=3, seed=102, horizon=5000.0, crash_plan=plan
+        ).execute()
+        assert result.algorithms[1].decision is not None
+
+
+class TestAnarchySafety:
+    """Everyone proposes concurrently: liveness is luck, safety is law."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agreement_under_concurrent_proposers(self, seed):
+        result = Run(
+            ConsensusProcess,
+            n=4,
+            seed=200 + seed,
+            horizon=1200.0,
+            algo_config={"anarchy": True},
+        ).execute()
+        decided = [d for d in decisions(result).values() if d is not None]
+        assert decided, "anarchy runs at this horizon are expected to decide"
+        assert len(set(decided)) == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_validity_under_concurrent_proposers(self, seed):
+        result = Run(
+            ConsensusProcess,
+            n=3,
+            seed=300 + seed,
+            horizon=1200.0,
+            algo_config={"anarchy": True, "inputs": {0: "a", 1: "b", 2: "c"}},
+        ).execute()
+        decided = {d for d in decisions(result).values() if d is not None}
+        assert decided <= {"a", "b", "c"}
+
+
+class TestWithBoundedOmega:
+    def test_consensus_over_algorithm2(self):
+        result = Run(
+            ConsensusProcess,
+            n=3,
+            seed=103,
+            horizon=3000.0,
+            algo_config={"omega_cls": BoundedOmega},
+        ).execute()
+        decided = decisions(result)
+        assert all(d is not None for d in decided.values())
+        assert len(set(decided.values())) == 1
+
+
+class TestCustomInputs:
+    def test_decided_value_is_some_input(self):
+        result = Run(
+            ConsensusProcess,
+            n=3,
+            seed=104,
+            horizon=1500.0,
+            algo_config={"inputs": {0: 111, 1: 222, 2: 333}},
+        ).execute()
+        decided = set(decisions(result).values())
+        assert len(decided) == 1
+        assert decided.pop() in {111, 222, 333}

@@ -1,0 +1,163 @@
+"""Multi-disk Disk Paxos: majority-of-disks consensus on the SAN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.disk_paxos import DiskFleet, DiskPaxosProcess
+from repro.core.runner import Run
+from repro.sim.crash import CrashPlan
+
+
+def decisions(result):
+    return {alg.pid: alg.decision for alg in result.algorithms}
+
+
+class TestFleet:
+    def test_majority(self):
+        assert DiskFleet(arrays=[None] * 3).majority == 2
+        assert DiskFleet(arrays=[None] * 5).majority == 3
+        assert DiskFleet(arrays=[None] * 1).majority == 1
+
+    def test_availability_schedule(self):
+        fleet = DiskFleet(arrays=[None] * 3, crash_times={1: 100.0})
+        assert fleet.available(1, 50.0)
+        assert not fleet.available(1, 100.0)
+        assert fleet.available(0, 1e9)
+
+    def test_zero_disks_rejected(self):
+        with pytest.raises(ValueError):
+            Run(DiskPaxosProcess, n=3, seed=1, horizon=10.0, algo_config={"num_disks": 0})
+
+
+class TestAllDisksHealthy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Run(
+            DiskPaxosProcess, n=3, seed=130, horizon=2000.0, algo_config={"num_disks": 3}
+        ).execute()
+
+    def test_everyone_decides(self, result):
+        assert all(d is not None for d in decisions(result).values())
+
+    def test_agreement(self, result):
+        assert len(set(decisions(result).values())) == 1
+
+    def test_validity(self, result):
+        assert set(decisions(result).values()) <= {f"v{p}" for p in range(3)}
+
+    def test_blocks_live_on_every_disk(self, result):
+        names = result.memory.names()
+        for d in range(3):
+            assert f"DISK{d}.BLOCK[0]" in names
+
+
+class TestMinorityDiskFailure:
+    def test_decides_despite_one_of_three_disks_crashing(self):
+        result = Run(
+            DiskPaxosProcess,
+            n=3,
+            seed=131,
+            horizon=3000.0,
+            algo_config={"num_disks": 3, "disk_crash_times": {0: 50.0}},
+        ).execute()
+        decided = decisions(result)
+        assert all(d is not None for d in decided.values())
+        assert len(set(decided.values())) == 1
+
+    def test_dead_disk_not_written_after_crash(self):
+        result = Run(
+            DiskPaxosProcess,
+            n=3,
+            seed=131,
+            horizon=3000.0,
+            algo_config={"num_disks": 3, "disk_crash_times": {0: 50.0}},
+        ).execute()
+        late = [
+            rec
+            for rec in result.memory.writes_in(50.0, 3000.0)
+            if rec.register.startswith("DISK0.")
+        ]
+        assert late == []
+
+    def test_decides_with_two_of_five_disks_down(self):
+        result = Run(
+            DiskPaxosProcess,
+            n=3,
+            seed=132,
+            horizon=3000.0,
+            algo_config={"num_disks": 5, "disk_crash_times": {1: 10.0, 4: 40.0}},
+        ).execute()
+        decided = decisions(result)
+        assert all(d is not None for d in decided.values())
+        assert len(set(decided.values())) == 1
+
+
+class TestMajorityDiskFailure:
+    def test_majority_loss_blocks_progress_but_stays_safe(self):
+        """Two of three disks down from t=0: nobody can complete a
+        phase, so nobody decides -- liveness lost, safety kept."""
+        result = Run(
+            DiskPaxosProcess,
+            n=3,
+            seed=133,
+            horizon=1500.0,
+            algo_config={"num_disks": 3, "disk_crash_times": {0: 0.0, 1: 0.0}},
+        ).execute()
+        assert all(d is None for d in decisions(result).values())
+
+
+class TestProcessAndDiskFailuresTogether:
+    def test_survives_leader_crash_plus_disk_crash(self):
+        result = Run(
+            DiskPaxosProcess,
+            n=4,
+            seed=134,
+            horizon=6000.0,
+            crash_plan=CrashPlan.single(4, 0, 300.0),
+            algo_config={"num_disks": 3, "disk_crash_times": {2: 400.0}},
+        ).execute()
+        decided = {
+            pid: d for pid, d in decisions(result).items() if result.crash_plan.is_correct(pid)
+        }
+        assert all(d is not None for d in decided.values())
+        assert len(set(decided.values())) == 1
+
+
+class TestAnarchySafetyOverDisks:
+    """Without Omega, dueling proposers may livelock (that is the whole
+    point of the oracle); safety must hold regardless, and at least some
+    seeds should get lucky and decide."""
+
+    @pytest.fixture(scope="class")
+    def anarchy_results(self):
+        return [
+            Run(
+                DiskPaxosProcess,
+                n=3,
+                seed=400 + seed,
+                horizon=8000.0,
+                algo_config={"num_disks": 3, "anarchy": True},
+            ).execute()
+            for seed in range(5)
+        ]
+
+    def test_agreement_among_deciders(self, anarchy_results):
+        for result in anarchy_results:
+            decided = [d for d in decisions(result).values() if d is not None]
+            assert len(set(decided)) <= 1
+
+    def test_some_runs_decide(self, anarchy_results):
+        decided_runs = [
+            r for r in anarchy_results if any(d is not None for d in decisions(r).values())
+        ]
+        assert decided_runs, "every anarchy run livelocked -- suspicious"
+
+    def test_some_runs_livelock(self, anarchy_results):
+        """Documented expectation: symmetric proposers preempt each
+        other indefinitely on some schedules -- Omega is what removes
+        this failure mode (contrast with TestAllDisksHealthy)."""
+        stuck = [
+            r for r in anarchy_results if all(d is None for d in decisions(r).values())
+        ]
+        assert stuck, "expected at least one dueling-proposers livelock at this horizon"

@@ -1,0 +1,162 @@
+"""Protocol-level safety of the Paxos cells, independent of the runner.
+
+These tests drive the ``attempt`` generators directly under seeded
+random interleavings -- a different (and more hostile) scheduler than
+the simulator -- so consensus safety is witnessed twice over
+independent execution engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.consensus import EMPTY_BLOCK, PaxosCell
+from repro.apps.disk_paxos import DiskFleet, DiskPaxosCell
+from repro.core.interfaces import LocalStep, ReadReg, WriteReg
+from repro.memory.memory import SharedMemory
+
+
+def proposer(cell, value):
+    """Propose until decided; returns the decided value."""
+    ballot = cell.next_ballot(0)
+    while True:
+        outcome = yield from cell.attempt(ballot, value)
+        if outcome.decided:
+            return outcome.value
+        ballot = cell.next_ballot(outcome.max_mbal_seen)
+
+
+def interleave(gens, schedule_seed, max_steps=20000):
+    """Run generators under a seeded random interleaving; returns
+    pid -> decided value (None when the step cap hit first)."""
+    rng = random.Random(schedule_seed)
+    inbox = {pid: None for pid in gens}
+    started = set()
+    results = {pid: None for pid in gens}
+    live = dict(gens)
+    steps = 0
+    while live and steps < max_steps:
+        steps += 1
+        pid = rng.choice(sorted(live))
+        gen = live[pid]
+        try:
+            if pid in started:
+                op = gen.send(inbox[pid])
+            else:
+                started.add(pid)
+                op = next(gen)
+        except StopIteration as stop:
+            results[pid] = stop.value
+            del live[pid]
+            continue
+        if isinstance(op, ReadReg):
+            inbox[pid] = op.register.read(pid)
+        elif isinstance(op, WriteReg):
+            op.register.write(pid, op.value)
+            inbox[pid] = None
+        elif isinstance(op, LocalStep):
+            inbox[pid] = None
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected op {op}")
+    return results
+
+
+def single_memory_cells(n):
+    memory = SharedMemory(clock=lambda: 0.0, log_reads=False)
+    blocks = memory.create_array("BLOCK", n, initial=EMPTY_BLOCK)
+    return [PaxosCell(blocks, pid, n) for pid in range(n)]
+
+
+def disk_cells(n, m, crash_times=None):
+    memory = SharedMemory(clock=lambda: 0.0, log_reads=False)
+    fleet = DiskFleet(
+        arrays=[memory.create_array(f"D{d}", n, initial=EMPTY_BLOCK) for d in range(m)],
+        crash_times=crash_times or {},
+    )
+    # Clock pinned at 0: crash_times={d: 0.0} means "down from the start".
+    return [DiskPaxosCell(fleet, pid, n, lambda: 0.0) for pid in range(n)]
+
+
+class TestSingleMemoryPaxosSafety:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_agreement_under_random_interleaving(self, seed):
+        cells = single_memory_cells(3)
+        gens = {pid: proposer(cells[pid], f"v{pid}") for pid in range(3)}
+        results = interleave(gens, seed)
+        decided = [v for v in results.values() if v is not None]
+        assert len(set(decided)) <= 1
+        assert decided, "random asymmetric schedules should decide"
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_validity(self, seed):
+        cells = single_memory_cells(4)
+        gens = {pid: proposer(cells[pid], f"v{pid}") for pid in range(4)}
+        results = interleave(gens, seed)
+        for v in results.values():
+            if v is not None:
+                assert v in {f"v{p}" for p in range(4)}
+
+    def test_solo_proposer_decides_own_value(self):
+        cells = single_memory_cells(3)
+        results = interleave({0: proposer(cells[0], "mine")}, 0)
+        assert results[0] == "mine"
+
+    def test_late_proposer_adopts_decided_value(self):
+        cells = single_memory_cells(2)
+        first = interleave({0: proposer(cells[0], "early")}, 0)
+        assert first[0] == "early"
+        second = interleave({1: proposer(cells[1], "late")}, 1)
+        assert second[1] == "early"
+
+    def test_ballot_uniqueness(self):
+        cells = single_memory_cells(3)
+        ballots = {cells[pid].next_ballot(100) for pid in range(3)}
+        assert len(ballots) == 3
+
+
+class TestDiskPaxosCellSafety:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_three_disks(self, seed):
+        cells = disk_cells(3, 3)
+        gens = {pid: proposer(cells[pid], f"v{pid}") for pid in range(3)}
+        results = interleave(gens, seed)
+        decided = [v for v in results.values() if v is not None]
+        assert len(set(decided)) <= 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_with_one_dead_disk(self, seed):
+        cells = disk_cells(3, 3, crash_times={0: 0.0})
+        gens = {pid: proposer(cells[pid], f"v{pid}") for pid in range(3)}
+        results = interleave(gens, seed)
+        decided = [v for v in results.values() if v is not None]
+        assert len(set(decided)) <= 1
+
+    def test_no_majority_never_decides(self):
+        cells = disk_cells(2, 3, crash_times={0: 0.0, 1: 0.0})
+        gens = {pid: proposer(cells[pid], f"v{pid}") for pid in range(2)}
+        results = interleave(gens, 0, max_steps=3000)
+        assert all(v is None for v in results.values())
+
+
+class TestPaxosSafetyPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 4), st.integers(0, 2**31 - 1))
+    def test_single_memory_agreement(self, n, seed):
+        cells = single_memory_cells(n)
+        gens = {pid: proposer(cells[pid], f"v{pid}") for pid in range(n)}
+        results = interleave(gens, seed, max_steps=30000)
+        decided = [v for v in results.values() if v is not None]
+        assert len(set(decided)) <= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 2))
+    def test_disk_paxos_agreement_any_single_disk_down(self, seed, dead_disk):
+        cells = disk_cells(3, 3, crash_times={dead_disk: 0.0})
+        gens = {pid: proposer(cells[pid], f"v{pid}") for pid in range(3)}
+        results = interleave(gens, seed, max_steps=30000)
+        decided = [v for v in results.values() if v is not None]
+        assert len(set(decided)) <= 1

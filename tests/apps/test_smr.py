@@ -1,0 +1,77 @@
+"""Replicated state machine: identical logs, progress across failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.smr import ReplicatedStateMachine
+from repro.core.runner import Run
+from repro.sim.crash import CrashPlan
+
+COMMANDS = [f"cmd{i}" for i in range(6)]
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return Run(
+            ReplicatedStateMachine,
+            n=3,
+            seed=110,
+            horizon=4000.0,
+            algo_config={"commands": COMMANDS},
+        ).execute()
+
+    def test_all_logs_complete(self, result):
+        for alg in result.algorithms:
+            assert len(alg.log) == len(COMMANDS)
+
+    def test_logs_identical(self, result):
+        logs = [alg.log for alg in result.algorithms]
+        assert logs[0] == logs[1] == logs[2]
+
+    def test_commands_in_order(self, result):
+        for slot, (command, _proposer) in enumerate(result.algorithms[0].log):
+            assert command == COMMANDS[slot]
+
+    def test_decide_times_monotone(self, result):
+        for alg in result.algorithms:
+            times = [t for _, t in alg.decide_times]
+            assert times == sorted(times)
+
+
+class TestLeaderCrashMidStream:
+    @pytest.fixture(scope="class")
+    def result(self):
+        plan = CrashPlan.single(3, 0, 500.0)
+        return Run(
+            ReplicatedStateMachine,
+            n=3,
+            seed=111,
+            horizon=12000.0,
+            crash_plan=plan,
+            algo_config={"commands": COMMANDS},
+        ).execute()
+
+    def test_survivors_complete_the_log(self, result):
+        for alg in result.algorithms:
+            if alg.pid == 0:
+                continue
+            assert len(alg.log) == len(COMMANDS)
+
+    def test_survivor_logs_agree(self, result):
+        assert result.algorithms[1].log == result.algorithms[2].log
+
+    def test_proposer_changes_after_crash(self, result):
+        """Early slots were proposed by pid 0, later slots by a
+        survivor -- the leadership handover is visible in the log."""
+        proposers = [proposer for _, proposer in result.algorithms[1].log]
+        assert 0 in proposers
+        assert any(p != 0 for p in proposers)
+
+    def test_crashed_process_prefix_consistent(self, result):
+        """Whatever prefix the crashed process applied agrees with the
+        survivors' log."""
+        dead_log = result.algorithms[0].log
+        survivor_log = result.algorithms[1].log
+        assert dead_log == survivor_log[: len(dead_log)]

@@ -1,0 +1,19 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    """A deterministic RNG registry for tests."""
+    return RngRegistry(seed=1234)
+
+
+def make_rng(seed: int = 1234) -> RngRegistry:
+    """Non-fixture helper for hypothesis tests (fixtures don't mix well
+    with ``@given``)."""
+    return RngRegistry(seed=seed)

@@ -1,0 +1,99 @@
+"""The operation vocabulary and the algorithm base class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interfaces import (
+    AlgorithmContext,
+    FetchAdd,
+    LocalStep,
+    OmegaAlgorithm,
+    ReadReg,
+    SetTimer,
+    WriteReg,
+)
+from repro.memory.register import AtomicRegister
+
+
+class TestOperations:
+    def test_ops_are_frozen(self):
+        reg = AtomicRegister("R", owner=0)
+        op = ReadReg(reg)
+        with pytest.raises(AttributeError):
+            op.register = None
+
+    def test_write_carries_value(self):
+        reg = AtomicRegister("R", owner=0)
+        assert WriteReg(reg, 42).value == 42
+
+    def test_set_timer_carries_timeout(self):
+        assert SetTimer(7.0).timeout == 7.0
+
+    def test_fetch_add_default_amount(self):
+        from repro.memory.mwmr import MultiWriterRegister
+
+        assert FetchAdd(MultiWriterRegister("M")).amount == 1
+
+    def test_local_step_is_stateless(self):
+        assert LocalStep() == LocalStep()
+
+
+class _Minimal(OmegaAlgorithm):
+    display_name = "minimal"
+
+    @classmethod
+    def create_shared(cls, memory, n, config):
+        return None
+
+    def main_task(self):
+        while True:
+            yield LocalStep()
+
+    def peek_leader(self):
+        return 0
+
+
+def make_ctx(pid=0, n=3, config=None):
+    return AlgorithmContext(pid=pid, n=n, clock=lambda: 0.0, rng=None, config=config or {})
+
+
+class TestAlgorithmBase:
+    def test_defaults(self):
+        alg = _Minimal(make_ctx(), None)
+        assert alg.timer_task() is None
+        assert alg.extra_tasks() == []
+        assert alg.initial_timeout() == 1.0  # uses_timer default True
+
+    def test_initial_timeout_none_without_timer(self):
+        class NoTimer(_Minimal):
+            uses_timer = False
+
+        assert NoTimer(make_ctx(), None).initial_timeout() is None
+
+    def test_leader_query_not_implemented_by_default(self):
+        alg = _Minimal(make_ctx(), None)
+        with pytest.raises(NotImplementedError):
+            alg.leader_query()
+
+    def test_invocation_accounting(self):
+        alg = _Minimal(make_ctx(), None)
+        alg._note_leader_invocation(5)
+        alg._note_leader_invocation(3)
+        assert alg.leader_invocations == 2
+        assert alg.max_leader_ops == 5
+
+    def test_context_fields(self):
+        ctx = make_ctx(pid=2, n=5, config={"k": "v"})
+        alg = _Minimal(ctx, "shared")
+        assert (alg.pid, alg.n, alg.shared) == (2, 5, "shared")
+        assert alg.ctx.config["k"] == "v"
+
+
+class TestTimeoutPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        from repro.core.runner import Run
+        from repro.core.algorithm1 import WriteEfficientOmega
+
+        with pytest.raises(ValueError, match="timeout_policy"):
+            Run(WriteEfficientOmega, n=2, algo_config={"timeout_policy": "bogus"})

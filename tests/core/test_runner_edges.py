@@ -1,0 +1,156 @@
+"""Runner edge cases: task exhaustion, event caps, timer-vs-block races,
+and analysis reuse across substrates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeline import build_timeline
+from repro.apps.lease import lease_intervals
+from repro.core.algorithm2 import BoundedOmega
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.interfaces import LocalStep, OmegaAlgorithm, SetTimer
+from repro.core.runner import Run
+from repro.memory.disk import Disk, LatencyModel
+from repro.netsim.network import EventuallyTimelyLinks, FairLossyLinks
+from repro.netsim.runtime import MpRun
+from repro.related.omega_tsource import TSourceOmega
+from repro.sim.rng import RngRegistry
+
+
+class FiniteTaskAlgorithm(OmegaAlgorithm):
+    """Test double whose extra task terminates: the runner must drop it
+    and keep the main task running."""
+
+    display_name = "finite-task"
+    uses_timer = False
+
+    @classmethod
+    def create_shared(cls, memory, n, config):
+        return memory.create_array("X", n, initial=0)
+
+    def __init__(self, ctx, shared):
+        super().__init__(ctx, shared)
+        self.extra_done = False
+        self.main_steps = 0
+
+    def main_task(self):
+        while True:
+            self.main_steps += 1
+            yield LocalStep()
+
+    def extra_tasks(self):
+        return [self._finite()]
+
+    def _finite(self):
+        for _ in range(5):
+            yield LocalStep()
+        self.extra_done = True
+
+    def peek_leader(self):
+        return 0
+
+
+class TimerDuringBlockAlgorithm(OmegaAlgorithm):
+    """Arms a timer, then issues a long disk access; the expiry lands
+    mid-block and the T3 task must run after the access completes."""
+
+    display_name = "timer-during-block"
+
+    @classmethod
+    def create_shared(cls, memory, n, config):
+        return memory.create_array("R", n, initial=0)
+
+    def __init__(self, ctx, shared):
+        super().__init__(ctx, shared)
+        self.timer_ran_at = None
+        self.read_done_at = None
+
+    def initial_timeout(self):
+        return 1.0  # fires while the first disk read is in flight
+
+    def main_task(self):
+        from repro.core.interfaces import ReadReg
+
+        yield ReadReg(self.shared.register(self.pid))
+        self.read_done_at = self.ctx.clock()
+        while True:
+            yield LocalStep()
+
+    def timer_task(self):
+        self.timer_ran_at = self.ctx.clock()
+        yield LocalStep()
+
+    def peek_leader(self):
+        return 0
+
+
+class TestTaskLifecycle:
+    def test_finite_extra_task_dropped_main_continues(self):
+        result = Run(FiniteTaskAlgorithm, n=2, seed=1, horizon=100.0).execute()
+        for alg in result.algorithms:
+            assert alg.extra_done
+            assert alg.main_steps > 20
+
+    def test_max_events_cap(self):
+        run = Run(FiniteTaskAlgorithm, n=2, seed=1, horizon=1e6)
+        run.execute(max_events=500)
+        assert run.sim.events_fired <= 500
+
+
+class TestTimerDuringDiskBlock:
+    def test_expiry_midblock_is_deferred_not_lost(self):
+        disk = Disk(LatencyModel(RngRegistry(2), lo=8.0, hi=10.0))
+        result = Run(
+            TimerDuringBlockAlgorithm, n=2, seed=2, horizon=100.0, disk=disk,
+            sample_interval=10.0,
+        ).execute()
+        for alg in result.algorithms:
+            assert alg.timer_ran_at is not None
+            assert alg.read_done_at is not None
+            # The timer fired at ~1 but its task could only *run* after
+            # the blocking access (latency >= 8) released the process --
+            # deferred, not lost, and never mid-block.
+            assert alg.timer_ran_at >= 8.0
+            assert alg.read_done_at >= 8.0
+
+
+class TestAnalysisReuseAcrossSubstrates:
+    """Trace-level analysis must work identically for MP runs."""
+
+    @pytest.fixture(scope="class")
+    def mp_result(self):
+        rng = RngRegistry(1)
+        behavior = EventuallyTimelyLinks(
+            FairLossyLinks(rng, loss=0.2), sources={0}, gst=300.0, rng=rng
+        )
+        return MpRun(TSourceOmega, n=4, seed=1, horizon=4000.0, behavior=behavior).execute()
+
+    def test_timeline_on_mp_trace(self, mp_result):
+        report = build_timeline(mp_result.trace, crash_plan=mp_result.crash_plan)
+        assert set(report.intervals_by_pid) == set(range(4))
+        assert report.last_anarchy_end < mp_result.horizon * 0.5
+
+    def test_lease_on_mp_trace(self, mp_result):
+        report = lease_intervals(mp_result.trace, length=200.0)
+        stab = mp_result.stabilization(margin=200.0)
+        assert stab.stabilized
+        assert report.holders_at(mp_result.horizon - 10.0) == [stab.leader]
+
+
+class TestLeaseOnBoundedOmega:
+    def test_unique_holder_after_stabilization(self):
+        result = Run(BoundedOmega, n=3, seed=55, horizon=6000.0).execute()
+        stab = result.stabilization(margin=300.0)
+        assert stab.stabilized
+        report = lease_intervals(result.trace, length=200.0)
+        assert report.holders_at(result.horizon - 10.0) == [stab.leader]
+
+
+class TestHorizonSamplingConsistency:
+    def test_every_correct_pid_sampled_at_horizon(self):
+        result = Run(WriteEfficientOmega, n=3, seed=9, horizon=333.0).execute()
+        at_horizon = {
+            pid for t, pid, _ in result.trace.leader_samples() if t == 333.0
+        }
+        assert at_horizon == {0, 1, 2}

@@ -1,0 +1,84 @@
+"""Register arrays and matrices: shapes and per-entry ownership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.arrays import RegisterArray, RegisterMatrix
+from repro.memory.register import OwnershipError
+
+
+class TestRegisterArray:
+    def test_default_identity_ownership(self):
+        arr = RegisterArray(None, "PROGRESS", 3)
+        arr.write(1, writer=1, value=5)
+        with pytest.raises(OwnershipError):
+            arr.write(1, writer=0, value=5)
+
+    def test_custom_ownership(self):
+        arr = RegisterArray(None, "X", 3, owner_of=lambda i: 0)
+        arr.write(2, writer=0, value=1)
+        with pytest.raises(OwnershipError):
+            arr.write(2, writer=2, value=1)
+
+    def test_initial_values(self):
+        arr = RegisterArray(None, "STOP", 4, initial=True)
+        assert arr.peek_all() == [True] * 4
+
+    def test_read_write_roundtrip(self):
+        arr = RegisterArray(None, "A", 3)
+        arr.write(0, writer=0, value="v")
+        assert arr.read(0, reader=2) == "v"
+
+    def test_register_names(self):
+        arr = RegisterArray(None, "A", 2)
+        assert arr.register(0).name == "A[0]"
+        assert arr.register(1).name == "A[1]"
+
+    def test_len(self):
+        assert len(RegisterArray(None, "A", 5)) == 5
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            RegisterArray(None, "A", 0)
+
+    def test_critical_propagates(self):
+        arr = RegisterArray(None, "A", 2, critical=True)
+        assert arr.register(0).critical
+
+
+class TestRegisterMatrix:
+    def test_default_row_ownership(self):
+        mat = RegisterMatrix(None, "SUSPICIONS", 3)
+        mat.write(1, 2, writer=1, value=4)
+        with pytest.raises(OwnershipError):
+            mat.write(1, 2, writer=2, value=4)
+
+    def test_column_ownership_for_last(self):
+        """Algorithm 2's LAST matrix: entry (i, k) owned by p_k."""
+        mat = RegisterMatrix(None, "LAST", 3, owner_of=lambda row, col: col)
+        mat.write(0, 2, writer=2, value=True)
+        with pytest.raises(OwnershipError):
+            mat.write(0, 2, writer=0, value=True)
+
+    def test_register_names(self):
+        mat = RegisterMatrix(None, "M", 2)
+        assert mat.register(1, 0).name == "M[1][0]"
+
+    def test_peek_column_and_row(self):
+        mat = RegisterMatrix(None, "M", 3, initial=0)
+        mat.write(0, 1, writer=0, value=5)
+        mat.write(2, 1, writer=2, value=7)
+        assert mat.peek_column(1) == [5, 0, 7]
+        assert mat.peek_row(0) == [0, 5, 0]
+
+    def test_column_sum_matches_paper_aggregation(self):
+        """column_sum(k) is the paper's sum_j SUSPICIONS[j][k]."""
+        mat = RegisterMatrix(None, "S", 3, initial=0)
+        mat.write(0, 2, writer=0, value=3)
+        mat.write(1, 2, writer=1, value=4)
+        assert mat.column_sum(2) == 7
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            RegisterMatrix(None, "M", 0)

@@ -1,0 +1,65 @@
+"""The SAN disk model: latency sampling and version bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.disk import Disk, LatencyModel
+from tests.conftest import make_rng
+
+
+class TestLatencyModel:
+    def test_sample_within_bounds(self):
+        model = LatencyModel(make_rng(1), lo=1.0, hi=4.0)
+        for pid in range(4):
+            for _ in range(100):
+                s = model.sample(pid)
+                assert 1.0 <= s.resp_offset <= 4.0
+                assert 0.0 <= s.lin_offset <= s.resp_offset
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyModel(make_rng(1), lo=0.0, hi=1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(make_rng(1), lo=3.0, hi=1.0)
+
+    def test_deterministic(self):
+        a = LatencyModel(make_rng(5)).sample(0)
+        b = LatencyModel(make_rng(5)).sample(0)
+        assert a == b
+
+
+class TestDiskHistory:
+    def _disk(self) -> Disk:
+        return Disk(LatencyModel(make_rng(2)))
+
+    def test_write_versions_increment_per_register(self):
+        disk = self._disk()
+        assert disk.note_write(0, "R", 0.0, 0.5, 1.0) == 0
+        assert disk.note_write(0, "R", 1.0, 1.5, 2.0) == 1
+        assert disk.note_write(1, "Q", 0.0, 0.5, 1.0) == 0
+
+    def test_read_returns_latest_version(self):
+        disk = self._disk()
+        disk.note_write(0, "R", 0.0, 0.5, 1.0)
+        assert disk.note_read(1, "R", 1.0, 1.2, 1.5) == 0
+        disk.note_write(0, "R", 2.0, 2.5, 3.0)
+        assert disk.note_read(1, "R", 3.0, 3.2, 3.5) == 1
+
+    def test_read_before_any_write_sees_initial_version(self):
+        disk = self._disk()
+        assert disk.note_read(1, "R", 0.0, 0.1, 0.2) == -1
+
+    def test_ops_for_filters_register(self):
+        disk = self._disk()
+        disk.note_write(0, "R", 0.0, 0.5, 1.0)
+        disk.note_write(1, "Q", 0.0, 0.5, 1.0)
+        disk.note_read(2, "R", 1.0, 1.2, 1.5)
+        assert [op.kind for op in disk.ops_for("R")] == ["write", "read"]
+
+    def test_op_ids_monotone(self):
+        disk = self._disk()
+        disk.note_write(0, "R", 0.0, 0.5, 1.0)
+        disk.note_read(1, "R", 1.0, 1.2, 1.5)
+        ids = [op.op_id for op in disk.history]
+        assert ids == sorted(ids)

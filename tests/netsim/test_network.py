@@ -1,0 +1,116 @@
+"""Channels: timing, loss, the eventual t-source property."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.network import (
+    EventuallyTimelyLinks,
+    FairLossyLinks,
+    Message,
+    Network,
+    TimelyLinks,
+)
+from repro.sim.kernel import Simulator
+from tests.conftest import make_rng
+
+
+def msg(sender=0, receiver=1, kind="X", payload=None, sent_at=0.0):
+    return Message(sender, receiver, kind, payload, sent_at)
+
+
+class TestTimelyLinks:
+    def test_delays_within_bounds(self):
+        links = TimelyLinks(make_rng(1), lo=0.5, hi=2.0)
+        for _ in range(200):
+            d = links.delivery_delay(msg())
+            assert 0.5 <= d <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimelyLinks(make_rng(1), lo=2.0, hi=1.0)
+
+
+class TestFairLossyLinks:
+    def test_loss_rate_roughly_respected(self):
+        links = FairLossyLinks(make_rng(2), loss=0.5)
+        outcomes = [links.delivery_delay(msg()) for _ in range(1000)]
+        dropped = sum(1 for d in outcomes if d is None)
+        assert 350 < dropped < 650
+
+    def test_fairness_some_get_through(self):
+        links = FairLossyLinks(make_rng(3), loss=0.9)
+        outcomes = [links.delivery_delay(msg()) for _ in range(500)]
+        assert any(d is not None for d in outcomes)
+
+    def test_delays_capped(self):
+        links = FairLossyLinks(make_rng(4), loss=0.0, cap=80.0)
+        for _ in range(500):
+            d = links.delivery_delay(msg())
+            assert d is not None and d <= 80.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FairLossyLinks(make_rng(1), loss=1.0)
+
+
+class TestEventuallyTimelyLinks:
+    def _links(self, gst=100.0):
+        rng = make_rng(5)
+        return EventuallyTimelyLinks(
+            FairLossyLinks(rng, loss=0.5), sources={0}, gst=gst, rng=rng,
+            timely_lo=0.5, timely_hi=2.0,
+        )
+
+    def test_source_timely_after_gst(self):
+        links = self._links()
+        for _ in range(200):
+            d = links.delivery_delay(msg(sender=0, sent_at=150.0))
+            assert d is not None and 0.5 <= d <= 2.0
+
+    def test_source_lossy_before_gst(self):
+        links = self._links()
+        outcomes = [links.delivery_delay(msg(sender=0, sent_at=50.0)) for _ in range(300)]
+        assert any(d is None for d in outcomes)
+
+    def test_non_source_stays_lossy_forever(self):
+        links = self._links()
+        outcomes = [links.delivery_delay(msg(sender=1, sent_at=1e6)) for _ in range(300)]
+        assert any(d is None for d in outcomes)
+
+
+class TestNetwork:
+    def _network(self):
+        sim = Simulator()
+        net = Network(sim, TimelyLinks(make_rng(6), lo=1.0, hi=1.0))
+        inbox = []
+        net.install_delivery(lambda m: inbox.append((sim.now, m)))
+        return sim, net, inbox
+
+    def test_send_delivers_via_kernel(self):
+        sim, net, inbox = self._network()
+        net.send(0, 1, "PING", "x")
+        sim.run()
+        assert [(t, m.kind, m.payload) for t, m in inbox] == [(1.0, "PING", "x")]
+
+    def test_broadcast_excludes_sender(self):
+        sim, net, inbox = self._network()
+        net.broadcast(0, 4, "HB", None)
+        sim.run()
+        assert sorted(m.receiver for _, m in inbox) == [1, 2, 3]
+
+    def test_accounting(self):
+        sim, net, _ = self._network()
+        net.broadcast(2, 3, "HB", None)
+        sim.run()
+        assert net.sent_by_pid == {2: 2}
+        assert net.delivered == 2
+        assert net.total_sent == 2
+
+    def test_drops_counted(self):
+        sim = Simulator()
+        net = Network(sim, FairLossyLinks(make_rng(7), loss=1.0 - 1e-9))
+        net.install_delivery(lambda m: None)
+        for _ in range(50):
+            net.send(0, 1, "X", None)
+        assert net.dropped > 0

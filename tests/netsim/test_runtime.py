@@ -1,0 +1,94 @@
+"""The message-passing runtime: handlers, timers, crash semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.network import Message, TimelyLinks
+from repro.netsim.runtime import MpProcess, MpRun
+from repro.sim.crash import CrashPlan
+
+
+class EchoProcess(MpProcess):
+    """Test double: pid 0 pings everyone, peers pong back."""
+
+    display_name = "echo"
+
+    def __init__(self, pid, n, config):
+        super().__init__(pid, n, config)
+        self.pings = 0
+        self.pongs = 0
+        self.timer_fires = 0
+
+    def on_start(self):
+        if self.pid == 0:
+            self.broadcast("PING")
+        self.set_timer("tick", 10.0)
+
+    def on_message(self, message: Message):
+        if message.kind == "PING":
+            self.pings += 1
+            self.send(message.sender, "PONG")
+        elif message.kind == "PONG":
+            self.pongs += 1
+
+    def on_timer(self, tag):
+        self.timer_fires += 1
+        self.set_timer("tick", 10.0)
+
+    def peek_leader(self):
+        return 0
+
+
+class TestRuntime:
+    def test_ping_pong_roundtrip(self):
+        result = MpRun(EchoProcess, n=3, seed=1, horizon=50.0).execute()
+        assert result.processes[0].pongs == 2
+        assert result.processes[1].pings == 1
+
+    def test_timers_repeat(self):
+        result = MpRun(EchoProcess, n=2, seed=1, horizon=100.0).execute()
+        assert result.processes[0].timer_fires == pytest.approx(10, abs=2)
+
+    def test_needs_two_processes(self):
+        with pytest.raises(ValueError):
+            MpRun(EchoProcess, n=1)
+
+    def test_deterministic(self):
+        a = MpRun(EchoProcess, n=3, seed=5, horizon=100.0).execute()
+        b = MpRun(EchoProcess, n=3, seed=5, horizon=100.0).execute()
+        assert a.trace.leader_samples() == b.trace.leader_samples()
+        assert a.network.total_sent == b.network.total_sent
+
+    def test_timer_validation(self):
+        run = MpRun(EchoProcess, n=2, seed=1, horizon=10.0)
+        with pytest.raises(ValueError):
+            run.set_timer(0, "bad", 0.0)
+
+
+class TestCrashSemantics:
+    def test_crashed_process_handles_nothing(self):
+        plan = CrashPlan.single(3, 1, 5.0)
+        result = MpRun(
+            EchoProcess, n=3, seed=2, horizon=100.0, crash_plan=plan
+        ).execute()
+        # pid 1 stops firing timers after its crash at t=5.
+        assert result.processes[1].timer_fires == 0
+
+    def test_crash_recorded(self):
+        plan = CrashPlan.single(3, 2, 7.0)
+        result = MpRun(EchoProcess, n=3, seed=2, horizon=50.0, crash_plan=plan).execute()
+        crashes = result.trace.of_kind("crash")
+        assert [(c.time, c["pid"]) for c in crashes] == [(7.0, 2)]
+
+    def test_crashed_process_not_sampled(self):
+        plan = CrashPlan.single(3, 2, 7.0)
+        result = MpRun(EchoProcess, n=3, seed=2, horizon=50.0, crash_plan=plan).execute()
+        late = [(t, pid) for t, pid, _ in result.trace.leader_samples() if t > 10 and pid == 2]
+        assert late == []
+
+    def test_initially_crashed_process_never_starts(self):
+        plan = CrashPlan.single(2, 1, 0.0)
+        result = MpRun(EchoProcess, n=2, seed=3, horizon=50.0, crash_plan=plan).execute()
+        assert result.processes[1].timer_fires == 0
+        assert result.network.sent_by_pid.get(1, 0) == 0

@@ -1,0 +1,100 @@
+"""Crash plans: validation, queries, builders."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.crash import CrashPlan
+from tests.conftest import make_rng
+
+
+class TestCrashPlanBasics:
+    def test_none_plan_everyone_correct(self):
+        plan = CrashPlan.none(4)
+        assert plan.correct == frozenset(range(4))
+        assert plan.faulty == frozenset()
+
+    def test_single(self):
+        plan = CrashPlan.single(4, 2, 10.0)
+        assert plan.crash_time(2) == 10.0
+        assert plan.is_correct(0)
+        assert not plan.is_correct(2)
+
+    def test_is_crashed_boundary(self):
+        plan = CrashPlan.single(3, 1, 10.0)
+        assert not plan.is_crashed(1, 9.999)
+        assert plan.is_crashed(1, 10.0)
+
+    def test_correct_process_never_crashes(self):
+        plan = CrashPlan.single(3, 1, 10.0)
+        assert plan.crash_time(0) == math.inf
+        assert not plan.is_crashed(0, 1e12)
+
+    def test_alive_at(self):
+        plan = CrashPlan(4, {0: 5.0, 1: 15.0})
+        assert plan.alive_at(0.0) == frozenset({0, 1, 2, 3})
+        assert plan.alive_at(10.0) == frozenset({1, 2, 3})
+        assert plan.alive_at(20.0) == frozenset({2, 3})
+
+    def test_inf_times_normalized_away(self):
+        plan = CrashPlan(3, {0: math.inf})
+        assert plan.is_correct(0)
+
+    def test_all_crashing_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPlan(2, {0: 1.0, 1: 2.0})
+
+    def test_out_of_range_pid_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPlan(2, {5: 1.0})
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPlan(2, {0: -1.0})
+
+
+class TestBuilders:
+    def test_all_but(self):
+        plan = CrashPlan.all_but(4, survivor=2, at=10.0, spacing=5.0)
+        assert plan.correct == frozenset({2})
+        assert plan.crash_time(0) == 10.0
+        assert plan.crash_time(1) == 15.0
+        assert plan.crash_time(3) == 20.0
+
+    def test_cascade(self):
+        plan = CrashPlan.cascade(5, [3, 1], start=100.0, spacing=50.0)
+        assert plan.crash_time(3) == 100.0
+        assert plan.crash_time(1) == 150.0
+        assert plan.correct == frozenset({0, 2, 4})
+
+    def test_random_respects_cap(self):
+        for seed in range(10):
+            plan = CrashPlan.random(5, make_rng(seed), max_failures=2, probability=0.9)
+            assert len(plan.faulty) <= 2
+
+    def test_random_always_leaves_a_survivor(self):
+        for seed in range(20):
+            plan = CrashPlan.random(3, make_rng(seed), probability=1.0)
+            assert len(plan.correct) >= 1
+
+    def test_random_deterministic(self):
+        a = CrashPlan.random(6, make_rng(3), probability=0.5)
+        b = CrashPlan.random(6, make_rng(3), probability=0.5)
+        assert a.crash_times == b.crash_times
+
+
+class TestCrashPlanProperty:
+    @given(st.integers(2, 10), st.data())
+    def test_correct_and_faulty_partition(self, n, data):
+        crash_count = data.draw(st.integers(0, n - 1))
+        pids = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=crash_count, max_size=crash_count, unique=True)
+        )
+        times = {pid: float(i + 1) for i, pid in enumerate(pids)}
+        plan = CrashPlan(n, times)
+        assert plan.correct | plan.faulty == frozenset(range(n))
+        assert not plan.correct & plan.faulty

@@ -1,0 +1,120 @@
+"""Event queue: ordering, stability, cancellation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import Event, EventQueue
+
+
+def drain(queue: EventQueue):
+    out = []
+    while queue:
+        event, handle = queue.pop()
+        out.append((event, handle))
+    return out
+
+
+class TestEventQueueBasics:
+    def test_empty_queue_is_falsy(self):
+        assert not EventQueue()
+
+    def test_len_tracks_pushes(self):
+        q = EventQueue()
+        q.push(1.0, "a", None)
+        q.push(2.0, "b", None)
+        assert len(q) == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_pop_returns_earliest(self):
+        q = EventQueue()
+        q.push(5.0, "late", None)
+        q.push(1.0, "early", None)
+        event, _ = q.pop()
+        assert event.kind == "early"
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(3.0, "x", None)
+        assert q.peek_time() == 3.0
+
+    def test_equal_times_fire_in_schedule_order(self):
+        q = EventQueue()
+        for label in ("first", "second", "third"):
+            q.push(7.0, label, None)
+        kinds = [event.kind for event, _ in drain(q)]
+        assert kinds == ["first", "second", "third"]
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), "x", None)
+
+    def test_cancel_marks_handle(self):
+        q = EventQueue()
+        handle = q.push(1.0, "x", None)
+        handle.cancel()
+        _, popped_handle = q.pop()
+        assert popped_handle.cancelled
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, "x", None)
+        q.clear()
+        assert not q
+
+    def test_pid_recorded(self):
+        q = EventQueue()
+        q.push(1.0, "x", None, pid=3)
+        event, _ = q.pop()
+        assert event.pid == 3
+
+
+class TestEventOrderingProperty:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=60))
+    def test_pop_order_is_sorted_by_time(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, "e", None)
+        popped = [event.time for event, _ in drain(q)]
+        assert popped == sorted(times)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from([1.0, 2.0, 3.0]), st.integers(0, 999)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_stable_within_equal_times(self, items):
+        q = EventQueue()
+        for t, tag in items:
+            q.push(t, str(tag), None)
+        popped = [(event.time, event.kind) for event, _ in drain(q)]
+        expected = sorted(
+            [(t, str(tag)) for t, tag in items],
+            key=lambda pair: pair[0],
+        )
+        # stable sort on time must preserve insertion order for ties
+        by_time: dict[float, list[str]] = {}
+        for t, tag in items:
+            by_time.setdefault(t, []).append(str(tag))
+        reconstructed: dict[float, list[str]] = {}
+        for t, tag in popped:
+            reconstructed.setdefault(t, []).append(tag)
+        assert reconstructed == by_time
+        assert [p[0] for p in popped] == [e[0] for e in expected]
+
+
+class TestEventRecord:
+    def test_lt_uses_time_then_seq(self):
+        a = Event(1.0, 0, "a", None)
+        b = Event(1.0, 1, "b", None)
+        c = Event(0.5, 9, "c", None)
+        assert c < a < b

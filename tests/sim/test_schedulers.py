@@ -1,0 +1,165 @@
+"""Step-delay models: positivity, bounds, AWB1 semantics, stalls."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngRegistry
+from repro.sim.schedulers import (
+    AdversarialStallDelay,
+    CompositeDelay,
+    FixedDelay,
+    HeavyTailDelay,
+    PartiallySynchronousDelay,
+    RampDelay,
+    StallWindow,
+    UniformDelay,
+    mean_delay,
+)
+from tests.conftest import make_rng
+
+
+class TestFixedDelay:
+    def test_constant(self):
+        model = FixedDelay(2.5)
+        assert model.delay(0, 0.0) == 2.5
+        assert model.delay(3, 99.0) == 2.5
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDelay(0.0).delay(0, 0.0)
+
+
+class TestUniformDelay:
+    def test_within_bounds(self, rng):
+        model = UniformDelay(rng, 0.5, 1.5)
+        for _ in range(200):
+            assert 0.5 <= model.delay(1, 0.0) <= 1.5
+
+    def test_bad_bounds_rejected(self, rng):
+        with pytest.raises(ValueError):
+            UniformDelay(rng, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformDelay(rng, 0.0, 1.0)
+
+    def test_per_pid_streams_differ(self, rng):
+        model = UniformDelay(rng, 0.5, 1.5)
+        a = [model.delay(0, 0.0) for _ in range(8)]
+        b = [model.delay(1, 0.0) for _ in range(8)]
+        assert a != b
+
+    def test_deterministic_across_registries(self):
+        a = UniformDelay(make_rng(5), 0.5, 1.5).delay(0, 0.0)
+        b = UniformDelay(make_rng(5), 0.5, 1.5).delay(0, 0.0)
+        assert a == b
+
+
+class TestHeavyTailDelay:
+    def test_positive_and_capped(self, rng):
+        model = HeavyTailDelay(rng, scale=0.5, shape=1.3, cap=10.0)
+        for _ in range(500):
+            d = model.delay(2, 0.0)
+            assert 0 < d <= 10.0
+
+    def test_produces_tail(self, rng):
+        model = HeavyTailDelay(rng, scale=0.5, shape=1.1, cap=100.0)
+        samples = [model.delay(0, 0.0) for _ in range(2000)]
+        assert max(samples) > 10 * min(samples)
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ValueError):
+            HeavyTailDelay(rng, scale=-1.0)
+
+
+class TestPartiallySynchronousDelay:
+    """The AWB1 realization: the designated process is timely after gst."""
+
+    def test_timely_after_gst(self, rng):
+        model = PartiallySynchronousDelay(
+            base=HeavyTailDelay(rng, cap=50.0),
+            timely_pids={0},
+            gst=100.0,
+            rng=rng,
+            timely_lo=0.5,
+            timely_hi=1.0,
+        )
+        for _ in range(200):
+            assert 0.5 <= model.delay(0, 150.0) <= 1.0
+
+    def test_untimely_before_gst(self, rng):
+        model = PartiallySynchronousDelay(
+            base=FixedDelay(7.0), timely_pids={0}, gst=100.0, rng=rng
+        )
+        assert model.delay(0, 50.0) == 7.0
+
+    def test_other_pids_stay_on_base(self, rng):
+        model = PartiallySynchronousDelay(
+            base=FixedDelay(7.0), timely_pids={0}, gst=100.0, rng=rng
+        )
+        assert model.delay(1, 500.0) == 7.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PartiallySynchronousDelay(FixedDelay(1.0), {0}, gst=-1.0, rng=rng)
+        with pytest.raises(ValueError):
+            PartiallySynchronousDelay(
+                FixedDelay(1.0), {0}, gst=0.0, rng=rng, timely_lo=2.0, timely_hi=1.0
+            )
+
+
+class TestAdversarialStallDelay:
+    def test_stall_pushes_wake_to_window_end(self):
+        model = AdversarialStallDelay(FixedDelay(1.0), [StallWindow(0, 10.0, 50.0)])
+        # Step at t=9.5 would wake at 10.5, inside the stall: push to 50.
+        assert model.delay(0, 9.5) == pytest.approx(50.0 - 9.5)
+
+    def test_other_pid_unaffected(self):
+        model = AdversarialStallDelay(FixedDelay(1.0), [StallWindow(0, 10.0, 50.0)])
+        assert model.delay(1, 9.5) == 1.0
+
+    def test_outside_window_unaffected(self):
+        model = AdversarialStallDelay(FixedDelay(1.0), [StallWindow(0, 10.0, 50.0)])
+        assert model.delay(0, 100.0) == 1.0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            StallWindow(0, 5.0, 5.0)
+
+    def test_chained_windows(self):
+        model = AdversarialStallDelay(
+            FixedDelay(1.0), [StallWindow(0, 2.0, 5.0), StallWindow(0, 5.0, 9.0)]
+        )
+        # Wake at 2.5 -> pushed to 5.0 -> inside second window -> 9.0.
+        assert model.delay(0, 1.5) == pytest.approx(7.5)
+
+
+class TestRampDelay:
+    def test_grows_with_time(self):
+        model = RampDelay(base=1.0, rate=0.1)
+        assert model.delay(0, 100.0) > model.delay(0, 10.0)
+
+
+class TestCompositeDelay:
+    def test_dispatch(self):
+        model = CompositeDelay(FixedDelay(1.0), {2: FixedDelay(9.0)})
+        assert model.delay(0, 0.0) == 1.0
+        assert model.delay(2, 0.0) == 9.0
+
+
+class TestMeanDelayHelper:
+    def test_mean_of_fixed(self):
+        assert mean_delay(FixedDelay(2.0), 0, 0.0) == pytest.approx(2.0)
+
+    @given(st.floats(min_value=0.1, max_value=10.0), st.integers(0, 7))
+    def test_all_models_produce_valid_delays(self, base, pid):
+        reg = make_rng(99)
+        models = [
+            FixedDelay(base),
+            UniformDelay(reg, base / 2, base),
+            HeavyTailDelay(reg, scale=base, cap=base * 100),
+        ]
+        for model in models:
+            d = model.delay(pid, 0.0)
+            assert d > 0

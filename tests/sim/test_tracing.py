@@ -1,0 +1,67 @@
+"""Run traces: recording and querying."""
+
+from __future__ import annotations
+
+from repro.sim.tracing import RunTrace
+
+
+class TestRunTrace:
+    def test_record_and_len(self):
+        trace = RunTrace()
+        trace.record(1.0, "crash", pid=2)
+        assert len(trace) == 1
+
+    def test_of_kind_filters_in_order(self):
+        trace = RunTrace()
+        trace.record(1.0, "a", x=1)
+        trace.record(2.0, "b", x=2)
+        trace.record(3.0, "a", x=3)
+        assert [r["x"] for r in trace.of_kind("a")] == [1, 3]
+
+    def test_of_kind_missing_is_empty(self):
+        assert RunTrace().of_kind("nope") == []
+
+    def test_last_of_kind(self):
+        trace = RunTrace()
+        assert trace.last_of_kind("a") is None
+        trace.record(1.0, "a", x=1)
+        trace.record(2.0, "a", x=2)
+        assert trace.last_of_kind("a")["x"] == 2
+
+    def test_record_getitem_and_get(self):
+        trace = RunTrace()
+        rec = trace.record(1.0, "a", x=1)
+        assert rec["x"] == 1
+        assert rec.get("y", "default") == "default"
+
+    def test_iteration_in_order(self):
+        trace = RunTrace()
+        trace.record(1.0, "a")
+        trace.record(2.0, "b")
+        assert [r.kind for r in trace] == ["a", "b"]
+
+
+class TestLeaderSampleHelpers:
+    def _trace(self) -> RunTrace:
+        trace = RunTrace()
+        trace.record(0.0, "leader_sample", pid=0, leader=1)
+        trace.record(0.0, "leader_sample", pid=1, leader=1)
+        trace.record(5.0, "leader_sample", pid=0, leader=0)
+        trace.record(5.0, "leader_sample", pid=1, leader=0)
+        return trace
+
+    def test_leader_samples(self):
+        assert self._trace().leader_samples() == [
+            (0.0, 0, 1),
+            (0.0, 1, 1),
+            (5.0, 0, 0),
+            (5.0, 1, 0),
+        ]
+
+    def test_leader_samples_by_pid(self):
+        by_pid = self._trace().leader_samples_by_pid()
+        assert by_pid[0] == [(0.0, 1), (5.0, 0)]
+        assert by_pid[1] == [(0.0, 1), (5.0, 0)]
+
+    def test_sample_times_deduplicated(self):
+        assert self._trace().sample_times() == [0.0, 5.0]

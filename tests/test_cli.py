@@ -1,0 +1,74 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import ALGORITHMS, SCENARIOS, build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "alg1"
+        assert args.scenario == "nominal"
+        assert args.seed == 0
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--algorithm", "alg2", "--scenario", "san", "--seed", "9", "--n", "5"]
+        )
+        assert (args.algorithm, args.scenario, args.seed, args.n) == ("alg2", "san", 9, 5)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "nope"])
+
+    def test_compare_seeds(self):
+        args = build_parser().parse_args(["compare", "--seeds", "1", "2", "3"])
+        assert args.seeds == [1, 2, 3]
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALGORITHMS:
+            assert name in out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_run_nominal(self, capsys):
+        code = main(
+            ["run", "--algorithm", "alg1", "--scenario", "nominal", "--seed", "1",
+             "--n", "3", "--horizon", "1500", "--timeline"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stabilized: True" in out
+        assert "leadership timeline" in out
+        assert "forever writers" in out
+
+    def test_run_exit_code_on_non_stabilizing(self, capsys):
+        code = main(
+            ["run", "--algorithm", "baseline", "--scenario", "awb-only", "--seed", "2",
+             "--n", "3", "--horizon", "800"]
+        )
+        # Short horizon: the baseline may or may not settle; the exit
+        # code must reflect the printed verdict either way.
+        out = capsys.readouterr().out
+        assert ("stabilized: True" in out) == (code == 0)
+
+    def test_compare_table(self, capsys):
+        code = main(
+            ["compare", "--scenario", "nominal", "--algorithms", "alg1", "alg1-no-timer",
+             "--seeds", "0", "--n", "3", "--horizon", "1500"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "alg1" in out and "alg1-no-timer" in out
+        assert "forever writers" in out

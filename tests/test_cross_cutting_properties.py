@@ -1,0 +1,118 @@
+"""Cross-cutting properties over the whole algorithm zoo.
+
+Hypothesis drives short runs of every algorithm with random seeds and
+small system sizes, asserting the invariants that must hold in *every*
+run regardless of stabilization: Validity, candidate-set sanity,
+ownership discipline, monotone suspicion counters, and bit-for-bit
+determinism.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.omega_props import check_validity
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.algorithm2 import BoundedOmega
+from repro.core.baseline import EventuallySynchronousOmega
+from repro.core.runner import Run
+from repro.core.variants import MultiWriterOmega, StepCounterOmega
+from repro.sim.crash import CrashPlan
+from repro.sim.rng import RngRegistry
+
+ZOO = [
+    WriteEfficientOmega,
+    BoundedOmega,
+    MultiWriterOmega,
+    StepCounterOmega,
+    EventuallySynchronousOmega,
+]
+
+SHORT = 300.0
+
+
+def short_run(algorithm_cls, seed, n, crash_seed=None):
+    plan = (
+        CrashPlan.none(n)
+        if crash_seed is None
+        else CrashPlan.random(n, RngRegistry(crash_seed), horizon=SHORT)
+    )
+    return Run(
+        algorithm_cls, n=n, seed=seed, horizon=SHORT, crash_plan=plan, sample_interval=10.0
+    ).execute()
+
+
+class TestValidityEverywhere:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from(ZOO),
+        st.integers(0, 10_000),
+        st.integers(2, 6),
+    )
+    def test_every_sampled_output_is_a_pid(self, algorithm_cls, seed, n):
+        result = short_run(algorithm_cls, seed, n)
+        assert check_validity(result.trace, n)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.sampled_from(ZOO), st.integers(0, 10_000), st.integers(3, 6))
+    def test_validity_with_random_crashes(self, algorithm_cls, seed, n):
+        result = short_run(algorithm_cls, seed, n, crash_seed=seed + 1)
+        assert check_validity(result.trace, n)
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sampled_from([WriteEfficientOmega, BoundedOmega, MultiWriterOmega, StepCounterOmega]),
+        st.integers(0, 10_000),
+        st.integers(2, 5),
+    )
+    def test_self_always_candidate(self, algorithm_cls, seed, n):
+        result = short_run(algorithm_cls, seed, n)
+        for alg in result.algorithms:
+            assert alg.pid in alg.candidates
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    def test_suspicion_registers_monotone(self, seed, n):
+        """SUSPICIONS values never decrease (the proofs rely on it)."""
+        result = short_run(WriteEfficientOmega, seed, n)
+        last: dict[str, int] = {}
+        for rec in result.memory.write_log:
+            if rec.register.startswith("SUSPICIONS"):
+                assert rec.value >= last.get(rec.register, 0)
+                last[rec.register] = rec.value
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    def test_progress_monotone(self, seed, n):
+        result = short_run(WriteEfficientOmega, seed, n)
+        last: dict[str, int] = {}
+        for rec in result.memory.write_log:
+            if rec.register.startswith("PROGRESS"):
+                assert rec.value > last.get(rec.register, -1)
+                last[rec.register] = rec.value
+
+
+class TestDeterminismEverywhere:
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from(ZOO), st.integers(0, 10_000))
+    def test_bitwise_reproducible(self, algorithm_cls, seed):
+        a = short_run(algorithm_cls, seed, 3)
+        b = short_run(algorithm_cls, seed, 3)
+        assert a.trace.leader_samples() == b.trace.leader_samples()
+        assert [
+            (r.time, r.pid, r.register, r.value) for r in a.memory.write_log
+        ] == [(r.time, r.pid, r.register, r.value) for r in b.memory.write_log]
+
+
+class TestOwnershipDiscipline:
+    """No algorithm ever writes a register it does not own -- enforced
+    by the register layer, so a single passing long run of each
+    algorithm is a real proof of discipline (violations raise)."""
+
+    @pytest.mark.parametrize("algorithm_cls", ZOO, ids=lambda a: a.display_name)
+    def test_no_ownership_violation(self, algorithm_cls):
+        short_run(algorithm_cls, seed=123, n=4)  # would raise OwnershipError

@@ -1,0 +1,106 @@
+"""The f-function library and the (f1)/(f2)/(f3) checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timers.functions import (
+    AffineF,
+    BoundedF,
+    DecreasingF,
+    LinearF,
+    LogF,
+    SqrtF,
+    check_f1,
+    check_f2_divergence,
+    check_f3_domination,
+)
+
+TAUS = [0.0, 1.0, 10.0, 100.0, 1000.0]
+XS = [0.0, 1.0, 2.0, 5.0, 50.0, 500.0]
+
+
+class TestConformingFunctions:
+    @pytest.mark.parametrize("f", [LinearF(2.0), AffineF(1.0, 3.0), SqrtF(4.0), LogF(5.0)])
+    def test_f1_monotone(self, f):
+        assert check_f1(f, TAUS, XS)
+
+    @pytest.mark.parametrize("f", [LinearF(0.5), AffineF(0.1, 0.0), SqrtF(0.2)])
+    def test_f2_divergence(self, f):
+        ok, x_star = check_f2_divergence(f, threshold=1000.0)
+        assert ok
+        assert f(f.tau_f, x_star) > 1000.0
+
+    def test_log_f_diverges_slowly(self):
+        """LogF satisfies (f2) but needs astronomically large timeouts;
+        the doubling search still finds the crossing for a low bar."""
+        ok, x_star = check_f2_divergence(LogF(1.0), threshold=15.0)
+        assert ok
+        assert LogF(1.0)(0.0, x_star) > 15.0
+
+    def test_linear_values(self):
+        assert LinearF(2.0)(0.0, 3.0) == 6.0
+
+    def test_affine_values(self):
+        assert AffineF(2.0, 1.0)(0.0, 3.0) == 7.0
+
+    def test_linear_alpha_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LinearF(0.0)(0.0, 1.0)
+
+
+class TestViolators:
+    def test_bounded_f_fails_f2(self):
+        ok, _ = check_f2_divergence(BoundedF(cap=5.0), threshold=5.0)
+        assert not ok
+
+    def test_bounded_f_still_monotone(self):
+        assert check_f1(BoundedF(cap=5.0), TAUS, XS)
+
+    def test_decreasing_f_fails_f1(self):
+        assert not check_f1(DecreasingF(), TAUS, XS)
+
+
+class TestF3Domination:
+    def test_dominating_history_passes(self):
+        f = LinearF(1.0)
+        realized = [(10.0, 5.0, 5.5), (20.0, 7.0, 9.0)]
+        assert check_f3_domination(f, realized)
+
+    def test_violating_sample_fails(self):
+        f = LinearF(1.0)
+        realized = [(10.0, 5.0, 4.0)]  # duration < f = 5.0
+        assert not check_f3_domination(f, realized)
+
+    def test_samples_before_cutoff_unconstrained(self):
+        f = LinearF(1.0, tau_f=100.0)
+        realized = [(10.0, 5.0, 0.001)]  # chaotic era: allowed
+        assert check_f3_domination(f, realized)
+
+    def test_explicit_cutoffs_override(self):
+        f = LinearF(1.0)
+        realized = [(10.0, 5.0, 0.001)]
+        assert check_f3_domination(f, realized, tau_f=50.0)
+        assert not check_f3_domination(f, realized, tau_f=0.0)
+
+
+class TestMonotonicityProperty:
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_linear_monotone_in_x(self, alpha, x1, x2):
+        f = LinearF(alpha)
+        lo, hi = sorted((x1, x2))
+        assert f(0.0, lo) <= f(0.0, hi)
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_sqrt_dominates_nothing_below_zero(self, x):
+        assert SqrtF(1.0)(0.0, x) >= 0.0
+
+    @given(st.floats(min_value=1.0, max_value=1e5))
+    def test_bounded_never_exceeds_cap(self, x):
+        assert BoundedF(cap=7.0)(0.0, x) < 7.0

@@ -1,0 +1,86 @@
+"""Scenario library: construction, determinism, knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.workloads.scenarios import (
+    all_but_one,
+    awb_only,
+    capped_timers,
+    cascade,
+    chaotic_timers,
+    ev_sync,
+    leader_crash,
+    nominal,
+    san,
+    scrambled,
+    slow_leader_awb,
+)
+
+ALL_SCENARIO_FACTORIES = [
+    nominal,
+    chaotic_timers,
+    leader_crash,
+    cascade,
+    all_but_one,
+    awb_only,
+    ev_sync,
+    scrambled,
+    san,
+    capped_timers,
+    slow_leader_awb,
+]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("factory", ALL_SCENARIO_FACTORIES, ids=lambda f: f.__name__)
+    def test_builds_a_run(self, factory):
+        scen = factory()
+        run = scen.build(WriteEfficientOmega, seed=0)
+        assert run.n == scen.n
+        assert run.horizon == scen.horizon
+
+    @pytest.mark.parametrize("factory", ALL_SCENARIO_FACTORIES, ids=lambda f: f.__name__)
+    def test_names_unique_and_descriptive(self, factory):
+        scen = factory()
+        assert scen.name
+        assert scen.description
+
+    def test_leader_crash_has_crash_plan(self):
+        run = leader_crash(n=4).build(WriteEfficientOmega, seed=0)
+        assert run.crash_plan.faulty == frozenset({0})
+
+    def test_all_but_one_leaves_survivor(self):
+        run = all_but_one(n=5, survivor=3).build(WriteEfficientOmega, seed=0)
+        assert run.crash_plan.correct == frozenset({3})
+
+    def test_san_attaches_disk(self):
+        run = san(n=3).build(WriteEfficientOmega, seed=0)
+        assert run.disk is not None
+
+    def test_nominal_has_no_disk(self):
+        run = nominal(n=3).build(WriteEfficientOmega, seed=0)
+        assert run.disk is None
+
+    def test_overrides_win(self):
+        run = nominal(n=3).build(WriteEfficientOmega, seed=0, horizon=123.0)
+        assert run.horizon == 123.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        scen = nominal(n=3, horizon=1500.0)
+        a = scen.run(WriteEfficientOmega, seed=5)
+        b = scen.run(WriteEfficientOmega, seed=5)
+        assert a.trace.leader_samples() == b.trace.leader_samples()
+
+    def test_scramble_applies_before_start(self):
+        scen = scrambled(n=3)
+        run = scen.build(WriteEfficientOmega, seed=1)
+        # The algorithm's local copies must match the scrambled values.
+        for alg in run.algorithms:
+            assert alg._my_suspicions == [
+                run.memory.register(f"SUSPICIONS[{alg.pid}][{k}]").peek() for k in range(3)
+            ]

@@ -1,0 +1,54 @@
+"""The sweep driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.variants import StepCounterOmega
+from repro.workloads.scenarios import nominal
+from repro.workloads.sweep import SweepRow, run_matrix, stabilization_rate, summarize_result
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_matrix(
+        {"alg1": WriteEfficientOmega, "step": StepCounterOmega},
+        [nominal(n=3, horizon=1500.0)],
+        seeds=[0, 1],
+        window=100.0,
+    )
+
+
+class TestRunMatrix:
+    def test_row_count(self, rows):
+        assert len(rows) == 4  # 2 algorithms x 1 scenario x 2 seeds
+
+    def test_labels_preferred(self, rows):
+        assert {r.algorithm for r in rows} == {"alg1", "step"}
+
+    def test_all_stabilize_nominal(self, rows):
+        stab, total = stabilization_rate(rows)
+        assert (stab, total) == (4, 4)
+
+    def test_rows_carry_census(self, rows):
+        for row in rows:
+            assert row.forever_writer_count == 1
+            assert row.single_writer
+            assert row.growing_register_count == 1
+            assert row.valid and row.termination_ok
+
+    def test_cells_match_headers(self, rows):
+        for row in rows:
+            assert len(row.cells()) == len(SweepRow.headers())
+
+
+class TestSummarizeResult:
+    def test_summary_fields(self):
+        scen = nominal(n=3, horizon=1500.0)
+        result = scen.run(WriteEfficientOmega, seed=3)
+        row = summarize_result(result, scen)
+        assert row.n == 3
+        assert row.seed == 3
+        assert row.scenario == scen.name
+        assert row.total_writes == result.memory.total_writes
