@@ -18,76 +18,68 @@ work):
   with the length of the timers' chaotic era, yet the election absorbs
   arbitrarily long (finite) chaos -- convergence within the same
   horizon either way.
+
+Every knob combination is a cell of the :func:`ablation` scenario
+family, so the grids run through the parallel experiment engine (worker
+pool + ``results/engine/`` cache); the suspicion censuses the
+assertions need travel in the engine's compact ``RunSummary`` rows.
 """
 
 from __future__ import annotations
 
-from _helpers import emit
+from _helpers import RESULTS_DIR, emit
 
 from repro.analysis.report import format_table
 from repro.core.algorithm1 import WriteEfficientOmega
-from repro.core.runner import Run
-from repro.sim.rng import RngRegistry
-from repro.sim.schedulers import UniformDelay
-from repro.timers.awb import AsymptoticallyWellBehavedTimer
-from repro.timers.functions import LinearF, LogF, SqrtF
-from repro.workloads.scenarios import _slow_leader_delay
+from repro.engine import ExperimentSpec, run_experiment
+from repro.workloads.scenarios import ablation
+
+ENGINE_CACHE = RESULTS_DIR / "engine"
+ALG1 = {"alg1": WriteEfficientOmega}
 
 
-def awb_behaviors(f, rng, n, chaos_until=0.0, jitter=0.4):
-    return {
-        pid: AsymptoticallyWellBehavedTimer(f, rng, chaos_until=chaos_until, jitter=jitter)
-        for pid in range(n)
-    }
-
-
-def _run(seed, horizon, f, delay_factory, algo_config=None, chaos_until=0.0):
-    rng = RngRegistry(seed)
-    return Run(
-        WriteEfficientOmega,
-        n=4,
-        seed=seed,
-        horizon=horizon,
-        delay_model=delay_factory(rng),
-        timer_behaviors=awb_behaviors(f, rng, 4, chaos_until=chaos_until),
-        algo_config=algo_config or {},
-        log_reads=False,
-    ).execute()
-
-
-def _max_suspicion(result):
-    return max(
-        result.memory.register(f"SUSPICIONS[{j}][{k}]").peek()
-        for j in range(4)
-        for k in range(4)
-    )
+def _sweep(name, scenarios, seed):
+    spec = ExperimentSpec.from_objects(name, ALG1, scenarios, seeds=[seed])
+    return run_experiment(spec, jobs=None, results_dir=ENGINE_CACHE).rows
 
 
 def test_ablation_f_shape(benchmark):
     shapes = [
-        ("linear f(x)=2x", LinearF(2.0)),
-        ("sqrt f(x)=2*sqrt(x)", SqrtF(2.0)),
-        ("log f(x)=3*log(1+x)", LogF(3.0)),
+        ("linear f(x)=2x", "linear", 2.0),
+        ("sqrt f(x)=2*sqrt(x)", "sqrt", 2.0),
+        ("log f(x)=3*log(1+x)", "log", 3.0),
     ]
+    harsh_horizons = {"linear": 16000.0, "sqrt": 40000.0, "log": 40000.0}
 
     def sweep():
-        mild, harsh = [], []
-        for label, f in shapes:
-            result = _run(5, 8000.0, f, lambda rng: UniformDelay(rng, 0.5, 1.5))
-            mild.append((label, result.stabilization(margin=160.0), _max_suspicion(result)))
-        harsh_horizons = {"linear f(x)=2x": 16000.0, "sqrt f(x)=2*sqrt(x)": 40000.0,
-                          "log f(x)=3*log(1+x)": 40000.0}
-        for label, f in shapes:
-            hz = harsh_horizons[label]
-            result = _run(5, hz, f, lambda rng: _slow_leader_delay(4, 0, rng))
-            harsh.append((label, result.stabilization(margin=hz * 0.02), _max_suspicion(result), hz))
-        return mild, harsh
+        mild_rows = _sweep(
+            "ABL-f-shape-mild",
+            [
+                ablation(f_kind=kind, f_scale=scale, profile="mild", horizon=8000.0)
+                for _, kind, scale in shapes
+            ],
+            seed=5,
+        )
+        harsh_rows = _sweep(
+            "ABL-f-shape-harsh",
+            [
+                ablation(
+                    f_kind=kind,
+                    f_scale=scale,
+                    profile="harsh",
+                    horizon=harsh_horizons[kind],
+                )
+                for _, kind, scale in shapes
+            ],
+            seed=5,
+        )
+        return mild_rows, harsh_rows
 
     mild, harsh = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
-    for label, report, _ in mild:
-        assert report.stabilized, f"{label} must converge under mild asynchrony"
-    harsh_by = {label.split()[0]: report for label, report, _, _ in harsh}
+    for (label, _, _), row in zip(shapes, mild):
+        assert row.stabilized, f"{label} must converge under mild asynchrony"
+    harsh_by = {kind: row for (_, kind, _), row in zip(shapes, harsh)}
     assert harsh_by["linear"].stabilized
     assert not harsh_by["sqrt"].stabilized and not harsh_by["log"].stabilized
 
@@ -97,15 +89,24 @@ def test_ablation_f_shape(benchmark):
         "mild asynchrony (uniform delays, horizon 8000): any conforming f works",
         format_table(
             ["f", "stabilized", "t_stabilize", "max suspicions"],
-            [[label, r.stabilized, r.time if r.time else "-", s] for label, r, s in mild],
+            [
+                [label, row.stabilized, row.stabilization_time or "-", row.max_suspicion]
+                for (label, _, _), row in zip(shapes, mild)
+            ],
         ),
         "",
         "harsh asynchrony (slow timely leader, beta ~ 25):",
         format_table(
             ["f", "stabilized", "t_stabilize", "max suspicions", "horizon"],
             [
-                [label, r.stabilized, r.time if r.time else "-", s, hz]
-                for label, r, s, hz in harsh
+                [
+                    label,
+                    row.stabilized,
+                    row.stabilization_time or "-",
+                    row.max_suspicion,
+                    row.horizon,
+                ]
+                for (label, _, _), row in zip(shapes, harsh)
             ],
         ),
         "",
@@ -119,40 +120,40 @@ def test_ablation_f_shape(benchmark):
 
 
 def test_ablation_timeout_policy(benchmark):
+    policies = [("max", None), ("sum", None), ("const", 4.0)]
+
     def sweep():
-        out = []
-        for policy, extra in [("max", {}), ("sum", {}), ("const", {"const_timeout": 4.0})]:
-            result = _run(
-                6,
-                20000.0,
-                LinearF(2.0),
-                lambda rng: _slow_leader_delay(4, 0, rng),
-                algo_config={"timeout_policy": policy, **extra},
-            )
-            report = result.stabilization(margin=400.0)
-            late_susp = len(
-                [
-                    rec
-                    for rec in result.memory.writes_in(16000.0, 20000.0)
-                    if rec.register.startswith("SUSPICIONS")
-                ]
-            )
-            out.append((policy, report, late_susp))
-        return out
+        return _sweep(
+            "ABL-timeout-policy",
+            [
+                ablation(
+                    profile="harsh",
+                    horizon=20000.0,
+                    timeout_policy=policy,
+                    const_timeout=const,
+                )
+                for policy, const in policies
+            ],
+            seed=6,
+        )
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    by_policy = {policy: (report, late) for policy, report, late in rows}
-    assert by_policy["max"][0].stabilized, "the paper's policy must converge"
-    assert not by_policy["const"][0].stabilized, "constant timeouts cannot adapt"
-    assert by_policy["const"][1] > by_policy["max"][1], "const keeps suspecting"
+    by_policy = {policy: row for (policy, _), row in zip(policies, rows)}
+    assert by_policy["max"].stabilized, "the paper's policy must converge"
+    assert not by_policy["const"].stabilized, "constant timeouts cannot adapt"
+    assert (
+        by_policy["const"].suspicion_writes_tail > by_policy["max"].suspicion_writes_tail
+    ), "const keeps suspecting"
 
     table = [
-        [policy, report.stabilized, report.time if report.time else "-", late]
-        for policy, report, late in rows
+        [policy, row.stabilized, row.stabilization_time or "-", row.suspicion_writes_tail]
+        for (policy, _), row in zip(policies, rows)
     ]
     lines = [
         "Ablation: line-27 timeout policy (slow timely leader, horizon 20000)",
-        format_table(["policy", "stabilized", "t_stabilize", "suspicion writes in [16k,20k]"], table),
+        format_table(
+            ["policy", "stabilized", "t_stabilize", "suspicion writes in [16k,20k]"], table
+        ),
         "",
         "shape: the paper's adaptive max+1 converges; a fixed timeout keeps",
         "falsely suspecting the slow-but-timely leader forever (Lemma 2 breaks",
@@ -164,37 +165,34 @@ def test_ablation_timeout_policy(benchmark):
 
 
 def test_ablation_chaos_duration(benchmark):
+    durations = (0.0, 3000.0, 6000.0)
+
     def sweep():
-        out = []
-        for chaos_until in (0.0, 3000.0, 6000.0):
-            result = _run(
-                9,
-                30000.0,
-                LinearF(2.0),
-                lambda rng: _slow_leader_delay(4, 0, rng),
-                chaos_until=chaos_until,
-            )
-            report = result.stabilization(margin=600.0)
-            suspicions = len(
-                [rec for rec in result.memory.write_log if rec.register.startswith("SUSPICIONS")]
-            )
-            out.append((chaos_until, report, suspicions))
-        return out
+        return _sweep(
+            "ABL-chaos-duration",
+            [
+                ablation(profile="harsh", horizon=30000.0, chaos_until=chaos_until)
+                for chaos_until in durations
+            ],
+            seed=9,
+        )
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    counts = [suspicions for _, _, suspicions in rows]
-    for chaos_until, report, _ in rows:
-        assert report.stabilized, f"chaos until {chaos_until} must still converge"
+    counts = [row.suspicion_writes_total for row in rows]
+    for chaos_until, row in zip(durations, rows):
+        assert row.stabilized, f"chaos until {chaos_until} must still converge"
     assert counts == sorted(counts), "suspicion churn must grow with chaos duration"
     assert counts[-1] > counts[0], "long chaos should visibly add false suspicions"
 
     table = [
-        [chaos_until, report.stabilized, report.time, suspicions]
-        for chaos_until, report, suspicions in rows
+        [chaos_until, row.stabilized, row.stabilization_time, row.suspicion_writes_total]
+        for chaos_until, row in zip(durations, rows)
     ]
     lines = [
         "Ablation: duration of the timers' chaotic era (slow leader, horizon 30000)",
-        format_table(["chaos until", "stabilized", "t_stabilize", "total suspicion writes"], table),
+        format_table(
+            ["chaos until", "stabilized", "t_stabilize", "total suspicion writes"], table
+        ),
         "",
         "shape: false suspicions accumulate with the length of the chaotic",
         "prefix, and the election absorbs arbitrarily long finite chaos -- the",

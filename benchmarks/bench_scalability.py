@@ -5,41 +5,46 @@ of crashes tolerated).  We sweep (a) the system size under the nominal
 workload and (b) the number of crashes at fixed n up to t = n-1;
 stabilization must hold everywhere, with convergence time growing
 moderately in n and the survivor electing itself under t = n-1.
+
+Both sweeps run through the parallel experiment engine: every
+(scenario, seed) cell is an independent grid point, executed by the
+worker pool and cached in ``results/engine/``.
 """
 
 from __future__ import annotations
 
-from _helpers import emit
+from _helpers import RESULTS_DIR, emit
 
 from repro.analysis.report import format_table
 from repro.core.algorithm1 import WriteEfficientOmega
-from repro.core.runner import Run
-from repro.sim.crash import CrashPlan
-from repro.workloads.scenarios import nominal
+from repro.engine import ExperimentSpec, run_experiment
+from repro.workloads.scenarios import cascade, nominal
 
 NS = [3, 6, 10, 14]
 CRASH_COUNTS = [0, 1, 3, 5]  # at n = 6, up to t = n - 1
-
-
-def sweep_n():
-    rows = []
-    for n in NS:
-        # The leader's loop period grows with n (leader() reads
-        # (n-1)*|candidates| registers), so timeouts must climb further
-        # before they out-wait it: scale the horizon accordingly.
-        scen = nominal(n=n, horizon=2000.0 + 600.0 * n)
-        result = scen.run(WriteEfficientOmega, seed=1)
-        report = result.stabilization(margin=scen.margin)
-        rows.append((n, report, result))
-    return rows
+ENGINE_CACHE = RESULTS_DIR / "engine"
 
 
 def test_scaling_in_n(benchmark):
-    rows = benchmark.pedantic(sweep_n, rounds=1, iterations=1)
+    # The leader's loop period grows with n (leader() reads
+    # (n-1)*|candidates| registers), so timeouts must climb further
+    # before they out-wait it: scale the horizon accordingly.
+    spec = ExperimentSpec.from_objects(
+        "SCAL-system-size",
+        {"alg1": WriteEfficientOmega},
+        [nominal(n=n, horizon=2000.0 + 600.0 * n) for n in NS],
+        seeds=[1],
+    )
+    report = benchmark.pedantic(
+        lambda: run_experiment(spec, jobs=None, results_dir=ENGINE_CACHE),
+        rounds=1,
+        iterations=1,
+    )
     table = []
-    for n, report, result in rows:
-        assert report.stabilized and report.leader_correct
-        table.append([n, report.leader, report.time, result.memory.total_reads])
+    for n, row in zip(NS, report.rows):
+        assert row.n == n
+        assert row.stabilized and row.leader_correct
+        table.append([n, row.leader, row.stabilization_time, row.total_reads])
     lines = [
         "Scaling in n: Algorithm 1, nominal workload",
         format_table(["n", "leader", "t_stabilize", "total reads"], table),
@@ -52,28 +57,25 @@ def test_scaling_in_n(benchmark):
 
 def test_t_independence(benchmark):
     n = 6
-
-    def sweep_crashes():
-        out = []
-        for crashes in CRASH_COUNTS:
-            plan = (
-                CrashPlan.none(n)
-                if crashes == 0
-                else CrashPlan.cascade(n, list(range(crashes)), start=800.0, spacing=300.0)
-            )
-            result = Run(
-                WriteEfficientOmega, n=n, seed=2, horizon=8000.0, crash_plan=plan
-            ).execute()
-            out.append((crashes, result))
-        return out
-
-    results = benchmark.pedantic(sweep_crashes, rounds=1, iterations=1)
+    spec = ExperimentSpec.from_objects(
+        "SCAL-t-independence",
+        {"alg1": WriteEfficientOmega},
+        [
+            cascade(n=n, horizon=8000.0, crashes=crashes, start=800.0, spacing=300.0)
+            for crashes in CRASH_COUNTS
+        ],
+        seeds=[2],
+    )
+    report = benchmark.pedantic(
+        lambda: run_experiment(spec, jobs=None, results_dir=ENGINE_CACHE),
+        rounds=1,
+        iterations=1,
+    )
     table = []
-    for crashes, result in results:
-        report = result.stabilization(margin=400.0)
-        assert report.stabilized, f"failed with {crashes} crashes"
-        assert report.leader >= crashes  # victims are pids 0..crashes-1
-        table.append([crashes, n - crashes, report.leader, report.time])
+    for crashes, row in zip(CRASH_COUNTS, report.rows):
+        assert row.stabilized, f"failed with {crashes} crashes"
+        assert row.leader >= crashes  # victims are pids 0..crashes-1
+        table.append([crashes, n - crashes, row.leader, row.stabilization_time])
     lines = [
         f"t-independence: Algorithm 1, n={n}, cascading crashes of pids 0..t-1",
         format_table(["crashes (t)", "survivors", "leader", "t_stabilize"], table),

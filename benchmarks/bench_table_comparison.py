@@ -5,11 +5,15 @@ convergence, post-stabilization writer count, bounded-memory verdict,
 and total shared-memory traffic.  The trade-off the paper proves
 inherent (bounded memory <-> everybody writes forever) must be visible
 as complementary columns for Algorithm 1 vs Algorithm 2.
+
+Runs through the parallel experiment engine: one worker per CPU and the
+JSONL cache under ``results/engine/``, so a re-run of an unchanged grid
+is a cache hit.
 """
 
 from __future__ import annotations
 
-from _helpers import emit
+from _helpers import RESULTS_DIR, emit
 
 from repro.analysis.report import format_table
 from repro.core.algorithm1 import WriteEfficientOmega
@@ -27,12 +31,23 @@ ALGORITHMS = {
     "baseline [13]-style": EventuallySynchronousOmega,
 }
 SEEDS = [0, 1, 2]
+ENGINE_CACHE = RESULTS_DIR / "engine"
 
 
 def test_comparison_table(benchmark):
     scen = nominal(n=4, horizon=9000.0)
     rows = benchmark.pedantic(
-        lambda: run_matrix(ALGORITHMS, [scen], SEEDS, window=300.0), rounds=1, iterations=1
+        lambda: run_matrix(
+            ALGORITHMS,
+            [scen],
+            SEEDS,
+            window=300.0,
+            jobs=0,  # 0/None -> one worker per CPU (engine default)
+            cache=True,
+            results_dir=ENGINE_CACHE,
+        ),
+        rounds=1,
+        iterations=1,
     )
 
     by_alg: dict[str, list] = {}

@@ -6,6 +6,11 @@ Commands
     Execute one (algorithm, scenario, seed) run and print the election
     report, the writer/boundedness censuses, and the leadership
     timeline.
+``sweep``
+    Execute an (algorithm x scenario x seed) grid through the parallel
+    experiment engine: ``--jobs N`` worker processes, deterministic row
+    order, per-cell error capture, and a JSONL result cache under
+    ``results/engine/`` keyed by the grid's content hash.
 ``compare``
     Run several algorithms on one scenario and print the comparison
     table (the Section 5 trade-off, on demand).
@@ -18,6 +23,8 @@ Examples
 
     python -m repro list
     python -m repro run --algorithm alg1 --scenario leader-crash --seed 3
+    python -m repro sweep --algorithms alg1 alg2 --scenarios nominal leader-crash \
+        --seeds 0 1 2 --jobs 4
     python -m repro compare --scenario nominal --seeds 0 1 2
 """
 
@@ -25,42 +32,18 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.analysis.timeline import build_timeline, render_timeline
 from repro.analysis.write_stats import forever_writers, growing_registers
-from repro.core.algorithm1 import WriteEfficientOmega
-from repro.core.algorithm2 import BoundedOmega
-from repro.core.baseline import EventuallySynchronousOmega
-from repro.core.interfaces import OmegaAlgorithm
-from repro.core.variants import MultiWriterOmega, StepCounterOmega
-from repro.workloads import scenarios as scen_mod
+from repro.workloads.registry import ALGORITHMS, SCENARIO_FACTORIES
 from repro.workloads.scenarios import Scenario
-from repro.workloads.sweep import summarize_result
+from repro.workloads.sweep import SweepRow, summarize_result
 
-ALGORITHMS: Dict[str, Type[OmegaAlgorithm]] = {
-    "alg1": WriteEfficientOmega,
-    "alg2": BoundedOmega,
-    "alg1-nwnr": MultiWriterOmega,
-    "alg1-no-timer": StepCounterOmega,
-    "baseline": EventuallySynchronousOmega,
-}
-
-SCENARIOS: Dict[str, Callable[..., Scenario]] = {
-    "nominal": scen_mod.nominal,
-    "chaotic-timers": scen_mod.chaotic_timers,
-    "leader-crash": scen_mod.leader_crash,
-    "cascade": scen_mod.cascade,
-    "all-but-one": scen_mod.all_but_one,
-    "awb-only": scen_mod.awb_only,
-    "ev-sync": scen_mod.ev_sync,
-    "scrambled": scen_mod.scrambled,
-    "random-faults": scen_mod.random_faults,
-    "san": scen_mod.san,
-    "capped-timers": scen_mod.capped_timers,
-    "slow-leader-awb": scen_mod.slow_leader_awb,
-}
+#: Backwards-compatible aliases; the registries now live in
+#: :mod:`repro.workloads.registry` so the engine can share them.
+SCENARIOS: Dict[str, Callable[..., Scenario]] = SCENARIO_FACTORIES
 
 
 def _build_scenario(name: str, n: Optional[int], horizon: Optional[float]) -> Scenario:
@@ -143,6 +126,42 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine.driver import run_experiment
+    from repro.engine.spec import ExperimentSpec
+
+    algorithms = {name: ALGORITHMS[name] for name in (args.algorithms or list(ALGORITHMS))}
+    scenarios = [_build_scenario(name, args.n, args.horizon) for name in args.scenarios]
+    try:
+        spec = ExperimentSpec.from_objects(
+            args.name, algorithms, scenarios, args.seeds, window=args.window
+        )
+    except ValueError as exc:
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 2
+    report = run_experiment(
+        spec,
+        jobs=args.jobs,  # None/0 -> one worker per CPU (driver default)
+        cache=not args.no_cache,
+        results_dir=args.results_dir,
+        strict=False,
+    )
+    print(format_table(SweepRow.headers(), [row.cells() for row in report.rows]))
+    cache_note = (
+        f"cache: {report.cache_hits} hit(s), file {report.store_path}"
+        if not args.no_cache
+        else "cache: disabled"
+    )
+    print(
+        f"\n{spec.size()} cell(s): {report.executed} executed on {report.jobs} job(s), "
+        f"{report.cache_hits} from cache; wall {report.wall_time_s:.2f}s"
+    )
+    print(f"spec hash: {spec.content_hash()}; {cache_note}")
+    for failure in report.failures:
+        print(f"\nFAILED {failure.key}:\n{failure.error}", file=sys.stderr)
+    return 1 if report.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,6 +179,32 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--horizon", type=float, default=None, help="override horizon")
     run_p.add_argument("--timeline", action="store_true", help="render the leadership timeline")
     run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run an (algorithm x scenario x seed) grid through the engine"
+    )
+    sweep_p.add_argument("--algorithms", nargs="*", choices=sorted(ALGORITHMS), default=None)
+    sweep_p.add_argument(
+        "--scenarios", nargs="*", choices=sorted(SCENARIOS), default=["nominal"]
+    )
+    sweep_p.add_argument("--seeds", nargs="*", type=int, default=[0, 1])
+    sweep_p.add_argument("--n", type=int, default=None, help="override process count")
+    sweep_p.add_argument("--horizon", type=float, default=None, help="override horizon")
+    sweep_p.add_argument("--window", type=float, default=100.0, help="census tail window")
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes; 1 = serial, omitted or 0 = one per CPU",
+    )
+    sweep_p.add_argument(
+        "--no-cache", action="store_true", help="skip the JSONL result cache"
+    )
+    sweep_p.add_argument(
+        "--results-dir", default=None, help="cache root (default results/engine)"
+    )
+    sweep_p.add_argument("--name", default="sweep", help="experiment name (cache prefix)")
+    sweep_p.set_defaults(func=cmd_sweep)
 
     cmp_p = sub.add_parser("compare", help="compare algorithms on one scenario")
     cmp_p.add_argument("--scenario", choices=sorted(SCENARIOS), default="nominal")

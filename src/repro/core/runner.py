@@ -211,14 +211,37 @@ class RunResult:
         return check_eventual_leadership(self.trace, self.crash_plan, self.horizon, margin=margin)
 
     def final_leaders(self) -> Dict[int, int]:
-        """Last sampled ``leader()`` output of each live process."""
-        out: Dict[int, int] = {}
-        for t, pid, leader in self.trace.leader_samples():
-            out[pid] = leader
-        for pid in list(out):
-            if not self.crash_plan.is_correct(pid):
-                del out[pid]
-        return out
+        """Last sampled ``leader()`` output of each live process.
+
+        "Last" is by sample *time*, decided explicitly: samples are
+        sorted (stably) by time and the latest one per pid wins, rather
+        than relying on the trace's append order.
+        """
+        latest: Dict[int, Tuple[float, int]] = {}
+        for t, pid, leader in sorted(self.trace.leader_samples(), key=lambda s: s[0]):
+            latest[pid] = (t, leader)
+        return {
+            pid: leader
+            for pid, (_, leader) in latest.items()
+            if self.crash_plan.is_correct(pid)
+        }
+
+    def summarize(
+        self,
+        *,
+        scenario_name: str = "",
+        margin: float = 0.0,
+        window: float = 100.0,
+    ) -> "Any":
+        """Condense this result into a compact, picklable
+        :class:`~repro.engine.summary.RunSummary` -- the in-place path
+        the parallel engine's workers use instead of shipping the whole
+        result bundle across process boundaries."""
+        from repro.engine.summary import summarize_run
+
+        return summarize_run(
+            self, scenario_name=scenario_name, margin=margin, window=window
+        )
 
 
 class Run:
@@ -257,6 +280,10 @@ class Run:
         Passed to the algorithm via ``AlgorithmContext.config``.
     log_reads:
         Forwarded to :class:`SharedMemory`.
+    trace_events:
+        Forwarded to :class:`~repro.sim.kernel.Simulator`; disable to
+        skip per-kind event accounting on the hot path (the engine's
+        low-overhead run mode).
     """
 
     def __init__(
@@ -275,6 +302,7 @@ class Run:
         scramble: Optional[Callable[[SharedMemory, Any], None]] = None,
         algo_config: Optional[Dict[str, Any]] = None,
         log_reads: bool = True,
+        trace_events: bool = True,
     ) -> None:
         if n < 2:
             raise ValueError("need at least two processes")
@@ -287,7 +315,7 @@ class Run:
         self.disk = disk
         self.rng = RngRegistry(seed)
 
-        self.sim = Simulator()
+        self.sim = Simulator(trace_events=trace_events)
         self.memory = SharedMemory(clock=lambda: self.sim.now, log_reads=log_reads)
         self.delay_model: StepDelayModel = delay_model or UniformDelay(self.rng, 0.5, 1.5)
         self.crash_plan = crash_plan or CrashPlan.none(n)

@@ -1,0 +1,194 @@
+"""The parallel, cache-aware experiment driver.
+
+:func:`run_experiment` takes an
+:class:`~repro.engine.spec.ExperimentSpec` and produces one
+:class:`~repro.engine.summary.RunSummary` per grid cell:
+
+1. load the spec's JSONL cache (``results/engine/``) and keep every
+   cell already summarized there;
+2. execute the missing cells -- in-process when ``jobs <= 1``, through a
+   :class:`~concurrent.futures.ProcessPoolExecutor` otherwise (every
+   run is a pure function of its configuration and seed, so the grid is
+   embarrassingly parallel);
+3. append the new summaries to the cache and return the rows in the
+   spec's deterministic scenario-major order, regardless of which
+   worker finished first.
+
+Per-cell failures are captured as tracebacks, not exceptions: in strict
+mode (the default) the driver raises :class:`EngineError` *after* all
+cells have been attempted and the good ones cached, so a 10k-cell sweep
+never loses finished work to one poisoned cell.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.spec import Cell, ExperimentSpec
+from repro.engine.store import DEFAULT_RESULTS_DIR, ResultStore
+from repro.engine.summary import RunSummary
+from repro.engine.worker import CellOutcome, execute_cell
+
+
+class EngineError(RuntimeError):
+    """One or more cells failed; carries their captured tracebacks."""
+
+    def __init__(self, failures: List[CellOutcome]) -> None:
+        self.failures = failures
+        heads = "\n".join(
+            f"  {key}: {(error or '').strip().splitlines()[-1] if error else '?'}"
+            for key, error in ((f.key, f.error) for f in failures[:5])
+        )
+        more = "" if len(failures) <= 5 else f"\n  ... and {len(failures) - 5} more"
+        super().__init__(f"{len(failures)} cell(s) failed:\n{heads}{more}")
+
+
+@dataclass
+class EngineReport:
+    """Everything one :func:`run_experiment` invocation produced."""
+
+    spec: ExperimentSpec
+    #: One row per cell, in the spec's deterministic grid order.
+    rows: List[RunSummary]
+    #: Failed cells (empty in strict mode, which raises instead).
+    failures: List[CellOutcome] = field(default_factory=list)
+    cache_hits: int = 0
+    executed: int = 0
+    jobs: int = 1
+    wall_time_s: float = 0.0
+    store_path: Optional[Path] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose: ``REPRO_JOBS`` env
+    override, else one worker per CPU."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+def _execute_serial(cells: List[Cell], spec: ExperimentSpec) -> List[CellOutcome]:
+    return [execute_cell(cell, window=spec.window, fast=spec.fast) for cell in cells]
+
+
+def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> List[CellOutcome]:
+    outcomes: Dict[int, CellOutcome] = {}
+    orphaned: List[int] = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending = {
+            pool.submit(execute_cell, cell, spec.window, spec.fast): idx
+            for idx, cell in enumerate(cells)
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                idx = pending.pop(future)
+                exc = future.exception()
+                if exc is not None:
+                    # A worker died (OOM, signal): the executor marks the
+                    # whole pool broken and fails every in-flight and
+                    # queued future, so most of these cells were never
+                    # attempted.  Collect them for an isolated retry.
+                    orphaned.append(idx)
+                else:
+                    outcomes[idx] = future.result()
+    # Retry each orphaned cell in its own single-worker pool: healthy
+    # cells that were merely queued behind the crash complete normally,
+    # while a genuinely poisonous cell kills only its private pool and
+    # is recorded as a failure.
+    for idx in orphaned:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as solo:
+                outcomes[idx] = solo.submit(
+                    execute_cell, cells[idx], spec.window, spec.fast
+                ).result()
+        except Exception as exc:  # noqa: BLE001 - crashed again: record it
+            outcomes[idx] = CellOutcome(
+                key=cells[idx].key, error=f"worker failure: {exc!r}"
+            )
+    return [outcomes[idx] for idx in range(len(cells))]
+
+
+# ----------------------------------------------------------------------
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    jobs: Optional[int] = None,
+    cache: bool = True,
+    results_dir: Path | str | None = None,
+    strict: bool = True,
+) -> EngineReport:
+    """Execute (or load) every cell of ``spec`` and return the report.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None`` or ``<= 0`` -> :func:`default_jobs`
+        (one per CPU, ``REPRO_JOBS`` overrides); ``1`` runs everything
+        in-process (no pool, no pickling).
+    cache:
+        Serve cells from / append them to the spec's JSONL file.
+    results_dir:
+        Cache root; defaults to ``results/engine`` under the current
+        working directory.
+    strict:
+        Raise :class:`EngineError` when any cell failed (after caching
+        the successful ones).  ``False`` returns the failures in the
+        report and fills their rows' positions by skipping them.
+    """
+    started = time.perf_counter()
+    if jobs is None or jobs <= 0:
+        jobs = default_jobs()
+    cells = spec.cells()
+    store = ResultStore(results_dir if results_dir is not None else DEFAULT_RESULTS_DIR)
+
+    cached: Dict[Tuple[str, str, int], RunSummary] = store.load(spec) if cache else {}
+    pending = [cell for cell in cells if cell.key not in cached]
+
+    fresh: List[CellOutcome] = []
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            fresh = _execute_serial(pending, spec)
+        else:
+            fresh = _execute_parallel(pending, spec, min(jobs, len(pending)))
+        if cache:
+            store.append(spec, fresh)
+
+    by_key: Dict[Tuple[str, str, int], RunSummary] = dict(cached)
+    failures: List[CellOutcome] = []
+    for outcome in fresh:
+        if outcome.summary is not None:
+            by_key[outcome.key] = outcome.summary
+        else:
+            failures.append(outcome)
+    if failures and strict:
+        raise EngineError(failures)
+
+    rows = [by_key[cell.key] for cell in cells if cell.key in by_key]
+    return EngineReport(
+        spec=spec,
+        rows=rows,
+        failures=failures,
+        cache_hits=len(cells) - len(pending),
+        executed=len(pending),
+        jobs=jobs,
+        wall_time_s=time.perf_counter() - started,
+        store_path=store.path_for(spec) if cache else None,
+    )
+
+
+__all__ = ["EngineError", "EngineReport", "default_jobs", "run_experiment"]

@@ -1,0 +1,122 @@
+"""JSONL result store: re-running a bench is a cache hit.
+
+Each :class:`~repro.engine.spec.ExperimentSpec` maps to one append-only
+JSONL file under ``results/engine/`` named
+``<spec-name>-<content-hash>.jsonl``.  The first line records the spec
+payload (for humans and for format checks); every following line is one
+successfully summarized cell::
+
+    {"spec": {...}, "format": 1}
+    {"key": ["alg1", "nominal({...})", 0], "summary": {...}}
+
+Because the file is keyed by the spec's *content hash*, any change to
+the grid -- different seeds, horizons, window, algorithm set -- lands in
+a different file; a re-run of the same spec finds every cell already
+present and executes nothing.  Partial files (from an interrupted sweep)
+are fine: the driver only executes the missing cells and appends them.
+
+The cache deliberately does not try to detect *code* changes; delete
+``results/engine/`` or pass ``cache=False`` after modifying algorithm or
+scenario logic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Tuple
+
+from repro.engine.spec import SPEC_FORMAT, ExperimentSpec
+from repro.engine.summary import RunSummary
+from repro.engine.worker import CellOutcome
+
+#: Default location, relative to the current working directory (the
+#: repo root in every documented invocation).
+DEFAULT_RESULTS_DIR = Path("results") / "engine"
+
+CellKey = Tuple[str, str, int]
+
+
+class ResultStore:
+    """Reads and appends per-spec JSONL result files."""
+
+    def __init__(self, root: Path | str = DEFAULT_RESULTS_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        safe_name = "".join(c if c.isalnum() or c in "-_." else "-" for c in spec.name)
+        return self.root / f"{safe_name}-{spec.content_hash()}.jsonl"
+
+    # ------------------------------------------------------------------
+    def load(self, spec: ExperimentSpec) -> Dict[CellKey, RunSummary]:
+        """All cached summaries for ``spec``, keyed by cell key.
+
+        Lookup is by *content hash*: if the exact ``<name>-<hash>`` file
+        is absent (the experiment was renamed), any ``*-<hash>.jsonl``
+        file with the same grid content serves the cells, so renaming
+        never orphans a cache.  Malformed lines and format mismatches
+        are skipped (the affected cells simply re-run), so a truncated
+        file from a killed sweep never wedges the engine.
+        """
+        path = self.path_for(spec)
+        if path.exists():
+            candidates = [path]
+        else:
+            candidates = sorted(self.root.glob(f"*-{spec.content_hash()}.jsonl"))
+        out: Dict[CellKey, RunSummary] = {}
+        for candidate in candidates:
+            out.update(self._load_file(candidate))
+        return out
+
+    @staticmethod
+    def _load_file(path: Path) -> Dict[CellKey, RunSummary]:
+        out: Dict[CellKey, RunSummary] = {}
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if "spec" in payload:
+                if payload.get("format") != SPEC_FORMAT:
+                    return {}
+                continue
+            key = payload.get("key")
+            summary = payload.get("summary")
+            if not isinstance(key, list) or len(key) != 3 or summary is None:
+                continue
+            try:
+                out[(key[0], key[1], int(key[2]))] = RunSummary.from_jsonable(summary)
+            except (KeyError, TypeError, ValueError):
+                continue
+        return out
+
+    # ------------------------------------------------------------------
+    def append(self, spec: ExperimentSpec, outcomes: Iterable[CellOutcome]) -> Path:
+        """Append successful outcomes; creates the file (with its spec
+        header) on first write.  Failed cells are not cached, so they
+        re-run on the next invocation."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = []
+        if not path.exists():
+            header = {"spec": spec.to_payload(), "format": SPEC_FORMAT}
+            lines.append(json.dumps(header, sort_keys=True))
+        for outcome in outcomes:
+            if outcome.summary is None:
+                continue
+            lines.append(
+                json.dumps(
+                    {"key": list(outcome.key), "summary": outcome.summary.to_jsonable()},
+                    sort_keys=True,
+                )
+            )
+        if lines:
+            with path.open("a", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + "\n")
+        return path
+
+
+__all__ = ["DEFAULT_RESULTS_DIR", "ResultStore"]

@@ -1,0 +1,159 @@
+"""Compact, picklable run summaries.
+
+Worker processes must not ship a full
+:class:`~repro.core.runner.RunResult` back to the driver: it drags the
+simulator, the shared memory (with its access logs) and every algorithm
+instance across the pickle boundary.  Instead each cell is condensed
+*in the worker* into a :class:`RunSummary` -- the
+:class:`~repro.workloads.sweep.SweepRow` fields plus timing/event
+counts and the small register censuses the ablation benches need.
+
+Summaries are value objects: two runs of the same (algorithm, scenario,
+seed) produce equal summaries whether they executed serially or in a
+worker, with or without the low-overhead run mode (``wall_time_s`` is
+excluded from comparisons).  :meth:`RunSummary.to_jsonable` /
+:meth:`RunSummary.from_jsonable` round-trip losslessly through the
+JSONL result store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.analysis.omega_props import check_termination, check_validity
+from repro.analysis.write_stats import (
+    forever_writers,
+    growing_registers,
+    single_writer_point,
+)
+from repro.core.runner import RunResult
+from repro.workloads.sweep import SweepRow
+
+#: Register-name prefix of the suspicion counters shared by Algorithm 1
+#: and its variants; algorithms without such registers report ``None`` /
+#: zero in the suspicion census fields.
+SUSPICION_PREFIX = "SUSPICIONS"
+
+#: Fraction of the horizon counted as the "late" tail for
+#: :attr:`RunSummary.suspicion_writes_tail` (the timeout-policy ablation
+#: asks "is it still suspecting near the end?").
+TAIL_FRACTION = 0.8
+
+
+@dataclass
+class RunSummary(SweepRow):
+    """One cell outcome: a :class:`SweepRow` plus engine metadata."""
+
+    #: Host-clock seconds spent executing + summarizing the cell.
+    #: Excluded from equality: it is measurement noise, not outcome.
+    wall_time_s: float = field(default=0.0, compare=False)
+    #: Discrete events fired by the simulator (deterministic per seed).
+    events_fired: int = 0
+    #: Whether the stabilized-upon leader is a correct process.
+    leader_correct: bool = False
+    #: Largest current value among ``SUSPICIONS*`` registers (None when
+    #: the algorithm has no such registers).
+    max_suspicion: Optional[float] = None
+    #: Writes to ``SUSPICIONS*`` registers over the whole run.
+    suspicion_writes_total: int = 0
+    #: ... and in the late tail ``[TAIL_FRACTION * horizon, end]``.
+    suspicion_writes_tail: int = 0
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        """A plain-JSON dict (frozensets become sorted lists)."""
+        out = dataclasses.asdict(self)
+        out["forever_writers"] = sorted(self.forever_writers)
+        return out
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "RunSummary":
+        data = dict(payload)
+        data["forever_writers"] = frozenset(data.get("forever_writers", ()))
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization of the *outcome* fields.
+
+        Drops every ``compare=False`` field, so two equal summaries have
+        byte-identical canonical JSON -- the determinism tests compare
+        exactly this.
+        """
+        payload = self.to_jsonable()
+        for f in dataclasses.fields(self):
+            if not f.compare:
+                payload.pop(f.name, None)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+def _suspicion_census(result: RunResult) -> tuple[Optional[float], int, int]:
+    """(max current value, total writes, tail writes) of SUSPICIONS*."""
+    cutoff = TAIL_FRACTION * result.horizon
+    total = tail = 0
+    for rec in result.memory.write_log:
+        if rec.register.startswith(SUSPICION_PREFIX):
+            total += 1
+            if rec.time >= cutoff:
+                tail += 1
+    best: Optional[float] = None
+    for reg in result.memory.all_registers():
+        if not reg.name.startswith(SUSPICION_PREFIX):
+            continue
+        value = reg.peek()
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            v = float(value)
+            best = v if best is None or v > best else best
+    return best, total, tail
+
+
+def summarize_run(
+    result: RunResult,
+    *,
+    scenario_name: str = "",
+    margin: float = 0.0,
+    window: float = 100.0,
+    wall_time_s: float = 0.0,
+) -> RunSummary:
+    """Condense a finished run into a :class:`RunSummary`.
+
+    Only consumes the write log, the aggregate access counters and the
+    leader-sample trace, so it works identically in the low-overhead run
+    mode (``log_reads=False``, ``trace_events=False``).
+    """
+    report = result.stabilization(margin=margin)
+    writers = forever_writers(result.memory, result.horizon, window=window)
+    swp = single_writer_point(result.memory, result.horizon, tail=window)
+    term = check_termination(result.algorithms, result.crash_plan)
+    max_susp, susp_total, susp_tail = _suspicion_census(result)
+    return RunSummary(
+        algorithm=result.algorithm_name,
+        scenario=scenario_name,
+        seed=result.seed,
+        n=result.n,
+        horizon=result.horizon,
+        stabilized=report.stabilized,
+        stabilization_time=report.time,
+        leader=report.leader,
+        valid=check_validity(result.trace, result.n),
+        termination_ok=term.ok,
+        forever_writer_count=len(writers),
+        forever_writers=writers,
+        growing_register_count=len(growing_registers(result.memory, result.horizon)),
+        single_writer=swp.reached,
+        total_writes=result.memory.total_writes,
+        total_reads=result.memory.total_reads,
+        wall_time_s=wall_time_s,
+        events_fired=result.sim.events_fired,
+        leader_correct=report.leader_correct,
+        max_suspicion=max_susp,
+        suspicion_writes_total=susp_total,
+        suspicion_writes_tail=susp_tail,
+    )
+
+
+__all__ = ["RunSummary", "SUSPICION_PREFIX", "TAIL_FRACTION", "summarize_run"]

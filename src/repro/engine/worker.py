@@ -1,0 +1,69 @@
+"""The per-cell worker entry point.
+
+:func:`execute_cell` is the function the parallel driver submits to its
+process pool: it receives one picklable :class:`repro.engine.spec.Cell`,
+rebuilds the scenario and algorithm from their references, executes the
+run in the low-overhead mode and returns a compact
+:class:`~repro.engine.summary.RunSummary` -- never a full
+:class:`~repro.core.runner.RunResult`.
+
+It is deliberately a plain top-level function of one picklable argument
+so it works under every multiprocessing start method, and it never
+raises: failures come back as a :class:`CellOutcome` carrying the full
+traceback, so one poisoned cell cannot take down a 10k-cell sweep.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.engine.spec import Cell
+from repro.engine.summary import RunSummary, summarize_run
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What one worker invocation produced: a summary or a traceback."""
+
+    key: Tuple[str, str, int]
+    summary: Optional[RunSummary] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_cell(cell: Cell, window: float = 100.0, fast: bool = True) -> RunSummary:
+    """Execute one cell in-process and return its summary (raises on error)."""
+    from repro.workloads.registry import build_scenario, resolve_algorithm
+
+    started = time.perf_counter()
+    algorithm_cls = resolve_algorithm(cell.algorithm.target)
+    scenario = build_scenario(cell.scenario.factory, cell.scenario.kwargs_dict())
+    overrides = {"log_reads": False, "trace_events": False} if fast else {}
+    result = scenario.run(algorithm_cls, seed=cell.seed, **overrides)
+    summary = summarize_run(
+        result,
+        scenario_name=scenario.name,
+        margin=scenario.margin,
+        window=window,
+        wall_time_s=0.0,
+    )
+    summary.algorithm = cell.algorithm.label  # prefer the caller's label
+    summary.wall_time_s = time.perf_counter() - started
+    return summary
+
+
+def execute_cell(cell: Cell, window: float = 100.0, fast: bool = True) -> CellOutcome:
+    """Pool-safe wrapper around :func:`run_cell`: captures errors."""
+    try:
+        return CellOutcome(key=cell.key, summary=run_cell(cell, window=window, fast=fast))
+    except Exception:  # noqa: BLE001 - the driver re-raises in strict mode
+        return CellOutcome(key=cell.key, error=traceback.format_exc())
+
+
+__all__ = ["CellOutcome", "execute_cell", "run_cell"]

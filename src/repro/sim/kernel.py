@@ -47,6 +47,11 @@ class Simulator:
         self._trace_events = trace_events
         self.fired_by_kind: dict[str, int] = {}
 
+    @property
+    def trace_events(self) -> bool:
+        """Whether per-kind event accounting is enabled."""
+        return self._trace_events
+
     # ------------------------------------------------------------------
     # Clock and scheduling
     # ------------------------------------------------------------------
@@ -119,6 +124,9 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        # Hoisted out of the loop: with tracing off the hot path touches
+        # neither the flag nor the per-kind dict.
+        fired_by_kind = self.fired_by_kind if self._trace_events else None
         try:
             while self._queue:
                 next_time = self._queue.peek_time()
@@ -133,8 +141,8 @@ class Simulator:
                     continue
                 event.callback()
                 self.events_fired += 1
-                if self._trace_events:
-                    self.fired_by_kind[event.kind] = self.fired_by_kind.get(event.kind, 0) + 1
+                if fired_by_kind is not None:
+                    fired_by_kind[event.kind] = fired_by_kind.get(event.kind, 0) + 1
                 if self._stopped:
                     break
                 if max_events is not None and self.events_fired >= max_events:

@@ -1,0 +1,104 @@
+"""Name registries for algorithms and scenario factories.
+
+The CLI and the experiment engine both need to turn *strings* into live
+objects: the CLI because users type names, the engine because worker
+processes receive only picklable payloads and must rebuild their cell
+from scratch.  This module is the single source of truth for both.
+
+Anything not in the registries can still be referenced by a
+``module:qualname`` import path (e.g. a downstream experiment's custom
+algorithm class), so the engine is not limited to the built-ins.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, Tuple, Type
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.algorithm2 import BoundedOmega
+from repro.core.baseline import EventuallySynchronousOmega
+from repro.core.interfaces import OmegaAlgorithm
+from repro.core.variants import MultiWriterOmega, StepCounterOmega
+from repro.workloads import scenarios as scen_mod
+from repro.workloads.scenarios import Scenario
+
+ALGORITHMS: Dict[str, Type[OmegaAlgorithm]] = {
+    "alg1": WriteEfficientOmega,
+    "alg2": BoundedOmega,
+    "alg1-nwnr": MultiWriterOmega,
+    "alg1-no-timer": StepCounterOmega,
+    "baseline": EventuallySynchronousOmega,
+}
+
+SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
+    "nominal": scen_mod.nominal,
+    "chaotic-timers": scen_mod.chaotic_timers,
+    "leader-crash": scen_mod.leader_crash,
+    "cascade": scen_mod.cascade,
+    "all-but-one": scen_mod.all_but_one,
+    "awb-only": scen_mod.awb_only,
+    "ev-sync": scen_mod.ev_sync,
+    "scrambled": scen_mod.scrambled,
+    "random-faults": scen_mod.random_faults,
+    "san": scen_mod.san,
+    "capped-timers": scen_mod.capped_timers,
+    "slow-leader-awb": scen_mod.slow_leader_awb,
+    "ablation": scen_mod.ablation,
+}
+
+
+def _import_target(target: str) -> Any:
+    """Resolve a ``module:qualname`` reference."""
+    module_name, _, qualname = target.partition(":")
+    if not module_name or not qualname:
+        raise KeyError(f"not an importable reference: {target!r}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def algorithm_target(algorithm_cls: Type[OmegaAlgorithm]) -> str:
+    """The stable reference for an algorithm class.
+
+    Prefers the short registry name (survives module moves); falls back
+    to the import path for classes outside the registry.
+    """
+    for name, cls in ALGORITHMS.items():
+        if cls is algorithm_cls:
+            return name
+    return f"{algorithm_cls.__module__}:{algorithm_cls.__qualname__}"
+
+
+def resolve_algorithm(target: str) -> Type[OmegaAlgorithm]:
+    """Registry name or ``module:qualname`` -> algorithm class."""
+    if target in ALGORITHMS:
+        return ALGORITHMS[target]
+    cls = _import_target(target)
+    if not (isinstance(cls, type) and issubclass(cls, OmegaAlgorithm)):
+        raise TypeError(f"{target!r} is not an OmegaAlgorithm subclass")
+    return cls
+
+
+def resolve_scenario_factory(name: str) -> Callable[..., Scenario]:
+    """Factory name (dashed or underscored) or import path -> factory."""
+    dashed = name.replace("_", "-")
+    if dashed in SCENARIO_FACTORIES:
+        return SCENARIO_FACTORIES[dashed]
+    return _import_target(name)
+
+
+def build_scenario(factory: str, kwargs: Dict[str, Any] | None = None) -> Scenario:
+    """Instantiate a scenario from its (factory, kwargs) reference."""
+    return resolve_scenario_factory(factory)(**(kwargs or {}))
+
+
+__all__ = [
+    "ALGORITHMS",
+    "SCENARIO_FACTORIES",
+    "algorithm_target",
+    "build_scenario",
+    "resolve_algorithm",
+    "resolve_scenario_factory",
+]

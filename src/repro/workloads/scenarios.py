@@ -11,9 +11,11 @@ identical timers; see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import functools
+import inspect
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Type
+from typing import Any, Callable, Dict, Optional, Tuple, Type
 
 from repro.core.interfaces import OmegaAlgorithm
 from repro.core.runner import Run, RunResult
@@ -33,7 +35,29 @@ from repro.timers.awb import (
     CappedTimer,
     TimerBehavior,
 )
-from repro.timers.functions import LinearF
+from repro.timers.functions import LinearF, LogF, SqrtF
+
+
+def scenario_factory(factory: Callable[..., "Scenario"]) -> Callable[..., "Scenario"]:
+    """Attach a picklable ``(factory_name, kwargs)`` ref to every instance.
+
+    The parallel engine rebuilds scenarios inside worker processes from
+    this ref (lambdas in the ``make_*`` fields cannot be pickled).  The
+    bound arguments include the factory's defaults, so the engine's
+    content hashes change when a factory's defaults do -- stale cache
+    entries never alias fresh ones.
+    """
+    sig = inspect.signature(factory)
+
+    @functools.wraps(factory)
+    def wrapper(*args: Any, **kwargs: Any) -> "Scenario":
+        scen = factory(*args, **kwargs)
+        bound = sig.bind(*args, **kwargs)
+        bound.apply_defaults()
+        scen.ref = (factory.__name__, dict(bound.arguments))
+        return scen
+
+    return wrapper
 
 
 def scramble_registers(memory: SharedMemory, rng: Any) -> None:
@@ -70,9 +94,16 @@ class Scenario:
     scramble: Optional[Callable[[SharedMemory, Any], None]] = None
     algo_config: Dict[str, Any] = field(default_factory=dict)
     log_reads: bool = True
+    trace_events: bool = True
     #: Stability margin expected of this scenario (passed to the
     #: eventual-leadership verdict by tests/benches).
     margin: float = 0.0
+    #: ``(factory_name, kwargs)`` attached by :func:`scenario_factory`;
+    #: lets the parallel engine rebuild this scenario in a worker
+    #: process.  ``None`` for hand-built instances (in-process only).
+    ref: Optional[Tuple[str, Dict[str, Any]]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def build(self, algorithm_cls: Type[OmegaAlgorithm], seed: int = 0, **overrides: Any) -> Run:
         """Instantiate a :class:`Run` for ``algorithm_cls`` at ``seed``."""
@@ -89,6 +120,7 @@ class Scenario:
             scramble=self.scramble,
             algo_config=dict(self.algo_config),
             log_reads=self.log_reads,
+            trace_events=self.trace_events,
         )
         kwargs.update(overrides)
         return Run(algorithm_cls, self.n, **kwargs)
@@ -127,6 +159,7 @@ def _accurate_timers() -> Callable[[RngRegistry, int], Dict[int, TimerBehavior]]
 # ----------------------------------------------------------------------
 # Canonical scenarios
 # ----------------------------------------------------------------------
+@scenario_factory
 def nominal(n: int = 4, horizon: float = 4000.0) -> Scenario:
     """Mild uniform asynchrony, well-behaved timers, no crashes.
 
@@ -144,6 +177,7 @@ def nominal(n: int = 4, horizon: float = 4000.0) -> Scenario:
     )
 
 
+@scenario_factory
 def chaotic_timers(n: int = 4, horizon: float = 6000.0, chaos_fraction: float = 0.2) -> Scenario:
     """Figure 1 conditions: timers fire arbitrarily during a long prefix.
 
@@ -163,6 +197,7 @@ def chaotic_timers(n: int = 4, horizon: float = 6000.0, chaos_fraction: float = 
     )
 
 
+@scenario_factory
 def leader_crash(n: int = 4, horizon: float = 6000.0, crash_at_fraction: float = 0.35) -> Scenario:
     """The stable leader (lexmin favourite, pid 0) crashes mid-run.
 
@@ -182,23 +217,41 @@ def leader_crash(n: int = 4, horizon: float = 6000.0, crash_at_fraction: float =
     )
 
 
-def cascade(n: int = 6, horizon: float = 8000.0) -> Scenario:
-    """Half the processes crash one by one (t-independence stress)."""
-    victims = list(range(n // 2))
+@scenario_factory
+def cascade(
+    n: int = 6,
+    horizon: float = 8000.0,
+    crashes: Optional[int] = None,
+    start: Optional[float] = None,
+    spacing: Optional[float] = None,
+) -> Scenario:
+    """``crashes`` processes crash one by one (t-independence stress).
+
+    Defaults to half the processes starting at 20% of the horizon; the
+    scalability bench sweeps ``crashes`` from 0 up to ``n - 1`` with
+    explicit timings.
+    """
+    victims = list(range(n // 2 if crashes is None else crashes))
+    start_t = horizon * 0.2 if start is None else start
+    spacing_t = horizon * 0.08 if spacing is None else spacing
+    name = f"cascade-n{n}" if crashes is None else f"cascade-n{n}-t{len(victims)}"
     return Scenario(
-        name=f"cascade-n{n}",
+        name=name,
         n=n,
         horizon=horizon,
         description=f"pids {victims} crash in sequence",
         make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
         make_timers=_awb_timers(alpha=2.0),
-        make_crash_plan=lambda rng: CrashPlan.cascade(
-            n, victims, start=horizon * 0.2, spacing=horizon * 0.08
+        make_crash_plan=(
+            (lambda rng: CrashPlan.cascade(n, victims, start=start_t, spacing=spacing_t))
+            if victims
+            else (lambda rng: CrashPlan.none(n))
         ),
         margin=horizon * 0.05,
     )
 
 
+@scenario_factory
 def all_but_one(n: int = 5, horizon: float = 6000.0, survivor: int = 2) -> Scenario:
     """Extreme fault load: every process but one crashes (t = n-1).
 
@@ -219,6 +272,7 @@ def all_but_one(n: int = 5, horizon: float = 6000.0, survivor: int = 2) -> Scena
     )
 
 
+@scenario_factory
 def awb_only(n: int = 4, horizon: float = 8000.0, timely_pid: int = 0) -> Scenario:
     """The paper's *exact* assumption and nothing more.
 
@@ -246,6 +300,7 @@ def awb_only(n: int = 4, horizon: float = 8000.0, timely_pid: int = 0) -> Scenar
     )
 
 
+@scenario_factory
 def ev_sync(n: int = 4, horizon: float = 4000.0) -> Scenario:
     """Eventually synchronous system: everyone timely after gst.
 
@@ -271,6 +326,7 @@ def ev_sync(n: int = 4, horizon: float = 4000.0) -> Scenario:
     )
 
 
+@scenario_factory
 def scrambled(n: int = 4, horizon: float = 6000.0) -> Scenario:
     """Arbitrary initial register values (footnote 7 self-stabilization)."""
     base = nominal(n, horizon)
@@ -280,6 +336,7 @@ def scrambled(n: int = 4, horizon: float = 6000.0) -> Scenario:
     return base
 
 
+@scenario_factory
 def random_faults(n: int = 5, horizon: float = 8000.0, max_failures: int | None = None) -> Scenario:
     """Fuzz workload: random crash pattern drawn from the run seed.
 
@@ -301,6 +358,7 @@ def random_faults(n: int = 5, horizon: float = 8000.0, max_failures: int | None 
     )
 
 
+@scenario_factory
 def san(n: int = 3, horizon: float = 20000.0) -> Scenario:
     """Network-attached-disk deployment (Section 1 motivation).
 
@@ -339,6 +397,7 @@ def _slow_leader_delay(n: int, timely_pid: int, rng: RngRegistry) -> StepDelayMo
     )
 
 
+@scenario_factory
 def capped_timers(n: int = 4, horizon: float = 4000.0, cap: float = 3.0, timely_pid: int = 0) -> Scenario:
     """NEGATIVE scenario: follower timers violate AWB2 (bounded cap).
 
@@ -364,6 +423,7 @@ def capped_timers(n: int = 4, horizon: float = 4000.0, cap: float = 3.0, timely_
     )
 
 
+@scenario_factory
 def slow_leader_awb(n: int = 4, horizon: float = 12000.0, timely_pid: int = 0) -> Scenario:
     """POSITIVE twin of :func:`capped_timers`: identical asynchrony
     profile, but asymptotically well-behaved timers.  Timeouts grow with
@@ -381,8 +441,86 @@ def slow_leader_awb(n: int = 4, horizon: float = 12000.0, timely_pid: int = 0) -
     )
 
 
+_F_KINDS: Dict[str, Callable[[float], Any]] = {
+    "linear": LinearF,
+    "sqrt": SqrtF,
+    "log": LogF,
+}
+
+
+@scenario_factory
+def ablation(
+    n: int = 4,
+    horizon: float = 8000.0,
+    f_kind: str = "linear",
+    f_scale: float = 2.0,
+    profile: str = "mild",
+    chaos_until: float = 0.0,
+    jitter: float = 0.4,
+    timeout_policy: Optional[str] = None,
+    const_timeout: Optional[float] = None,
+    timely_pid: int = 0,
+) -> Scenario:
+    """Parameterized workload for the design-choice ablations (bench ABL).
+
+    Knobs: the AWB2 lower-bound function shape (``f_kind`` in
+    ``linear``/``sqrt``/``log`` with ``f_scale``), the asynchrony
+    ``profile`` (``mild`` = uniform delays; ``harsh`` = the
+    slow-but-timely leader of the negative-scenario family), the
+    duration of the timers' chaotic era, and the line-27 timeout policy
+    (``max``/``sum``/``const``).  Being a registered factory, the whole
+    ablation grid runs through the parallel engine.
+    """
+    if f_kind not in _F_KINDS:
+        raise ValueError(f"unknown f_kind {f_kind!r}; choose from {sorted(_F_KINDS)}")
+    if profile not in ("mild", "harsh"):
+        raise ValueError(f"unknown profile {profile!r}; choose 'mild' or 'harsh'")
+    f = _F_KINDS[f_kind](f_scale)
+
+    def make_timers(rng: RngRegistry, count: int) -> Dict[int, TimerBehavior]:
+        return {
+            pid: AsymptoticallyWellBehavedTimer(
+                f, rng, chaos_until=chaos_until, jitter=jitter
+            )
+            for pid in range(count)
+        }
+
+    make_delay: Callable[[RngRegistry], StepDelayModel]
+    if profile == "mild":
+        make_delay = lambda rng: UniformDelay(rng, 0.5, 1.5)  # noqa: E731
+    else:
+        make_delay = lambda rng: _slow_leader_delay(n, timely_pid, rng)  # noqa: E731
+
+    algo_config: Dict[str, Any] = {}
+    if timeout_policy is not None:
+        algo_config["timeout_policy"] = timeout_policy
+    if const_timeout is not None:
+        algo_config["const_timeout"] = const_timeout
+
+    name = f"ablation-{f_kind}{f_scale:g}-{profile}"
+    if chaos_until:
+        name += f"-chaos{chaos_until:g}"
+    if timeout_policy is not None:
+        name += f"-{timeout_policy}"
+    return Scenario(
+        name=name,
+        n=n,
+        horizon=horizon,
+        description=(
+            f"{profile} asynchrony, f={f_kind}({f_scale:g}), "
+            f"chaos until {chaos_until:g}"
+            + (f", timeout policy {timeout_policy}" if timeout_policy else "")
+        ),
+        make_delay=make_delay,
+        make_timers=make_timers,
+        algo_config=algo_config,
+        margin=horizon * 0.02,
+    )
+
+
 __all__ = [
     "Scenario",
+    "ablation",
     "all_but_one",
     "awb_only",
     "capped_timers",
@@ -393,6 +531,7 @@ __all__ = [
     "nominal",
     "random_faults",
     "san",
+    "scenario_factory",
     "scramble_registers",
     "scrambled",
 ]

@@ -4,19 +4,21 @@ Produces flat :class:`SweepRow` records that the comparison bench, the
 scalability bench and EXPERIMENTS.md all consume.  Keeping the driver
 here (rather than inside each bench) guarantees every table in the repo
 is produced by the same code path.
+
+:func:`run_matrix` is a thin wrapper over the parallel experiment
+engine (:mod:`repro.engine`): factory-built scenarios execute through
+:func:`repro.engine.driver.run_experiment` (optionally across worker
+processes and against the JSONL cache), while hand-built
+:class:`~repro.workloads.scenarios.Scenario` instances -- which cannot
+cross process boundaries -- take the in-process path.  Both paths
+produce identical :class:`~repro.engine.summary.RunSummary` rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
-from repro.analysis.omega_props import check_termination, check_validity
-from repro.analysis.write_stats import (
-    forever_writers,
-    growing_registers,
-    single_writer_point,
-)
 from repro.core.interfaces import OmegaAlgorithm
 from repro.core.runner import RunResult
 from repro.workloads.scenarios import Scenario
@@ -76,28 +78,58 @@ class SweepRow:
 
 
 def summarize_result(result: RunResult, scenario: Scenario, window: float = 100.0) -> SweepRow:
-    """Condense one run into a sweep row."""
-    report = result.stabilization(margin=scenario.margin)
-    writers = forever_writers(result.memory, result.horizon, window=window)
-    swp = single_writer_point(result.memory, result.horizon, tail=window)
-    term = check_termination(result.algorithms, result.crash_plan)
-    return SweepRow(
-        algorithm=result.algorithm_name,
-        scenario=scenario.name,
-        seed=result.seed,
-        n=result.n,
-        horizon=result.horizon,
-        stabilized=report.stabilized,
-        stabilization_time=report.time,
-        leader=report.leader,
-        valid=check_validity(result.trace, result.n),
-        termination_ok=term.ok,
-        forever_writer_count=len(writers),
-        forever_writers=writers,
-        growing_register_count=len(growing_registers(result.memory, result.horizon)),
-        single_writer=swp.reached,
-        total_writes=result.memory.total_writes,
-        total_reads=result.memory.total_reads,
+    """Condense one run into a sweep row.
+
+    Thin wrapper over the engine summarizer so every table in the repo
+    -- CLI ``run``/``compare``, sweeps, benches -- is produced by one
+    code path; the returned row is a
+    :class:`~repro.engine.summary.RunSummary` (a :class:`SweepRow`
+    subclass).
+    """
+    from repro.engine.summary import summarize_run
+
+    return summarize_run(
+        result, scenario_name=scenario.name, margin=scenario.margin, window=window
+    )
+
+
+def _ref_is_faithful(scenario: Scenario) -> bool:
+    """Does the scenario's factory ref still describe this instance?
+
+    A caller may mutate a factory-built scenario after construction
+    (``s = nominal(); s.n = 3``); the stale ref would then rebuild the
+    *pre-mutation* scenario inside engine workers.  Rebuild from the
+    ref and compare every primitive field (callables cannot be
+    compared, so only their presence is checked); on any divergence the
+    caller falls back to the in-process path, which honors the live
+    object.
+    """
+    ref = getattr(scenario, "ref", None)
+    if ref is None:
+        return False
+    from repro.workloads.registry import build_scenario
+
+    try:
+        rebuilt = build_scenario(ref[0], ref[1])
+    except Exception:
+        return False
+    primitives = (
+        "name",
+        "n",
+        "horizon",
+        "sample_interval",
+        "snapshot_interval",
+        "algo_config",
+        "log_reads",
+        "trace_events",
+        "margin",
+    )
+    callables = ("make_delay", "make_timers", "make_crash_plan", "make_disk", "scramble")
+    return all(
+        getattr(rebuilt, field) == getattr(scenario, field) for field in primitives
+    ) and all(
+        (getattr(rebuilt, field) is None) == (getattr(scenario, field) is None)
+        for field in callables
     )
 
 
@@ -106,14 +138,59 @@ def run_matrix(
     scenarios: Sequence[Scenario],
     seeds: Iterable[int],
     window: float = 100.0,
-) -> List[SweepRow]:
-    """Execute the full matrix and return one row per run."""
-    rows: List[SweepRow] = []
+    *,
+    jobs: Optional[int] = 1,
+    cache: bool = False,
+    results_dir: "Any" = None,
+) -> List["Any"]:
+    """Execute the full matrix and return one row per run.
+
+    Rows are :class:`~repro.engine.summary.RunSummary` instances (a
+    :class:`SweepRow` subclass) in deterministic scenario-major order.
+    ``jobs > 1`` fans the grid out over worker processes (``0``/``None``
+    means one worker per CPU); ``cache=True`` serves
+    previously-computed cells from the JSONL store under
+    ``results/engine/``.  Scenarios without a factory ``ref``
+    (hand-built instances) always run in-process.
+    """
+    from repro.engine.driver import run_experiment
+    from repro.engine.spec import ExperimentSpec
+    from repro.engine.summary import summarize_run
+
+    seeds = list(seeds)
+    # Partition: faithful factory scenarios go through the engine in one
+    # grid (parallel + cacheable); hand-built or mutated scenarios run
+    # in-process.  Rows are identical either way (the summarizer never
+    # looks at the read log or the event-kind counts), so a mixed matrix
+    # keeps parallelism for the cells that support it.
+    engine_ids = {id(s) for s in scenarios if _ref_is_faithful(s)}
+    engine_scenarios = [s for s in scenarios if id(s) in engine_ids]
+    engine_rows: List[Any] = []
+    if engine_scenarios and algorithms and seeds:
+        spec = ExperimentSpec.from_objects(
+            "run-matrix", algorithms, engine_scenarios, seeds, window=window
+        )
+        engine_rows = run_experiment(
+            spec, jobs=jobs or None, cache=cache, results_dir=results_dir, strict=True
+        ).rows
+
+    rows: List[Any] = []
+    block = len(algorithms) * len(seeds)  # engine rows per scenario
+    cursor = 0
     for scenario in scenarios:
+        if id(scenario) in engine_ids:
+            rows.extend(engine_rows[cursor : cursor + block])
+            cursor += block
+            continue
         for name, cls in algorithms.items():
             for seed in seeds:
                 result = scenario.run(cls, seed=seed)
-                row = summarize_result(result, scenario, window=window)
+                row = summarize_run(
+                    result,
+                    scenario_name=scenario.name,
+                    margin=scenario.margin,
+                    window=window,
+                )
                 row.algorithm = name  # prefer the caller's label
                 rows.append(row)
     return rows

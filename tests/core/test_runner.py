@@ -47,6 +47,32 @@ class TestRunBasics:
         result = Run(WriteEfficientOmega, n=3, seed=5, horizon=200.0, crash_plan=plan).execute()
         assert set(result.final_leaders()) == {0, 1}
 
+    def test_final_leaders_take_last_sample_per_pid(self):
+        result = Run(WriteEfficientOmega, n=3, seed=5, horizon=200.0).execute()
+        expected = {}
+        for t, pid, leader in result.trace.leader_samples():
+            if pid not in expected or t >= expected[pid][0]:
+                expected[pid] = (t, leader)
+        assert result.final_leaders() == {pid: lv for pid, (_, lv) in expected.items()}
+
+    def test_trace_events_flag_plumbs_to_simulator(self):
+        fast = Run(WriteEfficientOmega, n=3, seed=5, horizon=100.0, trace_events=False)
+        result = fast.execute()
+        assert result.sim.trace_events is False
+        assert result.sim.fired_by_kind == {}
+        default = Run(WriteEfficientOmega, n=3, seed=5, horizon=100.0).execute()
+        assert default.sim.fired_by_kind  # per-kind counts kept by default
+        # The flag is pure observability: the schedule is unchanged.
+        assert result.sim.events_fired == default.sim.events_fired
+
+    def test_summarize_in_place(self):
+        result = Run(WriteEfficientOmega, n=3, seed=5, horizon=400.0).execute()
+        row = result.summarize(scenario_name="adhoc", window=50.0)
+        assert row.scenario == "adhoc"
+        assert row.seed == 5 and row.n == 3
+        assert row.total_writes == result.memory.total_writes
+        assert row.events_fired == result.sim.events_fired
+
 
 class TestCrashSemantics:
     def test_crashed_process_takes_no_steps_after_crash(self):

@@ -1,0 +1,19 @@
+"""Test helper: a scenario whose build kills the worker process.
+
+Referenced by import path (``killer_scenarios:kill_scenario``) from the
+broken-pool driver test; ``os._exit`` bypasses all exception handling,
+so the death looks exactly like an OOM-kill to the process pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.workloads.scenarios import Scenario
+
+
+def kill_scenario(exit_code: int = 137) -> Scenario:
+    def make_delay(rng):
+        os._exit(exit_code)
+
+    return Scenario(name="killer", n=3, horizon=100.0, make_delay=make_delay)

@@ -1,0 +1,104 @@
+"""Experiment specs: refs, grid order, content hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.variants import StepCounterOmega
+from repro.engine.spec import AlgorithmRef, Cell, ExperimentSpec, ScenarioRef
+from repro.workloads.scenarios import Scenario, nominal
+
+
+def make_spec(seeds=(0, 1), window=100.0, horizon=1500.0):
+    return ExperimentSpec.from_objects(
+        "t",
+        {"alg1": WriteEfficientOmega, "step": StepCounterOmega},
+        [nominal(n=3, horizon=horizon)],
+        seeds,
+        window=window,
+    )
+
+
+class TestRefs:
+    def test_factory_attaches_ref(self):
+        scen = nominal(n=3, horizon=1500.0)
+        assert scen.ref == ("nominal", {"n": 3, "horizon": 1500.0})
+
+    def test_ref_includes_defaults(self):
+        assert nominal().ref == ("nominal", {"n": 4, "horizon": 4000.0})
+
+    def test_positional_and_keyword_calls_agree(self):
+        assert nominal(3, 1500.0).ref == nominal(horizon=1500.0, n=3).ref
+
+    def test_registry_algorithm_target_is_short_name(self):
+        spec = make_spec()
+        assert spec.algorithms[0] == AlgorithmRef(label="alg1", target="alg1")
+
+    def test_handbuilt_scenario_rejected(self):
+        bare = Scenario(name="bare", n=3, horizon=100.0)
+        with pytest.raises(ValueError, match="factory ref"):
+            ExperimentSpec.from_objects("t", {"alg1": WriteEfficientOmega}, [bare], [0])
+
+
+class TestGrid:
+    def test_cells_scenario_major_order(self):
+        spec = make_spec(seeds=(7, 8))
+        keys = [(c.algorithm.label, c.seed) for c in spec.cells()]
+        assert keys == [("alg1", 7), ("alg1", 8), ("step", 7), ("step", 8)]
+
+    def test_size(self):
+        assert make_spec(seeds=(0, 1, 2)).size() == 6
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="t",
+                algorithms=(AlgorithmRef("a", "alg1"),),
+                scenarios=(ScenarioRef.make("nominal"),),
+                seeds=(),
+            )
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ExperimentSpec(
+                name="t",
+                algorithms=(AlgorithmRef("a", "alg1"), AlgorithmRef("a", "alg2")),
+                scenarios=(ScenarioRef.make("nominal"),),
+                seeds=(0,),
+            )
+
+    def test_cell_key_includes_all_axes(self):
+        cell = Cell(
+            algorithm=AlgorithmRef("alg1", "alg1"),
+            scenario=ScenarioRef.make("nominal", {"n": 3}),
+            seed=4,
+        )
+        label, scen_key, seed = cell.key
+        assert label == "alg1" and seed == 4 and scen_key.startswith("nominal(")
+
+
+class TestContentHash:
+    def test_stable_across_instances(self):
+        assert make_spec().content_hash() == make_spec().content_hash()
+
+    def test_name_is_cosmetic(self):
+        a = make_spec()
+        b = ExperimentSpec(
+            name="renamed",
+            algorithms=a.algorithms,
+            scenarios=a.scenarios,
+            seeds=a.seeds,
+            window=a.window,
+        )
+        assert a.content_hash() == b.content_hash()
+
+    def test_sensitive_to_every_grid_axis(self):
+        base = make_spec()
+        assert base.content_hash() != make_spec(seeds=(0, 2)).content_hash()
+        assert base.content_hash() != make_spec(window=50.0).content_hash()
+        assert base.content_hash() != make_spec(horizon=2000.0).content_hash()
+
+    def test_unserializable_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            ScenarioRef.make("nominal", {"bad": object()})

@@ -1,0 +1,127 @@
+"""The JSONL result store: round-trips, robustness, keying."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.engine import ExperimentSpec, ResultStore, RunSummary
+from repro.engine.worker import CellOutcome
+from repro.workloads.scenarios import nominal
+
+
+def make_summary(seed=0, **overrides):
+    base = dict(
+        algorithm="alg1",
+        scenario="nominal-n3",
+        seed=seed,
+        n=3,
+        horizon=1500.0,
+        stabilized=True,
+        stabilization_time=65.0,
+        leader=1,
+        valid=True,
+        termination_ok=True,
+        forever_writer_count=1,
+        forever_writers=frozenset({1}),
+        growing_register_count=1,
+        single_writer=True,
+        total_writes=293,
+        total_reads=3507,
+        wall_time_s=0.25,
+        events_fired=4242,
+        leader_correct=True,
+        max_suspicion=3.0,
+        suspicion_writes_total=7,
+        suspicion_writes_tail=0,
+    )
+    base.update(overrides)
+    return RunSummary(**base)
+
+
+def make_spec():
+    return ExperimentSpec.from_objects(
+        "store-test", {"alg1": WriteEfficientOmega}, [nominal(n=3, horizon=1500.0)], [0, 1]
+    )
+
+
+class TestRoundTrip:
+    def test_jsonable_round_trip_preserves_equality(self):
+        summary = make_summary()
+        clone = RunSummary.from_jsonable(json.loads(json.dumps(summary.to_jsonable())))
+        assert clone == summary
+        assert clone.forever_writers == frozenset({1})
+
+    def test_none_fields_survive(self):
+        summary = make_summary(stabilized=False, stabilization_time=None, leader=None,
+                               max_suspicion=None)
+        clone = RunSummary.from_jsonable(summary.to_jsonable())
+        assert clone.stabilization_time is None and clone.max_suspicion is None
+
+    def test_canonical_json_ignores_wall_time(self):
+        assert (
+            make_summary(wall_time_s=0.1).canonical_json()
+            == make_summary(wall_time_s=9.9).canonical_json()
+        )
+
+
+class TestStore:
+    def _outcomes(self, spec):
+        return [
+            CellOutcome(key=cell.key, summary=make_summary(seed=cell.seed))
+            for cell in spec.cells()
+        ]
+
+    def test_append_then_load(self, tmp_path):
+        spec, store = make_spec(), ResultStore(tmp_path)
+        store.append(spec, self._outcomes(spec))
+        loaded = store.load(spec)
+        assert set(loaded) == {cell.key for cell in spec.cells()}
+        assert loaded[spec.cells()[0].key] == make_summary(seed=0)
+
+    def test_file_named_by_spec_hash(self, tmp_path):
+        spec, store = make_spec(), ResultStore(tmp_path)
+        path = store.append(spec, self._outcomes(spec))
+        assert spec.content_hash() in path.name
+        assert path.name.startswith("store-test-")
+
+    def test_header_line_records_spec(self, tmp_path):
+        spec, store = make_spec(), ResultStore(tmp_path)
+        path = store.append(spec, self._outcomes(spec))
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["spec"]["name"] == "store-test"
+
+    def test_failed_outcomes_not_written(self, tmp_path):
+        spec, store = make_spec(), ResultStore(tmp_path)
+        cells = spec.cells()
+        store.append(
+            spec,
+            [
+                CellOutcome(key=cells[0].key, summary=make_summary(seed=0)),
+                CellOutcome(key=cells[1].key, error="boom"),
+            ],
+        )
+        assert set(store.load(spec)) == {cells[0].key}
+
+    def test_truncated_line_skipped(self, tmp_path):
+        spec, store = make_spec(), ResultStore(tmp_path)
+        path = store.append(spec, self._outcomes(spec))
+        with path.open("a") as fh:
+            fh.write('{"key": ["alg1", "nominal(')  # interrupted write
+        assert len(store.load(spec)) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultStore(tmp_path).load(make_spec()) == {}
+
+    def test_renamed_spec_finds_cache_by_content_hash(self, tmp_path):
+        spec, store = make_spec(), ResultStore(tmp_path)
+        store.append(spec, self._outcomes(spec))
+        renamed = ExperimentSpec(
+            name="totally-different",
+            algorithms=spec.algorithms,
+            scenarios=spec.scenarios,
+            seeds=spec.seeds,
+            window=spec.window,
+        )
+        loaded = store.load(renamed)
+        assert set(loaded) == {cell.key for cell in spec.cells()}

@@ -126,6 +126,18 @@ class TestRunLoop:
         sim.run()
         assert sim.fired_by_kind == {"step": 2, "timer": 1}
 
+    def test_trace_events_disabled_skips_kind_accounting(self):
+        sim = Simulator(trace_events=False)
+        assert sim.trace_events is False
+        sim.schedule_at(1.0, lambda: None, kind="step")
+        sim.schedule_at(2.0, lambda: None, kind="timer")
+        sim.run()
+        assert sim.events_fired == 2  # totals still maintained
+        assert sim.fired_by_kind == {}  # per-kind work skipped entirely
+
+    def test_trace_events_default_on(self):
+        assert Simulator().trace_events is True
+
     def test_pending_counts_queue(self):
         sim = Simulator()
         sim.schedule_at(1.0, lambda: None)

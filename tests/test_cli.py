@@ -32,6 +32,21 @@ class TestParser:
         args = build_parser().parse_args(["compare", "--seeds", "1", "2", "3"])
         assert args.seeds == [1, 2, 3]
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.scenarios == ["nominal"]
+        assert args.seeds == [0, 1]
+        assert args.jobs is None and not args.no_cache
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--algorithms", "alg1", "alg2", "--scenarios", "nominal",
+             "leader-crash", "--seeds", "0", "1", "2", "--jobs", "4", "--no-cache"]
+        )
+        assert args.algorithms == ["alg1", "alg2"]
+        assert args.scenarios == ["nominal", "leader-crash"]
+        assert args.jobs == 4 and args.no_cache
+
 
 class TestCommands:
     def test_list_output(self, capsys):
@@ -62,6 +77,29 @@ class TestCommands:
         # code must reflect the printed verdict either way.
         out = capsys.readouterr().out
         assert ("stabilized: True" in out) == (code == 0)
+
+    def test_sweep_runs_grid(self, capsys, tmp_path):
+        argv = ["sweep", "--algorithms", "alg1", "--scenarios", "nominal",
+                "--seeds", "0", "1", "--n", "3", "--horizon", "1500",
+                "--jobs", "2", "--results-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "nominal-n3" in out
+        assert "2 executed" in out and "0 from cache" in out
+        # Second invocation of the same spec is served from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "2 from cache" in out
+
+    def test_sweep_reports_cell_failures(self, capsys, tmp_path):
+        code = main(
+            ["sweep", "--algorithms", "alg1", "--scenarios", "nominal",
+             "--seeds", "0", "--n", "1", "--horizon", "500",
+             "--results-dir", str(tmp_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAILED" in captured.err
 
     def test_compare_table(self, capsys):
         code = main(

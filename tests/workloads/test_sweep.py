@@ -43,6 +43,45 @@ class TestRunMatrix:
             assert len(row.cells()) == len(SweepRow.headers())
 
 
+class TestMutatedScenario:
+    def test_post_construction_mutation_is_honored(self):
+        # A mutated factory scenario no longer matches its ref; the
+        # matrix must run the *live* object, not a stale rebuild.
+        scen = nominal(n=4, horizon=1500.0)
+        scen.n = 3
+        rows = run_matrix({"alg1": WriteEfficientOmega}, [scen], seeds=[0])
+        assert [row.n for row in rows] == [3]
+
+    def test_handbuilt_scenario_runs_in_process(self):
+        from repro.workloads.scenarios import Scenario
+
+        bare = Scenario(name="bare", n=3, horizon=1000.0)
+        rows = run_matrix({"alg1": WriteEfficientOmega}, [bare], seeds=[0])
+        assert len(rows) == 1 and rows[0].scenario == "bare"
+
+    def test_mixed_matrix_keeps_engine_for_faithful_scenarios(self, tmp_path):
+        # One hand-built scenario must not disable caching/parallelism
+        # for the factory scenarios around it.
+        from repro.workloads.scenarios import Scenario
+
+        factory_scen = nominal(n=3, horizon=1500.0)
+        bare = Scenario(name="bare", n=3, horizon=1000.0)
+        mixed = [factory_scen, bare, nominal(n=3, horizon=1500.0)]
+        rows = run_matrix(
+            {"alg1": WriteEfficientOmega}, mixed, seeds=[0], cache=True,
+            results_dir=tmp_path,
+        )
+        assert [r.scenario for r in rows] == ["nominal-n3", "bare", "nominal-n3"]
+        # The factory cells were cached (one spec file exists)...
+        assert list(tmp_path.glob("*.jsonl"))
+        # ...and a re-run reproduces the same rows in the same order.
+        again = run_matrix(
+            {"alg1": WriteEfficientOmega}, mixed, seeds=[0], cache=True,
+            results_dir=tmp_path,
+        )
+        assert [r.canonical_json() for r in again] == [r.canonical_json() for r in rows]
+
+
 class TestSummarizeResult:
     def test_summary_fields(self):
         scen = nominal(n=3, horizon=1500.0)
