@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from _helpers import RESULTS_DIR, emit
 
-from repro.analysis.report import format_table
+from repro.analysis.report import format_property_table, format_table
 from repro.core.algorithm1 import WriteEfficientOmega
 from repro.engine import ExperimentSpec, run_experiment
 from repro.workloads.scenarios import cascade, nominal
@@ -51,7 +51,11 @@ def test_scaling_in_n(benchmark):
         "paper prediction: the model has no n-dependent assumption; elections",
         "stabilize at every size (read traffic grows ~n^2 per leader() by design).",
         "MATCHES.",
+        "",
+        "Theorem 1-4 audit (every cell must be clean at every size):",
+        format_property_table(report.rows),
     ]
+    assert sum(r.property_violations for r in report.rows) == 0
     emit("SCAL_system_size", "\n".join(lines))
 
 
@@ -81,5 +85,9 @@ def test_t_independence(benchmark):
         format_table(["crashes (t)", "survivors", "leader", "t_stabilize"], table),
         "paper prediction: no assumption on t -- the election survives up to",
         "t = n-1 crashes and the surviving lexmin favourite wins.  MATCHES.",
+        "",
+        "Theorem 1-4 audit (every cell must be clean at every crash count):",
+        format_property_table(report.rows),
     ]
+    assert sum(r.property_violations for r in report.rows) == 0
     emit("SCAL_t_independence", "\n".join(lines))

@@ -43,6 +43,51 @@ def _fmt(cell: Any) -> str:
     return str(cell)
 
 
+#: Table headers of :func:`format_property_table`.
+PROPERTY_HEADERS = [
+    "algorithm",
+    "scenario",
+    "seed",
+    "T1 leadership",
+    "T2 bounded",
+    "T3 single-writer",
+    "T4 write-optimal",
+    "violations",
+]
+
+
+def _verdict_mark(verdict: Any) -> str:
+    """One table cell per theorem verdict.
+
+    ``ok`` / ``VIOLATED`` for claimed theorems; a parenthesized measured
+    outcome for theorems the algorithm does not claim under the
+    scenario's declared assumption (informational, never a violation).
+    """
+    if verdict.expected:
+        return "ok" if verdict.holds else "VIOLATED"
+    return "(yes)" if verdict.holds else "(no)"
+
+
+def format_property_table(rows: Iterable[Any]) -> str:
+    """The theorem-audit table over engine rows.
+
+    ``rows`` are :class:`~repro.engine.summary.RunSummary` instances;
+    rows whose cached summary predates the property checkers render
+    ``?`` marks.
+    """
+    table: List[List[Any]] = []
+    for row in rows:
+        report = getattr(row, "properties", None)
+        if report is None:
+            marks = ["?"] * 4
+            violations: Any = "?"
+        else:
+            marks = [_verdict_mark(report.verdict(t)) for t in (1, 2, 3, 4)]
+            violations = len(report.violations())
+        table.append([row.algorithm, row.scenario, row.seed, *marks, violations])
+    return format_table(PROPERTY_HEADERS, table)
+
+
 def sparkline(values: Sequence[float]) -> str:
     """Unicode sparkline of a numeric series (empty-safe)."""
     finite = [v for v in values if math.isfinite(v)]
@@ -77,4 +122,10 @@ def format_series(label: str, xs: Sequence[float], ys: Sequence[float], width: i
     )
 
 
-__all__ = ["format_series", "format_table", "sparkline"]
+__all__ = [
+    "PROPERTY_HEADERS",
+    "format_property_table",
+    "format_series",
+    "format_table",
+    "sparkline",
+]

@@ -11,6 +11,10 @@ Commands
     experiment engine: ``--jobs N`` worker processes, deterministic row
     order, per-cell error capture, and a JSONL result cache under
     ``results/engine/`` keyed by the grid's content hash.
+``check``
+    Audit the paper's Theorems 1-4 over the adversarial scenario suite
+    through the parallel engine and print the property-violation table;
+    exits non-zero on any violated claim.
 ``compare``
     Run several algorithms on one scenario and print the comparison
     table (the Section 5 trade-off, on demand).
@@ -25,6 +29,7 @@ Examples
     python -m repro run --algorithm alg1 --scenario leader-crash --seed 3
     python -m repro sweep --algorithms alg1 alg2 --scenarios nominal leader-crash \
         --seeds 0 1 2 --jobs 4
+    python -m repro check --jobs 4
     python -m repro compare --scenario nominal --seeds 0 1 2
 """
 
@@ -34,7 +39,7 @@ import argparse
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
-from repro.analysis.report import format_table
+from repro.analysis.report import format_property_table, format_table
 from repro.analysis.timeline import build_timeline, render_timeline
 from repro.analysis.write_stats import forever_writers, growing_registers
 from repro.workloads.registry import ALGORITHMS, SCENARIO_FACTORIES
@@ -44,6 +49,30 @@ from repro.workloads.sweep import SweepRow, summarize_result
 #: Backwards-compatible aliases; the registries now live in
 #: :mod:`repro.workloads.registry` so the engine can share them.
 SCENARIOS: Dict[str, Callable[..., Scenario]] = SCENARIO_FACTORIES
+
+#: Default adversarial suite of ``repro check``: six environments that
+#: stress crash storms, GST ramps, asynchrony bursts, near-(n-1)
+#: cascades and timely-identity churn while still satisfying AWB by
+#: construction -- so every claimed theorem must hold.
+CHECK_SCENARIOS = [
+    "leader-storm",
+    "gst-ramp",
+    "async-bursts",
+    "near-all-cascade",
+    "timely-churn",
+    "awb-only",
+]
+
+
+def _print_results_dir(report: "Any") -> None:
+    """Engine-backed commands report the resolved cache location."""
+    if report.store_path is not None:
+        print(f"results dir: {report.store_path.parent.resolve()}")
+
+
+def _print_failures(report: "Any") -> None:
+    for failure in report.failures:
+        print(f"\nFAILED {failure.key}:\n{failure.error}", file=sys.stderr)
 
 
 def _build_scenario(name: str, n: Optional[int], horizon: Optional[float]) -> Scenario:
@@ -157,9 +186,71 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"{report.cache_hits} from cache; wall {report.wall_time_s:.2f}s"
     )
     print(f"spec hash: {spec.content_hash()}; {cache_note}")
-    for failure in report.failures:
-        print(f"\nFAILED {failure.key}:\n{failure.error}", file=sys.stderr)
+    _print_results_dir(report)
+    _print_failures(report)
     return 1 if report.failures else 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.engine.driver import run_experiment
+    from repro.engine.spec import ExperimentSpec
+
+    algorithms = {name: ALGORITHMS[name] for name in args.algorithms}
+    scenarios = [SCENARIOS[name]() for name in args.scenarios]
+    spec = ExperimentSpec.from_objects(
+        args.name, algorithms, scenarios, args.seeds, window=args.window
+    )
+    report = run_experiment(
+        spec,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        results_dir=args.results_dir,
+        strict=False,
+    )
+    print(
+        f"theorem audit: {len(args.algorithms)} algorithm(s) x "
+        f"{len(scenarios)} adversarial scenario(s) x {len(args.seeds)} seed(s)"
+    )
+    print(format_property_table(report.rows))
+    violations = sum(getattr(row, "property_violations", 0) for row in report.rows)
+    print(
+        f"\n{spec.size()} cell(s): {report.executed} executed on {report.jobs} job(s), "
+        f"{report.cache_hits} from cache; wall {report.wall_time_s:.2f}s; "
+        f"{violations} violation(s)"
+    )
+    _print_results_dir(report)
+    for row in report.rows:
+        props = getattr(row, "properties", None)
+        for verdict in props.violations() if props else ():
+            print(
+                f"VIOLATED T{verdict.theorem} ({verdict.name}) by {row.algorithm} "
+                f"on {row.scenario} seed {row.seed}: {verdict.detail}",
+                file=sys.stderr,
+            )
+    _print_failures(report)
+    return 1 if (violations or report.failures) else 0
+
+
+def _add_engine_options(parser: argparse.ArgumentParser, default_name: str) -> None:
+    """The options every engine-backed subcommand shares."""
+    parser.add_argument("--window", type=float, default=100.0, help="census tail window")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes; 1 = serial, omitted or 0 = one per CPU",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="skip the JSONL result cache"
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=None,
+        help="cache root (default REPRO_RESULTS_DIR or the repo's results/engine)",
+    )
+    parser.add_argument(
+        "--name", default=default_name, help="experiment name (cache prefix)"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,21 +281,29 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seeds", nargs="*", type=int, default=[0, 1])
     sweep_p.add_argument("--n", type=int, default=None, help="override process count")
     sweep_p.add_argument("--horizon", type=float, default=None, help="override horizon")
-    sweep_p.add_argument("--window", type=float, default=100.0, help="census tail window")
-    sweep_p.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes; 1 = serial, omitted or 0 = one per CPU",
-    )
-    sweep_p.add_argument(
-        "--no-cache", action="store_true", help="skip the JSONL result cache"
-    )
-    sweep_p.add_argument(
-        "--results-dir", default=None, help="cache root (default results/engine)"
-    )
-    sweep_p.add_argument("--name", default="sweep", help="experiment name (cache prefix)")
+    _add_engine_options(sweep_p, default_name="sweep")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    check_p = sub.add_parser(
+        "check",
+        help="audit Theorems 1-4 over the adversarial scenario suite",
+    )
+    # nargs="+": an audit whose whole contract is a pass/fail verdict
+    # must reject an accidentally emptied axis instead of green-lighting
+    # a zero-cell grid.
+    check_p.add_argument(
+        "--algorithms", nargs="+", choices=sorted(ALGORITHMS), default=["alg1", "alg2"]
+    )
+    check_p.add_argument(
+        "--scenarios",
+        nargs="+",
+        choices=sorted(SCENARIOS),
+        default=CHECK_SCENARIOS,
+        help="scenario factories to audit (defaults to the adversarial suite)",
+    )
+    check_p.add_argument("--seeds", nargs="+", type=int, default=[0])
+    _add_engine_options(check_p, default_name="check")
+    check_p.set_defaults(func=cmd_check)
 
     cmp_p = sub.add_parser("compare", help="compare algorithms on one scenario")
     cmp_p.add_argument("--scenario", choices=sorted(SCENARIOS), default="nominal")

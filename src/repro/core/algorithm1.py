@@ -67,6 +67,8 @@ class WriteEfficientOmega(OmegaAlgorithm):
 
     display_name = "alg1-write-efficient"
     uses_timer = True
+    requires_assumption = "awb"
+    claimed_theorems = frozenset({1, 2, 3, 4})
 
     def __init__(self, ctx: AlgorithmContext, shared: Algorithm1Shared) -> None:
         super().__init__(ctx, shared)

@@ -60,6 +60,10 @@ class BoundedOmega(OmegaAlgorithm):
 
     display_name = "alg2-bounded"
     uses_timer = True
+    requires_assumption = "awb"
+    # Theorems 3/4 are deliberately traded away: bounded memory forces
+    # every correct process to write forever (Theorem 5 / Corollary 1).
+    claimed_theorems = frozenset({1, 2})
 
     def __init__(self, ctx: AlgorithmContext, shared: Algorithm2Shared) -> None:
         super().__init__(ctx, shared)

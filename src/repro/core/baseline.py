@@ -65,6 +65,10 @@ class EventuallySynchronousOmega(OmegaAlgorithm):
 
     display_name = "baseline-ev-sync"
     uses_timer = True
+    requires_assumption = "ev-sync"
+    # Eventual leadership only: HB grows unboundedly for every process
+    # and everyone writes forever -- Theorems 2-4 are not claimed.
+    claimed_theorems = frozenset({1})
 
     def __init__(self, ctx: AlgorithmContext, shared: BaselineShared) -> None:
         super().__init__(ctx, shared)

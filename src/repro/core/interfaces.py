@@ -20,6 +20,7 @@ from typing import (
     Any,
     Callable,
     Dict,
+    FrozenSet,
     Generator,
     List,
     Optional,
@@ -127,6 +128,17 @@ class OmegaAlgorithm(abc.ABC):
     display_name: str = "omega"
     #: Whether the algorithm arms timers (the step-counter variant doesn't).
     uses_timer: bool = True
+    #: Weakest environment-assumption class under which the claimed
+    #: theorems are proven: ``"awb"`` (assumptions AWB1+AWB2) or
+    #: ``"ev-sync"`` (full eventual synchrony, strictly stronger).  The
+    #: property checkers (:mod:`repro.props`) only *expect* a theorem to
+    #: hold when the scenario declares at least this assumption class.
+    requires_assumption: str = "awb"
+    #: Paper theorems (1-4) the algorithm claims under that assumption:
+    #: 1 eventual common correct leader, 2 all shared variables except
+    #: ``PROGRESS[ell]`` bounded, 3 eventually a single writer of a
+    #: single variable, 4 write-optimality (exactly one forever-writer).
+    claimed_theorems: FrozenSet[int] = frozenset({1})
 
     def __init__(self, ctx: AlgorithmContext, shared: Any) -> None:
         self.ctx = ctx

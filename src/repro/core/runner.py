@@ -226,12 +226,27 @@ class RunResult:
             if self.crash_plan.is_correct(pid)
         }
 
+    def check_properties(
+        self,
+        *,
+        assumption: str = "awb",
+        margin: float = 0.0,
+        window: float = 100.0,
+    ) -> "Any":
+        """Theorem 1-4 audit of this run (see :mod:`repro.props`)."""
+        from repro.props.report import check_properties
+
+        return check_properties(
+            self, assumption=assumption, margin=margin, window=window
+        )
+
     def summarize(
         self,
         *,
         scenario_name: str = "",
         margin: float = 0.0,
         window: float = 100.0,
+        assumption: str = "awb",
     ) -> "Any":
         """Condense this result into a compact, picklable
         :class:`~repro.engine.summary.RunSummary` -- the in-place path
@@ -240,7 +255,11 @@ class RunResult:
         from repro.engine.summary import summarize_run
 
         return summarize_run(
-            self, scenario_name=scenario_name, margin=margin, window=window
+            self,
+            scenario_name=scenario_name,
+            margin=margin,
+            window=window,
+            assumption=assumption,
         )
 
 

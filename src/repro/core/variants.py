@@ -69,6 +69,8 @@ class MultiWriterOmega(OmegaAlgorithm):
 
     display_name = "alg1-nwnr"
     uses_timer = True
+    requires_assumption = "awb"
+    claimed_theorems = frozenset({1, 2, 3, 4})
 
     def __init__(self, ctx: AlgorithmContext, shared: MultiWriterShared) -> None:
         super().__init__(ctx, shared)

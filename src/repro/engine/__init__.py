@@ -22,7 +22,7 @@ Layers: :mod:`~repro.engine.spec` (content-hashed grid descriptions),
 
 from repro.engine.driver import EngineError, EngineReport, default_jobs, run_experiment
 from repro.engine.spec import AlgorithmRef, Cell, ExperimentSpec, ScenarioRef
-from repro.engine.store import ResultStore
+from repro.engine.store import ENV_RESULTS_DIR, ResultStore, default_results_dir
 from repro.engine.summary import RunSummary, summarize_run
 from repro.engine.worker import CellOutcome, execute_cell, run_cell
 
@@ -30,10 +30,12 @@ __all__ = [
     "AlgorithmRef",
     "Cell",
     "CellOutcome",
+    "ENV_RESULTS_DIR",
     "EngineError",
     "EngineReport",
     "ExperimentSpec",
     "ResultStore",
+    "default_results_dir",
     "RunSummary",
     "ScenarioRef",
     "default_jobs",

@@ -30,9 +30,20 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.spec import Cell, ExperimentSpec
-from repro.engine.store import DEFAULT_RESULTS_DIR, ResultStore
+from repro.engine.store import ResultStore
 from repro.engine.summary import RunSummary
 from repro.engine.worker import CellOutcome, execute_cell
+
+
+def _error_head(error: Optional[str]) -> str:
+    """Last non-empty traceback line, or ``"?"``.
+
+    ``error`` may be truthy yet contain only whitespace (e.g. a worker
+    that died mid-write); indexing ``splitlines()[-1]`` on it would
+    raise IndexError inside the exception constructor.
+    """
+    lines = (error or "").strip().splitlines()
+    return lines[-1] if lines else "?"
 
 
 class EngineError(RuntimeError):
@@ -41,8 +52,7 @@ class EngineError(RuntimeError):
     def __init__(self, failures: List[CellOutcome]) -> None:
         self.failures = failures
         heads = "\n".join(
-            f"  {key}: {(error or '').strip().splitlines()[-1] if error else '?'}"
-            for key, error in ((f.key, f.error) for f in failures[:5])
+            f"  {f.key}: {_error_head(f.error)}" for f in failures[:5]
         )
         more = "" if len(failures) <= 5 else f"\n  ... and {len(failures) - 5} more"
         super().__init__(f"{len(failures)} cell(s) failed:\n{heads}{more}")
@@ -143,8 +153,9 @@ def run_experiment(
     cache:
         Serve cells from / append them to the spec's JSONL file.
     results_dir:
-        Cache root; defaults to ``results/engine`` under the current
-        working directory.
+        Cache root; ``None`` resolves via ``REPRO_RESULTS_DIR`` or the
+        repo-anchored ``results/engine`` default (see
+        :func:`repro.engine.store.default_results_dir`).
     strict:
         Raise :class:`EngineError` when any cell failed (after caching
         the successful ones).  ``False`` returns the failures in the
@@ -154,7 +165,7 @@ def run_experiment(
     if jobs is None or jobs <= 0:
         jobs = default_jobs()
     cells = spec.cells()
-    store = ResultStore(results_dir if results_dir is not None else DEFAULT_RESULTS_DIR)
+    store = ResultStore(results_dir)  # None -> REPRO_RESULTS_DIR / anchored default
 
     cached: Dict[Tuple[str, str, int], RunSummary] = store.load(spec) if cache else {}
     pending = [cell for cell in cells if cell.key not in cached]

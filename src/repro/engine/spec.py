@@ -28,7 +28,8 @@ from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 #: Bumped whenever the payload layout or the RunSummary fields change in
 #: a way that invalidates previously cached results.
-SPEC_FORMAT = 1
+#: 2: RunSummary embeds the Theorem 1-4 PropertyReport.
+SPEC_FORMAT = 2
 
 
 def _canonical(payload: Any) -> str:

@@ -23,6 +23,7 @@ scenario logic.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Iterable, Tuple
 
@@ -30,18 +31,66 @@ from repro.engine.spec import SPEC_FORMAT, ExperimentSpec
 from repro.engine.summary import RunSummary
 from repro.engine.worker import CellOutcome
 
-#: Default location, relative to the current working directory (the
-#: repo root in every documented invocation).
-DEFAULT_RESULTS_DIR = Path("results") / "engine"
+#: Environment variable overriding the cache root.
+ENV_RESULTS_DIR = "REPRO_RESULTS_DIR"
+
+
+def _anchored_default() -> Path:
+    """The repo-anchored cache root.
+
+    ``store.py`` lives at ``<root>/src/repro/engine/store.py`` in a
+    source checkout; when that root looks like the project (it has
+    ``pyproject.toml``), the cache is anchored there so ``repro sweep``
+    invoked from any working directory hits the same cache.  For an
+    installed package (no project root above the module) the historical
+    CWD-relative default applies.
+    """
+    root = Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").is_file():
+        return root / "results" / "engine"
+    return Path("results") / "engine"
+
+
+def default_results_dir() -> Path:
+    """Resolve the cache root: ``REPRO_RESULTS_DIR`` env override first,
+    else the repo-anchored default (see :func:`_anchored_default`)."""
+    env = os.environ.get(ENV_RESULTS_DIR)
+    if env:
+        return Path(env).expanduser()
+    return _anchored_default()
+
+
+#: Default location at import time (without the env override applied;
+#: callers that should honor ``REPRO_RESULTS_DIR`` per invocation use
+#: :func:`default_results_dir` instead).
+DEFAULT_RESULTS_DIR = _anchored_default()
 
 CellKey = Tuple[str, str, int]
 
 
-class ResultStore:
-    """Reads and appends per-spec JSONL result files."""
+def _write_all(fd: int, data: bytes) -> None:
+    """Write every byte of ``data`` to ``fd``.
 
-    def __init__(self, root: Path | str = DEFAULT_RESULTS_DIR) -> None:
-        self.root = Path(root)
+    A single ``os.write`` is the common case (and, with ``O_APPEND``,
+    lands atomically); the loop only continues after a short write
+    (signal, near-full disk), which would otherwise silently truncate
+    the batch to a torn JSON line.
+    """
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+class ResultStore:
+    """Reads and appends per-spec JSONL result files.
+
+    ``root=None`` resolves the default at call time (env override,
+    then the repo-anchored directory).
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_results_dir()
 
     def path_for(self, spec: ExperimentSpec) -> Path:
         safe_name = "".join(c if c.isalnum() or c in "-_." else "-" for c in spec.name)
@@ -97,26 +146,42 @@ class ResultStore:
     def append(self, spec: ExperimentSpec, outcomes: Iterable[CellOutcome]) -> Path:
         """Append successful outcomes; creates the file (with its spec
         header) on first write.  Failed cells are not cached, so they
-        re-run on the next invocation."""
+        re-run on the next invocation.
+
+        Safe under concurrent sweeps of the same spec: the header is
+        written with exclusive create (exactly one process wins the
+        race; ``path.exists()`` checks would let both write it), and
+        the body goes out as one ``O_APPEND`` write, so lines from two
+        appenders never interleave mid-record.
+        """
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
-        lines = []
-        if not path.exists():
-            header = {"spec": spec.to_payload(), "format": SPEC_FORMAT}
-            lines.append(json.dumps(header, sort_keys=True))
-        for outcome in outcomes:
-            if outcome.summary is None:
-                continue
-            lines.append(
-                json.dumps(
-                    {"key": list(outcome.key), "summary": outcome.summary.to_jsonable()},
-                    sort_keys=True,
-                )
+        lines = [
+            json.dumps(
+                {"key": list(outcome.key), "summary": outcome.summary.to_jsonable()},
+                sort_keys=True,
             )
-        if lines:
-            with path.open("a", encoding="utf-8") as fh:
-                fh.write("\n".join(lines) + "\n")
+            for outcome in outcomes
+            if outcome.summary is not None
+        ]
+        # Exclusive create decides who owns the header; the winner emits
+        # header + batch in one append-mode write, the loser just appends
+        # its batch.  Every byte goes out through O_APPEND, so a loser
+        # appending between the winner's create and its first write can
+        # never be overwritten (a positional header write at offset 0
+        # could tear the loser's first record).
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL | os.O_APPEND, 0o644)
+            header = {"spec": spec.to_payload(), "format": SPEC_FORMAT}
+            lines.insert(0, json.dumps(header, sort_keys=True))
+        except FileExistsError:
+            fd = os.open(path, os.O_WRONLY | os.O_APPEND)
+        try:
+            if lines:
+                _write_all(fd, ("\n".join(lines) + "\n").encode("utf-8"))
+        finally:
+            os.close(fd)
         return path
 
 
-__all__ = ["DEFAULT_RESULTS_DIR", "ResultStore"]
+__all__ = ["DEFAULT_RESULTS_DIR", "ENV_RESULTS_DIR", "ResultStore", "default_results_dir"]

@@ -30,6 +30,7 @@ from repro.analysis.write_stats import (
     single_writer_point,
 )
 from repro.core.runner import RunResult
+from repro.props.report import PropertyReport, check_properties
 from repro.workloads.sweep import SweepRow
 
 #: Register-name prefix of the suspicion counters shared by Algorithm 1
@@ -61,18 +62,26 @@ class RunSummary(SweepRow):
     suspicion_writes_total: int = 0
     #: ... and in the late tail ``[TAIL_FRACTION * horizon, end]``.
     suspicion_writes_tail: int = 0
+    #: Count of expected-but-failed theorem verdicts (0 = clean audit).
+    property_violations: int = 0
+    #: The full Theorem 1-4 claimed-vs-measured report.
+    properties: Optional[PropertyReport] = None
 
     # ------------------------------------------------------------------
     def to_jsonable(self) -> Dict[str, Any]:
         """A plain-JSON dict (frozensets become sorted lists)."""
         out = dataclasses.asdict(self)
         out["forever_writers"] = sorted(self.forever_writers)
+        if self.properties is not None:
+            out["properties"] = self.properties.to_jsonable()
         return out
 
     @classmethod
     def from_jsonable(cls, payload: Mapping[str, Any]) -> "RunSummary":
         data = dict(payload)
         data["forever_writers"] = frozenset(data.get("forever_writers", ()))
+        if isinstance(data.get("properties"), Mapping):
+            data["properties"] = PropertyReport.from_jsonable(data["properties"])
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 
@@ -118,18 +127,25 @@ def summarize_run(
     margin: float = 0.0,
     window: float = 100.0,
     wall_time_s: float = 0.0,
+    assumption: str = "awb",
 ) -> RunSummary:
     """Condense a finished run into a :class:`RunSummary`.
 
     Only consumes the write log, the aggregate access counters and the
     leader-sample trace, so it works identically in the low-overhead run
-    mode (``log_reads=False``, ``trace_events=False``).
+    mode (``log_reads=False``, ``trace_events=False``).  ``assumption``
+    is the scenario's declared environment class; it decides which
+    theorem verdicts of the embedded :class:`PropertyReport` count as
+    violations.
     """
     report = result.stabilization(margin=margin)
     writers = forever_writers(result.memory, result.horizon, window=window)
     swp = single_writer_point(result.memory, result.horizon, tail=window)
     term = check_termination(result.algorithms, result.crash_plan)
     max_susp, susp_total, susp_tail = _suspicion_census(result)
+    props = check_properties(
+        result, assumption=assumption, margin=margin, window=window
+    )
     return RunSummary(
         algorithm=result.algorithm_name,
         scenario=scenario_name,
@@ -153,6 +169,8 @@ def summarize_run(
         max_suspicion=max_susp,
         suspicion_writes_total=susp_total,
         suspicion_writes_tail=susp_tail,
+        property_violations=len(props.violations()),
+        properties=props,
     )
 
 

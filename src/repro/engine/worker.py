@@ -52,6 +52,7 @@ def run_cell(cell: Cell, window: float = 100.0, fast: bool = True) -> RunSummary
         margin=scenario.margin,
         window=window,
         wall_time_s=0.0,
+        assumption=scenario.assumption,
     )
     summary.algorithm = cell.algorithm.label  # prefer the caller's label
     summary.wall_time_s = time.perf_counter() - started

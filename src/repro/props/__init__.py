@@ -1,0 +1,61 @@
+"""Trace-driven property checkers for the paper's Theorems 1-4.
+
+The paper's claims are theorems about *behaviors*:
+
+* **Theorem 1** -- eventually every correct process outputs one common
+  correct leader;
+* **Theorem 2** -- all shared variables except ``PROGRESS[ell]`` stay
+  bounded;
+* **Theorem 3** -- eventually a single process writes a single
+  variable;
+* **Theorem 4** -- write-optimality: exactly one forever-writer, the
+  minimum any Omega implementation can have.
+
+This package turns each theorem into an *online monitor*
+(:mod:`repro.props.checkers`): feed it samples, writes and crashes as
+they happen (or replay a finished run's trace) and call ``finish()``
+for a measured verdict.  :func:`repro.props.report.check_properties`
+composes the four monitors into a :class:`~repro.props.report.PropertyReport`
+-- claimed-vs-measured, aware of which assumption class the scenario
+declares (:mod:`repro.props.claims`) -- which the engine's
+:class:`~repro.engine.summary.RunSummary` embeds and caches, so every
+sweep doubles as a theorem audit.
+"""
+
+from repro.props.checkers import (
+    BoundednessMonitor,
+    BoundednessVerdict,
+    LeadershipVerdict,
+    SingleWriterMonitor,
+    SingleWriterVerdict,
+    StabilizationMonitor,
+    WriteOptimalityMonitor,
+    WriteOptimalityVerdict,
+    progress_register,
+)
+from repro.props.claims import (
+    ASSUMPTION_ORDER,
+    THEOREM_NAMES,
+    assumption_covers,
+    expected_theorems,
+)
+from repro.props.report import PropertyReport, TheoremVerdict, check_properties
+
+__all__ = [
+    "ASSUMPTION_ORDER",
+    "BoundednessMonitor",
+    "BoundednessVerdict",
+    "LeadershipVerdict",
+    "PropertyReport",
+    "SingleWriterMonitor",
+    "SingleWriterVerdict",
+    "StabilizationMonitor",
+    "THEOREM_NAMES",
+    "TheoremVerdict",
+    "WriteOptimalityMonitor",
+    "WriteOptimalityVerdict",
+    "assumption_covers",
+    "check_properties",
+    "expected_theorems",
+    "progress_register",
+]

@@ -1,0 +1,363 @@
+"""Online monitors for Theorems 1-4.
+
+Each monitor consumes a run's events incrementally -- observer leader
+samples, shared-memory writes, crash notifications -- and produces a
+*measured* verdict at ``finish()``.  They keep O(n + registers) state,
+never the full trace, so they can run inside a live simulation as well
+as over a replayed :class:`~repro.core.runner.RunResult` (the path
+:func:`repro.props.report.check_properties` takes).
+
+All verdicts are empirical: "eventually P" on a finite trace means "P
+held over the instrumented tail of the horizon".  Scenarios choose
+horizons generously above their stabilization knobs so a failed tail is
+evidence, not noise (same convention as
+:func:`repro.analysis.omega_props.check_eventual_leadership`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+def progress_register(leader: int) -> str:
+    """The one register Theorems 2/3 exempt: the leader's ``PROGRESS``
+    entry (``PROGRESS[ell]`` in the paper, ``PROGRESS[<ell>]`` in the
+    shared-memory namespace)."""
+    return f"PROGRESS[{leader}]"
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 -- eventual common correct leader, with churn accounting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LeadershipVerdict:
+    """Measured Theorem 1 outcome."""
+
+    holds: bool
+    #: Common final leader of the correct processes (also set when the
+    #: verdict fails for a reason other than disagreement).
+    leader: Optional[int]
+    #: Time the last correct process settled on the final value.
+    settle_time: Optional[float]
+    #: Leader-output changes by correct processes (the churn the run
+    #: went through before -- or without -- settling).
+    churn: int
+    #: ... by every process, including ones that later crashed.
+    churn_all: int
+    #: Distinct leader values ever output by correct processes.
+    leaders_seen: int
+    detail: str = ""
+
+
+class StabilizationMonitor:
+    """Theorem 1: after some finite time every correct process's
+    ``leader()`` output is one common correct identity.
+
+    ``margin`` demands the common value held for at least that much
+    virtual time before the horizon (a value appearing only at the last
+    sample is not "eventual").  Crash accounting: output churn by a
+    process that later crashes never counts against the verdict; only
+    never-crashed processes must agree.
+    """
+
+    def __init__(self, horizon: float, margin: float = 0.0) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = horizon
+        self.margin = margin
+        self._crashed: Set[int] = set()
+        self._last: Dict[int, int] = {}
+        self._streak_start: Dict[int, float] = {}
+        self._changes: Dict[int, int] = {}
+        self._values_seen: Dict[int, Set[int]] = {}
+
+    def observe_crash(self, time: float, pid: int) -> None:
+        self._crashed.add(pid)
+
+    def observe_sample(self, time: float, pid: int, leader: int) -> None:
+        if pid not in self._last:
+            self._last[pid] = leader
+            self._streak_start[pid] = time
+            self._changes[pid] = 0
+            self._values_seen[pid] = {leader}
+            return
+        self._values_seen[pid].add(leader)
+        if leader != self._last[pid]:
+            self._last[pid] = leader
+            self._streak_start[pid] = time
+            self._changes[pid] += 1
+
+    def finish(self) -> LeadershipVerdict:
+        correct = [pid for pid in self._last if pid not in self._crashed]
+        churn_all = sum(self._changes.values())
+        if not correct:
+            return LeadershipVerdict(
+                False, None, None, 0, churn_all, 0,
+                detail="no samples from any correct process",
+            )
+        churn = sum(self._changes[pid] for pid in correct)
+        leaders_seen = len(set().union(*(self._values_seen[pid] for pid in correct)))
+        finals = {self._last[pid] for pid in correct}
+        if len(finals) != 1:
+            return LeadershipVerdict(
+                False, None, None, churn, churn_all, leaders_seen,
+                detail=f"correct processes disagree: final outputs {sorted(finals)}",
+            )
+        leader = finals.pop()
+        settle = max(self._streak_start[pid] for pid in correct)
+        if leader in self._crashed:
+            return LeadershipVerdict(
+                False, leader, None, churn, churn_all, leaders_seen,
+                detail=f"common output p{leader} is a crashed process",
+            )
+        if settle + self.margin >= self.horizon:
+            return LeadershipVerdict(
+                False, leader, None, churn, churn_all, leaders_seen,
+                detail=(
+                    f"p{leader} common only from t={settle:.0f}, inside the "
+                    f"margin ({self.margin:.0f}) of the horizon"
+                ),
+            )
+        return LeadershipVerdict(
+            True, leader, settle, churn, churn_all, leaders_seen,
+            detail=f"p{leader} from t={settle:.0f} after {churn} output change(s)",
+        )
+
+
+# ----------------------------------------------------------------------
+# Theorem 2 -- every shared variable except PROGRESS[ell] bounded
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoundednessVerdict:
+    """Measured Theorem 2 outcome."""
+
+    holds: bool
+    #: Registers whose numeric maximum was still increasing in the tail.
+    growing: Tuple[str, ...]
+    #: The subset of ``growing`` the theorem does *not* allow.
+    offending: Tuple[str, ...]
+    detail: str = ""
+
+
+class BoundednessMonitor:
+    """Theorem 2: per-register growth monitor.
+
+    The theorem quantifies "after some time": growth is judged over an
+    end suffix of the run -- the final ``tail_fraction``, pushed later
+    to the election's settle point when ``finish`` receives one (a run
+    that stabilized late is only accountable for growth *after*
+    stabilizing; before it, several candidates legitimately advance
+    their own ``PROGRESS`` entries while contending).
+
+    A register is *still growing* when at least ``min_records`` writes
+    in that suffix each strictly exceeded every value written before
+    them.  One record-setter is not growth: a bounded-but-slowly
+    settling counter (e.g. a rare late false suspicion whose next
+    occurrence is another timeout-doubling away) legitimately sets a
+    last record inside any finite suffix, while a genuinely unbounded
+    register (``PROGRESS[ell]``) sets records with every write, so the
+    threshold separates the populations cleanly.  Non-numeric values
+    (the booleans of Algorithm 2's hand-shake) never grow.
+
+    State stays bounded by the *tail's* record-setting writes: earlier
+    records only update the running maxima.
+    """
+
+    def __init__(
+        self,
+        horizon: float,
+        tail_fraction: float = 0.25,
+        min_records: int = 2,
+    ) -> None:
+        if not 0 < tail_fraction < 1:
+            raise ValueError("tail_fraction must be in (0, 1)")
+        if min_records < 1:
+            raise ValueError("min_records must be >= 1")
+        self.horizon = horizon
+        self.tail_start = horizon * (1.0 - tail_fraction)
+        self.min_records = min_records
+        self._max: Dict[str, float] = {}
+        self._tail_record_times: Dict[str, List[float]] = {}
+
+    def observe_write(self, time: float, pid: int, register: str, value: object) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return
+        v = float(value)
+        if register not in self._max or v > self._max[register]:
+            self._max[register] = v
+            if time >= self.tail_start:
+                self._tail_record_times.setdefault(register, []).append(time)
+
+    def growing_registers(self, since: Optional[float] = None) -> Tuple[str, ...]:
+        """Registers with >= ``min_records`` record-setting writes in
+        ``[max(tail_start, since), horizon]``."""
+        start = self.tail_start if since is None else max(self.tail_start, since)
+        return tuple(
+            sorted(
+                name
+                for name, times in self._tail_record_times.items()
+                if sum(1 for t in times if t >= start) >= self.min_records
+            )
+        )
+
+    def finish(
+        self,
+        leader: Optional[int] = None,
+        settle_time: Optional[float] = None,
+    ) -> BoundednessVerdict:
+        growing = self.growing_registers(since=settle_time)
+        allowed = {progress_register(leader)} if leader is not None else set()
+        offending = tuple(name for name in growing if name not in allowed)
+        holds = not offending
+        if holds:
+            detail = (
+                "all shared variables bounded"
+                if not growing
+                else f"only {growing[0]} grows (the leader's PROGRESS entry)"
+            )
+        else:
+            detail = f"still growing beyond PROGRESS[ell]: {', '.join(offending)}"
+        return BoundednessVerdict(holds, growing, offending, detail)
+
+
+# ----------------------------------------------------------------------
+# Theorem 3 -- eventually a single writer of a single variable
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SingleWriterVerdict:
+    """Measured Theorem 3 outcome."""
+
+    holds: bool
+    #: Pids that wrote during the final ``tail`` time units.
+    tail_writers: Tuple[int, ...]
+    #: Register names written during that tail.
+    tail_registers: Tuple[str, ...]
+    #: Last write by any process other than the leader (the point after
+    #: which a single process writes); ``None`` without a leader.
+    switch_time: Optional[float]
+    detail: str = ""
+
+
+class SingleWriterMonitor:
+    """Theorem 3: eventually only the leader writes, always the same
+    variable (``PROGRESS[ell]``)."""
+
+    def __init__(self, horizon: float, tail: float = 100.0) -> None:
+        if not 0 < tail <= horizon:
+            raise ValueError("need 0 < tail <= horizon")
+        self.horizon = horizon
+        self.tail_start = horizon - tail
+        self._last_by_pid: Dict[int, float] = {}
+        self._last_by_register: Dict[str, float] = {}
+
+    def observe_write(self, time: float, pid: int, register: str, value: object) -> None:
+        self._last_by_pid[pid] = max(time, self._last_by_pid.get(pid, time))
+        self._last_by_register[register] = max(
+            time, self._last_by_register.get(register, time)
+        )
+
+    def finish(self, leader: Optional[int] = None) -> SingleWriterVerdict:
+        writers = tuple(
+            sorted(p for p, t in self._last_by_pid.items() if t >= self.tail_start)
+        )
+        registers = tuple(
+            sorted(r for r, t in self._last_by_register.items() if t >= self.tail_start)
+        )
+        switch = None
+        if leader is not None:
+            others = [t for p, t in self._last_by_pid.items() if p != leader]
+            switch = max(others) if others else 0.0
+        holds = (
+            leader is not None
+            and writers == (leader,)
+            and registers == (progress_register(leader),)
+        )
+        if holds:
+            detail = f"only p{leader} writes {registers[0]} after t={switch:.0f}"
+        else:
+            detail = (
+                f"tail writers {list(writers)} on registers {list(registers)}"
+                + ("" if leader is not None else " (no stable leader)")
+            )
+        return SingleWriterVerdict(holds, writers, registers, switch, detail)
+
+
+# ----------------------------------------------------------------------
+# Theorem 4 -- write-optimality
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WriteOptimalityVerdict:
+    """Measured Theorem 4 outcome."""
+
+    holds: bool
+    #: Pids that wrote in every one of the tail windows.
+    forever_writers: Tuple[int, ...]
+    #: The lower bound the paper proves: some process must write forever.
+    optimum: int
+    #: Total writes per pid over the whole run (the counter the
+    #: write-optimality comparison tables consume).
+    writes_by_pid: Dict[int, int] = field(default_factory=dict)
+    detail: str = ""
+
+
+class WriteOptimalityMonitor:
+    """Theorem 4: the forever-writer count meets the proven lower bound.
+
+    The paper's lower bound says *at least one* process must keep
+    writing forever; Algorithm 1 achieves exactly one (the leader), so
+    the measured property is ``forever_writers == {ell}``.  "Forever"
+    on a finite trace means "in every one of the last ``count`` windows
+    of width ``window``" (same convention as
+    :func:`repro.analysis.write_stats.forever_writers`).
+    """
+
+    def __init__(self, horizon: float, window: float = 100.0, count: int = 4) -> None:
+        if window <= 0 or count <= 0:
+            raise ValueError("window and count must be positive")
+        start = max(0.0, horizon - window * count)
+        self._windows: List[Tuple[float, float]] = [
+            (start + i * window, start + (i + 1) * window) for i in range(count)
+        ]
+        self._writers: List[Set[int]] = [set() for _ in range(count)]
+        self._writes_by_pid: Dict[int, int] = {}
+
+    def observe_write(self, time: float, pid: int, register: str, value: object) -> None:
+        self._writes_by_pid[pid] = self._writes_by_pid.get(pid, 0) + 1
+        for idx, (t0, t1) in enumerate(self._windows):
+            if t0 <= time < t1 or (idx == len(self._windows) - 1 and time == t1):
+                self._writers[idx].add(pid)
+                break
+
+    def forever_writers(self) -> Tuple[int, ...]:
+        result = set(self._writers[0])
+        for writers in self._writers[1:]:
+            result &= writers
+        return tuple(sorted(result))
+
+    def finish(self, leader: Optional[int] = None) -> WriteOptimalityVerdict:
+        forever = self.forever_writers()
+        if leader is not None:
+            holds = forever == (leader,)
+        else:
+            holds = len(forever) == 1
+        if holds:
+            detail = f"exactly one forever-writer (p{forever[0]}): write-optimal"
+        else:
+            detail = f"forever-writers {list(forever)}; the optimum is 1"
+        return WriteOptimalityVerdict(
+            holds, forever, 1, dict(self._writes_by_pid), detail
+        )
+
+
+__all__ = [
+    "BoundednessMonitor",
+    "BoundednessVerdict",
+    "LeadershipVerdict",
+    "SingleWriterMonitor",
+    "SingleWriterVerdict",
+    "StabilizationMonitor",
+    "WriteOptimalityMonitor",
+    "WriteOptimalityVerdict",
+    "progress_register",
+]

@@ -1,0 +1,75 @@
+"""Which theorems are *expected* to hold where.
+
+A theorem checker can only flag a violation relative to a claim: the
+paper proves Theorems 1-4 for Algorithm 1 **under assumption AWB**, not
+for every algorithm in every environment.  Two declarations meet here:
+
+* every algorithm class carries ``claimed_theorems`` and
+  ``requires_assumption`` (see
+  :class:`repro.core.interfaces.OmegaAlgorithm`);
+* every scenario declares the assumption class its environment
+  satisfies *by construction* (``Scenario.assumption``).
+
+The assumption classes form a strength lattice mirroring the taxonomy
+of Aguilera et al. (eventual t-source vs AWB vs full eventual
+synchrony):
+
+* ``"none"``   -- adversarial beyond the paper's assumptions (e.g. the
+  ``capped-timers`` scenario violates AWB2); nothing is expected.
+* ``"awb"``    -- AWB1 (one eventually timely process) + AWB2
+  (asymptotically well-behaved timers) hold.
+* ``"ev-sync"`` -- full eventual synchrony: every process eventually
+  timely.  Strictly stronger than AWB.
+
+A theorem is *expected* iff the algorithm claims it and the scenario's
+declared class is at least as strong as the algorithm's requirement.
+A measured failure of an unexpected theorem is reported but is not a
+violation (it is often the interesting datum -- e.g. the baseline
+churning under AWB-only is exactly the assumption gap the paper
+exploits).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet
+
+#: Strength order of the declared assumption classes.
+ASSUMPTION_ORDER: Dict[str, int] = {"none": 0, "awb": 1, "ev-sync": 2}
+
+#: Short names for the four checked theorems.
+THEOREM_NAMES: Dict[int, str] = {
+    1: "eventual-leadership",
+    2: "boundedness",
+    3: "single-writer",
+    4: "write-optimality",
+}
+
+
+def assumption_covers(declared: str, required: str) -> bool:
+    """Is the declared environment class at least as strong as required?"""
+    try:
+        return ASSUMPTION_ORDER[declared] >= ASSUMPTION_ORDER[required]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown assumption class {exc.args[0]!r}; "
+            f"choose from {sorted(ASSUMPTION_ORDER)}"
+        ) from None
+
+
+def expected_theorems(algorithm_cls: Any, assumption: str) -> FrozenSet[int]:
+    """Theorems expected of ``algorithm_cls`` under ``assumption``.
+
+    Empty when the environment is weaker than the algorithm's
+    requirement (nothing proven -> nothing expected).
+    """
+    claimed = frozenset(getattr(algorithm_cls, "claimed_theorems", frozenset()))
+    required = getattr(algorithm_cls, "requires_assumption", "awb")
+    return claimed if assumption_covers(assumption, required) else frozenset()
+
+
+__all__ = [
+    "ASSUMPTION_ORDER",
+    "THEOREM_NAMES",
+    "assumption_covers",
+    "expected_theorems",
+]

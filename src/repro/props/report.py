@@ -1,0 +1,198 @@
+"""Composable claimed-vs-measured property reports.
+
+:func:`check_properties` replays a finished run through the four
+theorem monitors and wraps the measured verdicts with the *expectation*
+derived from the algorithm's claims and the scenario's declared
+assumption class (:mod:`repro.props.claims`).  The resulting
+:class:`PropertyReport` is a small value object -- JSON round-trippable
+and picklable -- that :class:`~repro.engine.summary.RunSummary` embeds,
+so property verdicts ride through the parallel engine and its JSONL
+cache like any other cell outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.props.checkers import (
+    BoundednessMonitor,
+    SingleWriterMonitor,
+    StabilizationMonitor,
+    WriteOptimalityMonitor,
+)
+from repro.props.claims import THEOREM_NAMES, assumption_covers
+
+
+@dataclass(frozen=True)
+class TheoremVerdict:
+    """One theorem's claimed-vs-measured outcome."""
+
+    theorem: int
+    name: str
+    #: Measured: did the behaviour satisfy the property?
+    holds: bool
+    #: Claimed: does the algorithm promise it under the scenario's
+    #: declared assumption class?
+    expected: bool
+    detail: str = ""
+
+    @property
+    def violated(self) -> bool:
+        """A violation is a *broken promise*: expected but not measured."""
+        return self.expected and not self.holds
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "theorem": self.theorem,
+            "name": self.name,
+            "holds": self.holds,
+            "expected": self.expected,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "TheoremVerdict":
+        return cls(
+            theorem=int(payload["theorem"]),
+            name=str(payload["name"]),
+            holds=bool(payload["holds"]),
+            expected=bool(payload["expected"]),
+            detail=str(payload.get("detail", "")),
+        )
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Theorem 1-4 verdicts for one run."""
+
+    algorithm: str
+    #: Assumption class the scenario declared ("none"/"awb"/"ev-sync").
+    assumption: str
+    #: Assumption class the algorithm's claims require.
+    requires: str
+    #: Theorems the algorithm claims (sorted).
+    claimed: Tuple[int, ...]
+    #: One verdict per checked theorem, in theorem order.
+    verdicts: Tuple[TheoremVerdict, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations()
+
+    def violations(self) -> List[TheoremVerdict]:
+        """Expected-but-failed verdicts (empty on a clean audit)."""
+        return [v for v in self.verdicts if v.violated]
+
+    def verdict(self, theorem: int) -> TheoremVerdict:
+        for v in self.verdicts:
+            if v.theorem == theorem:
+                return v
+        raise KeyError(f"no verdict for theorem {theorem}")
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "assumption": self.assumption,
+            "requires": self.requires,
+            "claimed": list(self.claimed),
+            "verdicts": [v.to_jsonable() for v in self.verdicts],
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "PropertyReport":
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            assumption=str(payload["assumption"]),
+            requires=str(payload["requires"]),
+            claimed=tuple(int(t) for t in payload.get("claimed", ())),
+            verdicts=tuple(
+                TheoremVerdict.from_jsonable(v) for v in payload.get("verdicts", ())
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+def check_properties(
+    result: Any,
+    *,
+    assumption: str = "awb",
+    margin: float = 0.0,
+    window: float = 100.0,
+    algorithm_cls: Optional[type] = None,
+) -> PropertyReport:
+    """Run all four theorem monitors over a finished run.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.runner.RunResult` (duck-typed: needs
+        ``horizon``, ``trace``, ``memory.write_log``, ``crash_plan``,
+        ``algorithms``, ``algorithm_name``).
+    assumption:
+        Environment class the scenario declares; decides which claimed
+        theorems are *expected* (see :mod:`repro.props.claims`).
+    margin:
+        Stability margin for the Theorem 1 verdict (scenario-chosen).
+    window:
+        Tail-window width for the Theorem 3/4 monitors -- the same knob
+        the census summarizer uses, so verdicts and censuses agree.
+    algorithm_cls:
+        Override for the claims source; defaults to the class of the
+        run's algorithm instances.
+
+    Only consumes the write log, the crash plan and the leader-sample
+    trace, so it works identically in the engine's low-overhead run
+    mode.
+    """
+    cls = algorithm_cls or type(result.algorithms[0])
+    claimed = frozenset(getattr(cls, "claimed_theorems", frozenset()))
+    requires = getattr(cls, "requires_assumption", "awb")
+    covered = assumption_covers(assumption, requires)
+
+    stab = StabilizationMonitor(result.horizon, margin=margin)
+    bounded = BoundednessMonitor(result.horizon)
+    single = SingleWriterMonitor(result.horizon, tail=min(window, result.horizon))
+    optimal = WriteOptimalityMonitor(result.horizon, window=window)
+
+    for pid, t in sorted(result.crash_plan.crash_times.items()):
+        if t <= result.horizon:
+            stab.observe_crash(t, pid)
+    for t, pid, leader in result.trace.leader_samples():
+        stab.observe_sample(t, pid, leader)
+    for rec in result.memory.write_log:
+        bounded.observe_write(rec.time, rec.pid, rec.register, rec.value)
+        single.observe_write(rec.time, rec.pid, rec.register, rec.value)
+        optimal.observe_write(rec.time, rec.pid, rec.register, rec.value)
+
+    t1 = stab.finish()
+    leader = t1.leader if t1.holds else None
+    t2 = bounded.finish(leader, settle_time=t1.settle_time)
+    t3 = single.finish(leader)
+    t4 = optimal.finish(leader)
+
+    def verdict(theorem: int, holds: bool, detail: str) -> TheoremVerdict:
+        return TheoremVerdict(
+            theorem=theorem,
+            name=THEOREM_NAMES[theorem],
+            holds=holds,
+            expected=covered and theorem in claimed,
+            detail=detail,
+        )
+
+    return PropertyReport(
+        algorithm=result.algorithm_name,
+        assumption=assumption,
+        requires=requires,
+        claimed=tuple(sorted(claimed)),
+        verdicts=(
+            verdict(1, t1.holds, t1.detail),
+            verdict(2, t2.holds, t2.detail),
+            verdict(3, t3.holds, t3.detail),
+            verdict(4, t4.holds, t4.detail),
+        ),
+    )
+
+
+__all__ = ["PropertyReport", "TheoremVerdict", "check_properties"]

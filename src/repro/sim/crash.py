@@ -103,6 +103,35 @@ class CrashPlan:
         return CrashPlan(n, times)
 
     @staticmethod
+    def leader_storms(
+        n: int,
+        crashes: int,
+        start: float,
+        gap: float,
+        burst: int = 2,
+        spacing: float = 1.0,
+    ) -> "CrashPlan":
+        """Targeted-leader crash storms.
+
+        Both algorithms favour the lexmin candidate, i.e. the
+        lowest-numbered live process, so the adversary that repeatedly
+        kills *the process about to be elected* crashes pids in
+        ascending order -- but in tight **bursts** of up to ``burst``
+        crashes ``spacing`` apart, with ``gap`` between storms.  Each
+        storm lands just as the previous re-election settles, forcing a
+        fresh one.  ``crashes`` may go up to ``n - 1``.
+        """
+        if crashes >= n:
+            raise ValueError(f"can crash at most n-1={n - 1} processes, got {crashes}")
+        if burst <= 0 or gap <= 0 or spacing < 0:
+            raise ValueError("burst must be positive, gap positive, spacing non-negative")
+        times: Dict[int, float] = {}
+        for idx in range(crashes):
+            storm, slot = divmod(idx, burst)
+            times[idx] = start + storm * gap + slot * spacing
+        return CrashPlan(n, times)
+
+    @staticmethod
     def random(
         n: int,
         rng: RngRegistry,

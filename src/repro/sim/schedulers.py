@@ -197,6 +197,149 @@ class CompositeDelay:
         return model.delay(pid, now)
 
 
+class GstRampDelay:
+    """A GST *ramp*: asynchrony decays linearly toward ``gst``.
+
+    Instead of the sharp before/after cut of
+    :class:`PartiallySynchronousDelay`, per-step delays start inflated
+    by ``start_scale`` and shrink linearly until, at ``gst``, every
+    process (or only ``timely_pids`` when given) draws from the timely
+    band ``[lo, hi]`` forever.  Satisfies AWB1 by construction -- the
+    adversarial content is the long, slowly improving prefix, which
+    feeds the timers a moving target of false-suspicion intervals.
+    """
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        gst: float,
+        start_scale: float = 8.0,
+        lo: float = 0.5,
+        hi: float = 1.5,
+        timely_pids: Optional[Iterable[int]] = None,
+    ) -> None:
+        if gst <= 0:
+            raise ValueError("gst must be positive")
+        if start_scale < 1.0:
+            raise ValueError("start_scale must be >= 1")
+        if not (0 < lo <= hi):
+            raise ValueError("need 0 < lo <= hi")
+        self.gst = gst
+        self.start_scale = start_scale
+        self.lo, self.hi = lo, hi
+        self.timely_pids = None if timely_pids is None else frozenset(timely_pids)
+        self._rng = rng
+
+    def delay(self, pid: int, now: float) -> float:
+        base = self._rng.stream(f"delay:{pid}").uniform(self.lo, self.hi)
+        if self.timely_pids is not None and pid not in self.timely_pids:
+            # Non-designated processes stay at the ramp's start forever
+            # (they are never required to become timely, so they never
+            # enter the ramp either).
+            return base * self.start_scale
+        if now >= self.gst:
+            return base
+        remaining = 1.0 - now / self.gst
+        return base * (1.0 + (self.start_scale - 1.0) * remaining)
+
+
+class AlternatingBurstDelay:
+    """Alternating asynchrony bursts: calm phases and slow phases cycle.
+
+    Every process alternates between a calm band and a burst band on a
+    fixed ``period``; after ``gst`` the processes in ``timely_pids``
+    drop out of the cycle and stay calm forever (that is AWB1), while
+    everyone else keeps bursting for the whole run -- legal behaviour
+    for an asynchronous process, and a hard target for timeout tuning
+    because follower speeds never settle.
+    """
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        period: float = 400.0,
+        burst_fraction: float = 0.5,
+        calm_lo: float = 0.5,
+        calm_hi: float = 1.5,
+        burst_lo: float = 5.0,
+        burst_hi: float = 20.0,
+        timely_pids: Iterable[int] = (),
+        gst: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 < burst_fraction < 1:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if not (0 < calm_lo <= calm_hi) or not (0 < burst_lo <= burst_hi):
+            raise ValueError("need 0 < lo <= hi for both bands")
+        self.period = period
+        self.burst_fraction = burst_fraction
+        self.calm_lo, self.calm_hi = calm_lo, calm_hi
+        self.burst_lo, self.burst_hi = burst_lo, burst_hi
+        self.timely_pids = frozenset(timely_pids)
+        self.gst = gst
+        self._rng = rng
+
+    def delay(self, pid: int, now: float) -> float:
+        stream = self._rng.stream(f"delay:{pid}")
+        if pid in self.timely_pids and now >= self.gst:
+            return stream.uniform(self.calm_lo, self.calm_hi)
+        phase = (now % self.period) / self.period
+        if phase < 1.0 - self.burst_fraction:
+            return stream.uniform(self.calm_lo, self.calm_hi)
+        return stream.uniform(self.burst_lo, self.burst_hi)
+
+
+class ChurningTimelyDelay:
+    """AWB1 with source churn: *which* process is timely keeps changing.
+
+    Before ``settle_at`` the timely identity rotates through
+    ``candidates`` every ``epoch`` time units (everyone else follows
+    ``base``); from ``settle_at`` on, ``final_pid`` is timely forever.
+    The churning prefix is the shared-memory analogue of the eventual
+    t-source *source-set churn* of Aguilera et al. (see
+    :class:`repro.netsim.network.SourceChurnLinks`): assumptions that
+    only eventually pick their witness must tolerate arbitrarily long
+    periods where the witness moves.
+    """
+
+    def __init__(
+        self,
+        base: StepDelayModel,
+        candidates: Sequence[int],
+        epoch: float,
+        settle_at: float,
+        final_pid: int,
+        rng: RngRegistry,
+        timely_lo: float = 0.5,
+        timely_hi: float = 1.0,
+    ) -> None:
+        if not candidates:
+            raise ValueError("need at least one candidate")
+        if epoch <= 0 or settle_at < 0:
+            raise ValueError("epoch must be positive and settle_at non-negative")
+        if not (0 < timely_lo <= timely_hi):
+            raise ValueError("need 0 < timely_lo <= timely_hi")
+        self.base = base
+        self.candidates = list(candidates)
+        self.epoch = epoch
+        self.settle_at = settle_at
+        self.final_pid = final_pid
+        self.timely_lo, self.timely_hi = timely_lo, timely_hi
+        self._rng = rng
+
+    def timely_at(self, now: float) -> int:
+        """The identity that is timely at virtual time ``now``."""
+        if now >= self.settle_at:
+            return self.final_pid
+        return self.candidates[int(now // self.epoch) % len(self.candidates)]
+
+    def delay(self, pid: int, now: float) -> float:
+        if pid == self.timely_at(now):
+            return self._rng.stream(f"timely:{pid}").uniform(self.timely_lo, self.timely_hi)
+        return self.base.delay(pid, now)
+
+
 @dataclass
 class RampDelay:
     """Delays that grow over time: ``base * (1 + rate * now)``.
@@ -228,8 +371,11 @@ def mean_delay(model: StepDelayModel, pid: int, now: float, samples: int = 256) 
 
 __all__ = [
     "AdversarialStallDelay",
+    "AlternatingBurstDelay",
+    "ChurningTimelyDelay",
     "CompositeDelay",
     "FixedDelay",
+    "GstRampDelay",
     "HeavyTailDelay",
     "PartiallySynchronousDelay",
     "RampDelay",

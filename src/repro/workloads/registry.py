@@ -45,6 +45,12 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "capped-timers": scen_mod.capped_timers,
     "slow-leader-awb": scen_mod.slow_leader_awb,
     "ablation": scen_mod.ablation,
+    # The adversarial suite `repro check` audits the theorems against.
+    "leader-storm": scen_mod.leader_storm,
+    "gst-ramp": scen_mod.gst_ramp,
+    "async-bursts": scen_mod.async_bursts,
+    "near-all-cascade": scen_mod.near_all_cascade,
+    "timely-churn": scen_mod.timely_churn,
 }
 
 

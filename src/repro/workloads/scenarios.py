@@ -24,6 +24,9 @@ from repro.memory.memory import SharedMemory
 from repro.sim.crash import CrashPlan
 from repro.sim.rng import RngRegistry
 from repro.sim.schedulers import (
+    AlternatingBurstDelay,
+    ChurningTimelyDelay,
+    GstRampDelay,
     HeavyTailDelay,
     PartiallySynchronousDelay,
     StepDelayModel,
@@ -98,6 +101,13 @@ class Scenario:
     #: Stability margin expected of this scenario (passed to the
     #: eventual-leadership verdict by tests/benches).
     margin: float = 0.0
+    #: Assumption class this environment satisfies *by construction*:
+    #: ``"awb"`` (AWB1+AWB2 hold within the horizon -- the default),
+    #: ``"ev-sync"`` (every process eventually timely) or ``"none"``
+    #: (adversarial beyond the paper's assumptions).  The property
+    #: checkers (:mod:`repro.props`) expect an algorithm's claimed
+    #: theorems only when this class covers the algorithm's requirement.
+    assumption: str = "awb"
     #: ``(factory_name, kwargs)`` attached by :func:`scenario_factory`;
     #: lets the parallel engine rebuild this scenario in a worker
     #: process.  ``None`` for hand-built instances (in-process only).
@@ -323,6 +333,7 @@ def ev_sync(n: int = 4, horizon: float = 4000.0) -> Scenario:
         ),
         make_timers=_accurate_timers(),
         margin=horizon * 0.02,
+        assumption="ev-sync",
     )
 
 
@@ -420,6 +431,7 @@ def capped_timers(n: int = 4, horizon: float = 4000.0, cap: float = 3.0, timely_
         make_delay=lambda rng: _slow_leader_delay(n, timely_pid, rng),
         make_timers=make,
         margin=horizon * 0.3,
+        assumption="none",
     )
 
 
@@ -436,6 +448,191 @@ def slow_leader_awb(n: int = 4, horizon: float = 12000.0, timely_pid: int = 0) -
         horizon=horizon,
         description="slow timely leader, AWB timers (positive twin of capped-timers)",
         make_delay=lambda rng: _slow_leader_delay(n, timely_pid, rng),
+        make_timers=_awb_timers(alpha=2.0, jitter=0.5),
+        margin=horizon * 0.02,
+    )
+
+
+# ----------------------------------------------------------------------
+# Adversarial suite: environments that stress the assumptions while
+# still (by construction) satisfying AWB -- the workloads `repro check`
+# audits the theorems against.
+# ----------------------------------------------------------------------
+@scenario_factory
+def leader_storm(
+    n: int = 5,
+    horizon: float = 12000.0,
+    crashes: int = 3,
+    burst: int = 2,
+    start_fraction: float = 0.15,
+    gap_fraction: float = 0.15,
+) -> Scenario:
+    """Targeted-leader crash storms: the adversary kills whoever is
+    about to win.
+
+    Both algorithms favour the lexmin candidate (lowest live pid), so
+    crashing pids in ascending bursts repeatedly decapitates the
+    election just as it settles.  AWB still holds -- the eventual
+    survivor set contains a timely process -- so eventual leadership
+    must survive every storm.
+    """
+    start = horizon * start_fraction
+    gap = horizon * gap_fraction
+    return Scenario(
+        name=f"leader-storm-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"{crashes} crashes in bursts of {burst} target the next lexmin "
+            f"favourite, storms {gap:.0f} apart"
+        ),
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        make_crash_plan=lambda rng: CrashPlan.leader_storms(
+            n, crashes, start=start, gap=gap, burst=burst, spacing=2.0
+        ),
+        margin=horizon * 0.05,
+    )
+
+
+@scenario_factory
+def gst_ramp(
+    n: int = 4,
+    horizon: float = 8000.0,
+    gst_fraction: float = 0.35,
+    start_scale: float = 8.0,
+) -> Scenario:
+    """GST ramp: asynchrony decays *gradually* instead of switching off.
+
+    The slowly improving prefix feeds the timers a moving target of
+    false-suspicion intervals; AWB1 holds from the ramp's end, so the
+    election must still settle.
+    """
+    gst = horizon * gst_fraction
+    return Scenario(
+        name=f"gst-ramp-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"per-step delays shrink linearly from {start_scale:g}x until "
+            f"t={gst:.0f}, timely after"
+        ),
+        make_delay=lambda rng: GstRampDelay(
+            rng, gst=gst, start_scale=start_scale, lo=0.5, hi=1.5
+        ),
+        make_timers=_awb_timers(alpha=2.0, jitter=0.5),
+        margin=horizon * 0.05,
+    )
+
+
+@scenario_factory
+def async_bursts(
+    n: int = 4,
+    horizon: float = 10000.0,
+    period: float = 500.0,
+    burst_fraction: float = 0.4,
+    timely_pid: int = 0,
+    gst_fraction: float = 0.2,
+) -> Scenario:
+    """Alternating asynchrony bursts that never end for the followers.
+
+    Every process cycles between calm and slow phases; after the gst
+    only ``timely_pid`` drops out of the cycle (AWB1), while the other
+    processes keep bursting for the whole run, so follower speeds never
+    settle and timeouts chase a permanently oscillating environment.
+    """
+    gst = horizon * gst_fraction
+    return Scenario(
+        name=f"async-bursts-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"calm/burst cycle of period {period:g}; only pid {timely_pid} "
+            f"calm after t={gst:.0f}"
+        ),
+        make_delay=lambda rng: AlternatingBurstDelay(
+            rng,
+            period=period,
+            burst_fraction=burst_fraction,
+            timely_pids={timely_pid},
+            gst=gst,
+        ),
+        make_timers=_awb_timers(alpha=2.0, jitter=0.5),
+        margin=horizon * 0.02,
+    )
+
+
+@scenario_factory
+def near_all_cascade(
+    n: int = 6,
+    horizon: float = 12000.0,
+    survivors: int = 2,
+    start_fraction: float = 0.2,
+    spacing: float = 4.0,
+) -> Scenario:
+    """Near-``n-1`` crash cascade: all but ``survivors`` processes die
+    in rapid succession (``spacing`` apart, not the leisurely pace of
+    :func:`cascade`).  Exercises t-independence at the edge: the
+    election must re-settle on the lowest surviving pid with almost the
+    whole membership gone.
+    """
+    if not 1 <= survivors < n:
+        raise ValueError(f"need 1 <= survivors < n, got {survivors}")
+    victims = list(range(n - survivors))
+    start = horizon * start_fraction
+    return Scenario(
+        name=f"near-all-cascade-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"pids {victims} crash {spacing:g} apart from t={start:.0f}; "
+            f"{survivors} survivor(s)"
+        ),
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        make_crash_plan=lambda rng: CrashPlan.cascade(
+            n, victims, start=start, spacing=spacing
+        ),
+        margin=horizon * 0.05,
+    )
+
+
+@scenario_factory
+def timely_churn(
+    n: int = 4,
+    horizon: float = 12000.0,
+    epoch_fraction: float = 0.05,
+    settle_fraction: float = 0.3,
+    final_pid: int = 0,
+) -> Scenario:
+    """AWB1 source churn: the timely identity rotates before settling.
+
+    The shared-memory analogue of eventual-t-source source-set churn
+    (cf. :class:`repro.netsim.network.SourceChurnLinks`): during the
+    prefix a different process is timely each epoch while the rest stay
+    heavy-tailed; only after the settle point does ``final_pid`` hold
+    the role forever.  Algorithms must not commit to an early witness.
+    """
+    settle = horizon * settle_fraction
+    epoch = horizon * epoch_fraction
+    return Scenario(
+        name=f"timely-churn-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"timely pid rotates every {epoch:.0f} until t={settle:.0f}, "
+            f"then pid {final_pid} forever; others heavy-tailed"
+        ),
+        make_delay=lambda rng: ChurningTimelyDelay(
+            base=HeavyTailDelay(rng, scale=0.6, shape=1.4, cap=40.0),
+            candidates=list(range(n)),
+            epoch=epoch,
+            settle_at=settle,
+            final_pid=final_pid,
+            rng=rng,
+            timely_lo=0.5,
+            timely_hi=1.0,
+        ),
         make_timers=_awb_timers(alpha=2.0, jitter=0.5),
         margin=horizon * 0.02,
     )
@@ -460,6 +657,7 @@ def ablation(
     timeout_policy: Optional[str] = None,
     const_timeout: Optional[float] = None,
     timely_pid: int = 0,
+    assumption: Optional[str] = None,
 ) -> Scenario:
     """Parameterized workload for the design-choice ablations (bench ABL).
 
@@ -470,6 +668,14 @@ def ablation(
     duration of the timers' chaotic era, and the line-27 timeout policy
     (``max``/``sum``/``const``).  Being a registered factory, the whole
     ablation grid runs through the parallel engine.
+
+    ``assumption`` defaults to ``"awb"`` except when ``timeout_policy``
+    replaces the paper's line-27 rule (anything other than ``max``),
+    which mutates the proven algorithm, so those cells are outside the
+    claims envelope (``"none"``).  Benches demonstrating *expected*
+    divergence (e.g. sub-linear ``f`` under the harsh profile on a
+    finite horizon) pass ``assumption="none"`` explicitly so the
+    theorem audit does not count the demonstration as a violation.
     """
     if f_kind not in _F_KINDS:
         raise ValueError(f"unknown f_kind {f_kind!r}; choose from {sorted(_F_KINDS)}")
@@ -515,6 +721,11 @@ def ablation(
         make_timers=make_timers,
         algo_config=algo_config,
         margin=horizon * 0.02,
+        assumption=(
+            assumption
+            if assumption is not None
+            else ("awb" if timeout_policy in (None, "max") else "none")
+        ),
     )
 
 
@@ -522,16 +733,21 @@ __all__ = [
     "Scenario",
     "ablation",
     "all_but_one",
+    "async_bursts",
     "awb_only",
     "capped_timers",
     "cascade",
     "chaotic_timers",
     "ev_sync",
+    "gst_ramp",
     "leader_crash",
+    "leader_storm",
+    "near_all_cascade",
     "nominal",
     "random_faults",
     "san",
     "scenario_factory",
     "scramble_registers",
     "scrambled",
+    "timely_churn",
 ]

@@ -89,7 +89,11 @@ def summarize_result(result: RunResult, scenario: Scenario, window: float = 100.
     from repro.engine.summary import summarize_run
 
     return summarize_run(
-        result, scenario_name=scenario.name, margin=scenario.margin, window=window
+        result,
+        scenario_name=scenario.name,
+        margin=scenario.margin,
+        window=window,
+        assumption=scenario.assumption,
     )
 
 
@@ -123,6 +127,7 @@ def _ref_is_faithful(scenario: Scenario) -> bool:
         "log_reads",
         "trace_events",
         "margin",
+        "assumption",
     )
     callables = ("make_delay", "make_timers", "make_crash_plan", "make_disk", "scramble")
     return all(
@@ -190,6 +195,7 @@ def run_matrix(
                     scenario_name=scenario.name,
                     margin=scenario.margin,
                     window=window,
+                    assumption=scenario.assumption,
                 )
                 row.algorithm = name  # prefer the caller's label
                 rows.append(row)

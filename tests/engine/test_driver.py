@@ -143,6 +143,26 @@ class TestErrorCapture:
         assert len(report.failures) == 1
         assert "worker failure" in report.failures[0].error
 
+    def test_engine_error_with_blank_traceback(self):
+        # Regression: a truthy-but-whitespace error string used to make
+        # the EngineError constructor itself raise IndexError.
+        from repro.engine.worker import CellOutcome
+
+        err = EngineError([CellOutcome(key=("alg1", "s", 0), error="\n")])
+        assert "?" in str(err)
+        assert "1 cell(s) failed" in str(err)
+
+    def test_engine_error_heads_and_overflow(self):
+        from repro.engine.worker import CellOutcome
+
+        failures = [
+            CellOutcome(key=("alg1", "s", seed), error=f"Boom\nLine {seed}")
+            for seed in range(7)
+        ]
+        err = EngineError(failures)
+        assert "Line 0" in str(err) and "Line 4" in str(err)
+        assert "... and 2 more" in str(err)
+
     def test_good_cells_survive_a_poisoned_grid(self, tmp_path):
         mixed = ExperimentSpec.from_objects(
             "mixed",

@@ -1,0 +1,128 @@
+"""PropertyReport composition: claims, assumptions, round-trips, and the
+injected-violation path (a run breaking AWB audited as if AWB held)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.algorithm2 import BoundedOmega
+from repro.core.baseline import EventuallySynchronousOmega
+from repro.props.claims import assumption_covers, expected_theorems
+from repro.props.report import PropertyReport, TheoremVerdict, check_properties
+from repro.workloads.scenarios import capped_timers, leader_crash, nominal
+
+
+class TestClaims:
+    def test_lattice(self):
+        assert assumption_covers("awb", "awb")
+        assert assumption_covers("ev-sync", "awb")
+        assert not assumption_covers("none", "awb")
+        assert not assumption_covers("awb", "ev-sync")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            assumption_covers("synchronous", "awb")
+
+    def test_expected_theorems_per_algorithm(self):
+        assert expected_theorems(WriteEfficientOmega, "awb") == frozenset({1, 2, 3, 4})
+        assert expected_theorems(BoundedOmega, "awb") == frozenset({1, 2})
+        # The baseline needs full eventual synchrony: nothing is
+        # expected of it in an AWB-only environment.
+        assert expected_theorems(EventuallySynchronousOmega, "awb") == frozenset()
+        assert expected_theorems(EventuallySynchronousOmega, "ev-sync") == frozenset({1})
+        assert expected_theorems(WriteEfficientOmega, "none") == frozenset()
+
+
+class TestCheckProperties:
+    @pytest.fixture(scope="class")
+    def alg1_result(self):
+        scen = leader_crash(n=3, horizon=3000.0)
+        return scen.run(WriteEfficientOmega, seed=0), scen
+
+    def test_alg1_clean_audit(self, alg1_result):
+        result, scen = alg1_result
+        report = check_properties(
+            result, assumption=scen.assumption, margin=scen.margin
+        )
+        assert report.ok
+        assert [v.theorem for v in report.verdicts] == [1, 2, 3, 4]
+        assert all(v.expected and v.holds for v in report.verdicts)
+        assert report.claimed == (1, 2, 3, 4)
+
+    def test_alg2_unclaimed_theorems_are_informational(self):
+        scen = nominal(n=3, horizon=4000.0)
+        result = scen.run(BoundedOmega, seed=0)
+        report = check_properties(result, assumption=scen.assumption, margin=scen.margin)
+        assert report.ok  # T3/T4 measured false but not claimed
+        assert report.verdict(1).holds and report.verdict(2).holds
+        assert not report.verdict(3).expected
+        assert not report.verdict(4).expected
+
+    def test_injected_awb_violation_is_flagged(self):
+        """The acceptance-criterion test: capped-timers breaks AWB2, so
+        auditing it *as if* AWB held must flag violations, while the
+        honest declaration flags none."""
+        scen = capped_timers()
+        assert scen.assumption == "none"
+        result = scen.run(WriteEfficientOmega, seed=0)
+        honest = check_properties(result, assumption=scen.assumption, margin=scen.margin)
+        assert honest.ok
+        assert not honest.verdict(1).holds  # measured failure, not a violation
+        lying = check_properties(result, assumption="awb", margin=scen.margin)
+        assert not lying.ok
+        assert 1 in [v.theorem for v in lying.violations()]
+
+    def test_result_convenience_delegation(self, alg1_result):
+        result, scen = alg1_result
+        via_method = result.check_properties(
+            assumption=scen.assumption, margin=scen.margin
+        )
+        direct = check_properties(result, assumption=scen.assumption, margin=scen.margin)
+        assert via_method == direct
+
+
+class TestRoundTrip:
+    def make_report(self):
+        return PropertyReport(
+            algorithm="alg1",
+            assumption="awb",
+            requires="awb",
+            claimed=(1, 2, 3, 4),
+            verdicts=tuple(
+                TheoremVerdict(theorem=t, name=f"t{t}", holds=t != 3, expected=True,
+                               detail=f"detail {t}")
+                for t in (1, 2, 3, 4)
+            ),
+        )
+
+    def test_json_round_trip(self):
+        report = self.make_report()
+        clone = PropertyReport.from_jsonable(json.loads(json.dumps(report.to_jsonable())))
+        assert clone == report
+        assert clone.violations() == [report.verdict(3)]
+
+    def test_verdict_lookup(self):
+        report = self.make_report()
+        assert report.verdict(2).holds
+        with pytest.raises(KeyError):
+            report.verdict(9)
+
+
+class TestSummaryEmbedding:
+    def test_summary_carries_report_through_json(self):
+        scen = nominal(n=3, horizon=1500.0)
+        result = scen.run(WriteEfficientOmega, seed=1)
+        summary = result.summarize(
+            scenario_name=scen.name, margin=scen.margin, assumption=scen.assumption
+        )
+        assert summary.properties is not None
+        assert summary.property_violations == 0
+        from repro.engine.summary import RunSummary
+
+        clone = RunSummary.from_jsonable(json.loads(json.dumps(summary.to_jsonable())))
+        assert clone == summary
+        assert clone.properties == summary.properties
+        assert clone.canonical_json() == summary.canonical_json()

@@ -87,6 +87,26 @@ class TestBuilders:
         assert a.crash_times == b.crash_times
 
 
+class TestLeaderStorms:
+    def test_bursts_and_gaps(self):
+        plan = CrashPlan.leader_storms(
+            6, crashes=4, start=100.0, gap=50.0, burst=2, spacing=1.0
+        )
+        # Two storms of two: pids 0,1 at 100/101; pids 2,3 at 150/151.
+        assert plan.crash_times == {0: 100.0, 1: 101.0, 2: 150.0, 3: 151.0}
+        assert plan.correct == frozenset({4, 5})
+
+    def test_targets_are_the_lexmin_prefix(self):
+        plan = CrashPlan.leader_storms(5, crashes=3, start=10.0, gap=5.0)
+        assert plan.faulty == frozenset({0, 1, 2})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashPlan.leader_storms(4, crashes=4, start=1.0, gap=1.0)
+        with pytest.raises(ValueError):
+            CrashPlan.leader_storms(4, crashes=1, start=1.0, gap=0.0)
+
+
 class TestCrashPlanProperty:
     @given(st.integers(2, 10), st.data())
     def test_correct_and_faulty_partition(self, n, data):

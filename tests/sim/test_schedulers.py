@@ -9,8 +9,11 @@ from hypothesis import strategies as st
 from repro.sim.rng import RngRegistry
 from repro.sim.schedulers import (
     AdversarialStallDelay,
+    AlternatingBurstDelay,
+    ChurningTimelyDelay,
     CompositeDelay,
     FixedDelay,
+    GstRampDelay,
     HeavyTailDelay,
     PartiallySynchronousDelay,
     RampDelay,
@@ -146,6 +149,92 @@ class TestCompositeDelay:
         model = CompositeDelay(FixedDelay(1.0), {2: FixedDelay(9.0)})
         assert model.delay(0, 0.0) == 1.0
         assert model.delay(2, 0.0) == 9.0
+
+
+class TestGstRampDelay:
+    def test_delays_shrink_toward_gst(self):
+        model = GstRampDelay(make_rng(3), gst=1000.0, start_scale=8.0, lo=1.0, hi=1.0)
+        early = model.delay(0, 0.0)
+        mid = model.delay(0, 500.0)
+        late = model.delay(0, 999.0)
+        assert early == pytest.approx(8.0)
+        assert early > mid > late
+        assert model.delay(0, 1000.0) == pytest.approx(1.0)  # timely after gst
+
+    def test_non_designated_pids_stay_slow_forever(self):
+        model = GstRampDelay(
+            make_rng(3), gst=100.0, start_scale=4.0, lo=1.0, hi=1.0, timely_pids={0}
+        )
+        assert model.delay(0, 200.0) == pytest.approx(1.0)
+        # Non-designated pids never enter the ramp: slow before the gst
+        # (even just before it) and slow after.
+        assert model.delay(1, 99.9) == pytest.approx(4.0)
+        assert model.delay(1, 200.0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GstRampDelay(make_rng(0), gst=0.0)
+        with pytest.raises(ValueError):
+            GstRampDelay(make_rng(0), gst=10.0, start_scale=0.5)
+
+
+class TestAlternatingBurstDelay:
+    def make(self, **kw):
+        defaults = dict(
+            period=100.0, burst_fraction=0.5, calm_lo=1.0, calm_hi=1.0,
+            burst_lo=10.0, burst_hi=10.0,
+        )
+        defaults.update(kw)
+        return AlternatingBurstDelay(make_rng(4), **defaults)
+
+    def test_calm_and_burst_phases_alternate(self):
+        model = self.make()
+        assert model.delay(1, 10.0) == pytest.approx(1.0)  # calm half
+        assert model.delay(1, 60.0) == pytest.approx(10.0)  # burst half
+        assert model.delay(1, 110.0) == pytest.approx(1.0)  # next cycle
+
+    def test_timely_pid_drops_out_of_the_cycle_after_gst(self):
+        model = self.make(timely_pids={0}, gst=200.0)
+        assert model.delay(0, 60.0) == pytest.approx(10.0)  # still bursting
+        assert model.delay(0, 260.0) == pytest.approx(1.0)  # timely forever
+        assert model.delay(1, 260.0) == pytest.approx(10.0)  # others burst on
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(period=0.0)
+        with pytest.raises(ValueError):
+            self.make(burst_fraction=1.0)
+
+
+class TestChurningTimelyDelay:
+    def make(self):
+        return ChurningTimelyDelay(
+            base=FixedDelay(5.0),
+            candidates=[0, 1, 2],
+            epoch=100.0,
+            settle_at=300.0,
+            final_pid=0,
+            rng=make_rng(5),
+            timely_lo=1.0,
+            timely_hi=1.0,
+        )
+
+    def test_timely_identity_rotates_then_settles(self):
+        model = self.make()
+        assert [model.timely_at(t) for t in (0.0, 100.0, 200.0)] == [0, 1, 2]
+        assert model.timely_at(300.0) == 0
+        assert model.timely_at(9999.0) == 0
+
+    def test_only_the_current_witness_is_fast(self):
+        model = self.make()
+        assert model.delay(1, 150.0) == pytest.approx(1.0)
+        assert model.delay(0, 150.0) == pytest.approx(5.0)
+        assert model.delay(0, 400.0) == pytest.approx(1.0)
+        assert model.delay(2, 400.0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurningTimelyDelay(FixedDelay(1.0), [], 10.0, 0.0, 0, make_rng(0))
 
 
 class TestMeanDelayHelper:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import ALGORITHMS, SCENARIOS, build_parser, main
+from repro.cli import ALGORITHMS, CHECK_SCENARIOS, SCENARIOS, build_parser, main
 
 
 class TestParser:
@@ -47,6 +47,17 @@ class TestParser:
         assert args.scenarios == ["nominal", "leader-crash"]
         assert args.jobs == 4 and args.no_cache
 
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.algorithms == ["alg1", "alg2"]
+        assert args.scenarios == CHECK_SCENARIOS
+        assert len(args.scenarios) >= 6  # the adversarial suite
+        assert args.seeds == [0]
+
+    def test_check_scenarios_are_registered(self):
+        for name in CHECK_SCENARIOS:
+            assert name in SCENARIOS
+
 
 class TestCommands:
     def test_list_output(self, capsys):
@@ -77,6 +88,20 @@ class TestCommands:
         # code must reflect the printed verdict either way.
         out = capsys.readouterr().out
         assert ("stabilized: True" in out) == (code == 0)
+
+    def test_check_audits_and_reports_results_dir(self, capsys, tmp_path):
+        # A single fast cell through the real engine path: the property
+        # table, the violation count and the resolved cache dir must all
+        # be reported.  (The full adversarial suite runs in CI.)
+        code = main(
+            ["check", "--algorithms", "alg1", "--scenarios", "leader-crash",
+             "--seeds", "0", "--jobs", "1", "--results-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T1 leadership" in out and "T4 write-optimal" in out
+        assert "0 violation(s)" in out
+        assert f"results dir: {tmp_path.resolve()}" in out
 
     def test_sweep_runs_grid(self, capsys, tmp_path):
         argv = ["sweep", "--algorithms", "alg1", "--scenarios", "nominal",

@@ -6,17 +6,23 @@ import pytest
 
 from repro.core.algorithm1 import WriteEfficientOmega
 from repro.workloads.scenarios import (
+    ablation,
     all_but_one,
+    async_bursts,
     awb_only,
     capped_timers,
     cascade,
     chaotic_timers,
     ev_sync,
+    gst_ramp,
     leader_crash,
+    leader_storm,
+    near_all_cascade,
     nominal,
     san,
     scrambled,
     slow_leader_awb,
+    timely_churn,
 )
 
 ALL_SCENARIO_FACTORIES = [
@@ -31,6 +37,11 @@ ALL_SCENARIO_FACTORIES = [
     san,
     capped_timers,
     slow_leader_awb,
+    leader_storm,
+    gst_ramp,
+    async_bursts,
+    near_all_cascade,
+    timely_churn,
 ]
 
 
@@ -67,6 +78,55 @@ class TestConstruction:
     def test_overrides_win(self):
         run = nominal(n=3).build(WriteEfficientOmega, seed=0, horizon=123.0)
         assert run.horizon == 123.0
+
+
+class TestAdversarialSuite:
+    def test_leader_storm_targets_lexmin_favourites(self):
+        run = leader_storm(n=5, crashes=3).build(WriteEfficientOmega, seed=0)
+        # The storm kills the next-in-line lexmin candidates, in order.
+        assert run.crash_plan.faulty == frozenset({0, 1, 2})
+        times = [run.crash_plan.crash_time(pid) for pid in (0, 1, 2)]
+        assert times == sorted(times)
+        # Bursts of 2: pids 0 and 1 die in the same storm, pid 2 later.
+        assert times[1] - times[0] < times[2] - times[1]
+
+    def test_near_all_cascade_leaves_requested_survivors(self):
+        run = near_all_cascade(n=6, survivors=2).build(WriteEfficientOmega, seed=0)
+        assert run.crash_plan.correct == frozenset({4, 5})
+
+    def test_near_all_cascade_validates_survivors(self):
+        with pytest.raises(ValueError):
+            near_all_cascade(n=4, survivors=0)
+
+    def test_assumption_declarations(self):
+        # The property checkers trust these: AWB-satisfying adversaries
+        # declare "awb", the AWB2-violating scenario declares "none",
+        # and only ev_sync promises full eventual synchrony.
+        for factory in (leader_storm, gst_ramp, async_bursts, near_all_cascade,
+                        timely_churn, awb_only, nominal):
+            assert factory().assumption == "awb", factory.__name__
+        assert ev_sync().assumption == "ev-sync"
+        assert capped_timers().assumption == "none"
+
+    def test_ablation_assumption_follows_timeout_policy(self):
+        assert ablation().assumption == "awb"
+        assert ablation(timeout_policy="max").assumption == "awb"
+        assert ablation(timeout_policy="sum").assumption == "none"
+        assert ablation(timeout_policy="const", const_timeout=4.0).assumption == "none"
+        assert ablation(f_kind="log", assumption="none").assumption == "none"
+
+    def test_factories_are_engine_rebuildable(self):
+        # Every adversarial factory must attach a picklable ref so the
+        # parallel engine can rebuild it inside worker processes.
+        from repro.workloads.registry import build_scenario
+
+        for factory in (leader_storm, gst_ramp, async_bursts,
+                        near_all_cascade, timely_churn):
+            scen = factory()
+            name, kwargs = scen.ref
+            rebuilt = build_scenario(name, kwargs)
+            for field in ("name", "n", "horizon", "margin", "assumption"):
+                assert getattr(rebuilt, field) == getattr(scen, field), factory.__name__
 
 
 class TestDeterminism:
