@@ -18,6 +18,12 @@ Commands
 ``compare``
     Run several algorithms on one scenario and print the comparison
     table (the Section 5 trade-off, on demand).
+``perf``
+    Run the simulation-core microbenchmarks (kernel events/sec,
+    per-scenario run time, engine sweep throughput), emit the
+    stable-schema ``BENCH_perf.json`` baseline, and optionally gate
+    against a committed baseline (``--compare BASELINE.json
+    --max-regress 15%``); exits non-zero on regression.
 ``list``
     Show the available algorithms and scenarios.
 
@@ -31,6 +37,7 @@ Examples
         --seeds 0 1 2 --jobs 4
     python -m repro check --jobs 4
     python -m repro compare --scenario nominal --seeds 0 1 2
+    python -m repro perf --quick --compare BENCH_perf.json --max-regress 25%
 """
 
 from __future__ import annotations
@@ -163,7 +170,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     scenarios = [_build_scenario(name, args.n, args.horizon) for name in args.scenarios]
     try:
         spec = ExperimentSpec.from_objects(
-            args.name, algorithms, scenarios, args.seeds, window=args.window
+            args.name,
+            algorithms,
+            scenarios,
+            args.seeds,
+            window=args.window,
+            fast=not args.traced,
         )
     except ValueError as exc:
         print(f"repro sweep: error: {exc}", file=sys.stderr)
@@ -231,6 +243,119 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if (violations or report.failures) else 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf import (
+        collect_profile,
+        compare_payloads,
+        default_baseline_path,
+        load_payload,
+        make_payload,
+        merge_best,
+        parse_max_regress,
+        write_payload,
+    )
+
+    profiles = ["full", "quick"] if args.profile == "all" else [args.profile]
+    try:
+        max_regress = parse_max_regress(args.max_regress)
+    except ValueError as exc:
+        print(f"repro perf: error: {exc}", file=sys.stderr)
+        return 2
+
+    # Load the comparison baseline *before* any measurement or write:
+    # a bad path must fail fast, and comparing against the default
+    # output file must see the committed values, not this run's.
+    baseline = None
+    if args.compare:
+        try:
+            baseline = load_payload(Path(args.compare))
+        except (OSError, ValueError) as exc:
+            print(f"repro perf: error: {exc}", file=sys.stderr)
+            return 2
+
+    results_by_profile = {}
+    for profile in profiles:
+        print(f"profile {profile}: running benchmarks...")
+        results_by_profile[profile] = collect_profile(profile)
+
+    failures = []
+    if baseline is not None:
+        failures = compare_payloads(
+            make_payload(results_by_profile), baseline, max_regress
+        )
+        # Short benchmarks on busy machines are noisy; a regression must
+        # reproduce to count.  Re-measure the offending profiles and keep
+        # the per-benchmark best of both passes.
+        retries = max(0, args.retries)
+        while failures and retries:
+            retries -= 1
+            for profile in sorted({f.profile for f in failures}):
+                print(f"profile {profile}: regression seen, re-measuring...")
+                results_by_profile[profile] = merge_best(
+                    results_by_profile[profile], collect_profile(profile)
+                )
+            failures = compare_payloads(
+                make_payload(results_by_profile), baseline, max_regress
+            )
+
+    # Merge with the existing output file so a partial-profile run never
+    # drops the profiles it did not execute.
+    existing = None
+    out = Path(args.out) if args.out else default_baseline_path()
+    if not args.no_write and out.is_file():
+        try:
+            existing = load_payload(out)
+        except (OSError, ValueError):
+            existing = None  # unreadable/foreign file: overwrite wholesale
+    payload = make_payload(results_by_profile, existing=existing)
+
+    rows = []
+    for profile, results in results_by_profile.items():
+        for result in results.values():
+            speedup = payload["speedup_vs_reference"].get(result.name)
+            value = (
+                f"{result.value:,.0f}" if result.value >= 1000 else f"{result.value:.4f}"
+            )
+            rows.append(
+                [
+                    profile,
+                    result.name,
+                    value,
+                    result.unit,
+                    "higher" if result.higher_is_better else "lower",
+                    f"{speedup:.2f}x" if speedup else "-",
+                ]
+            )
+    print(
+        format_table(
+            ["profile", "benchmark", "value", "unit", "better", "vs pre-overhaul"],
+            rows,
+        )
+    )
+
+    if not args.no_write:
+        write_payload(out, payload)
+        print(f"\nwrote {out.resolve()}")
+
+    if baseline is not None:
+        compared = sum(
+            len(prof.get("benchmarks", {}))
+            for name, prof in baseline.get("profiles", {}).items()
+            if name in results_by_profile
+        )
+        print(
+            f"\ncompared {compared} benchmark(s) against {args.compare} "
+            f"(max regression {max_regress * 100.0:.0f}%): "
+            f"{len(failures)} failure(s)"
+        )
+        for failure in failures:
+            print(f"PERF REGRESSION {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
 def _add_engine_options(parser: argparse.ArgumentParser, default_name: str) -> None:
     """The options every engine-backed subcommand shares."""
     parser.add_argument("--window", type=float, default=100.0, help="census tail window")
@@ -281,6 +406,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seeds", nargs="*", type=int, default=[0, 1])
     sweep_p.add_argument("--n", type=int, default=None, help="override process count")
     sweep_p.add_argument("--horizon", type=float, default=None, help="override horizon")
+    sweep_p.add_argument(
+        "--traced",
+        action="store_true",
+        help=(
+            "run cells with full read logging and per-kind event accounting "
+            "instead of the default low-overhead fast path (summaries are "
+            "identical either way; this exists for debugging and the "
+            "determinism tests)"
+        ),
+    )
     _add_engine_options(sweep_p, default_name="sweep")
     sweep_p.set_defaults(func=cmd_sweep)
 
@@ -312,6 +447,55 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--n", type=int, default=None)
     cmp_p.add_argument("--horizon", type=float, default=None)
     cmp_p.set_defaults(func=cmd_compare)
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="run the simulation-core microbenchmarks and emit BENCH_perf.json",
+    )
+    profile_group = perf_p.add_mutually_exclusive_group()
+    profile_group.add_argument(
+        "--profile",
+        choices=["full", "quick", "all"],
+        default="full",
+        help="benchmark workload profile (default full; 'all' runs both)",
+    )
+    profile_group.add_argument(
+        "--quick",
+        action="store_const",
+        dest="profile",
+        const="quick",
+        help="alias for --profile quick (the CI smoke workload)",
+    )
+    perf_p.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_perf.json at the repo root)",
+    )
+    perf_p.add_argument(
+        "--no-write", action="store_true", help="measure and print only; write no file"
+    )
+    perf_p.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="gate against a baseline file; exit 1 on regression",
+    )
+    perf_p.add_argument(
+        "--max-regress",
+        default="15%",
+        help="allowed per-benchmark regression for --compare ('15%%' or '0.15')",
+    )
+    perf_p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help=(
+            "re-measure profiles that appear regressed, keeping the "
+            "per-benchmark best of the passes (a regression must reproduce "
+            "to fail the gate); 0 disables"
+        ),
+    )
+    perf_p.set_defaults(func=cmd_perf)
     return parser
 
 

@@ -60,7 +60,17 @@ class _TaskState:
 
 
 class ProcessRuntime:
-    """Drives one process: task multiplexing, stepping, crash, timers."""
+    """Drives one process: task multiplexing, stepping, crash, timers.
+
+    The step loop is the simulation's hottest code.  Everything it
+    touches per operation is pre-bound at construction time: the step
+    callback itself (one bound method, reused by every reschedule
+    instead of a fresh closure per step), the delay model and kernel
+    entry points, and an exact-type operation dispatch table
+    (``type(op) -> handler``) that replaces the old ``isinstance``
+    ladder.  Operation classes are final frozen dataclasses
+    (:mod:`repro.core.interfaces`), so exact-type dispatch is safe.
+    """
 
     def __init__(self, run: "Run", pid: int, algorithm: OmegaAlgorithm) -> None:
         self.run = run
@@ -74,6 +84,25 @@ class ProcessRuntime:
         self.blocked = False
         self.steps_taken = 0
         self.timer_expirations = 0
+        # Pre-bound hot-path collaborators.
+        self._sim = run.sim
+        self._step_cb = self.step
+        self._delay_of = run.delay_model.delay
+        self._schedule_after = run.sim.schedule_after
+        self._is_crashed_at = run.crash_plan.is_crashed
+        # Exact-type operation dispatch.  A handler returns True when it
+        # schedules the process's continuation itself (the disk path).
+        if run.disk is not None:
+            read_op, write_op = self._op_read_disk, self._op_write_disk
+        else:
+            read_op, write_op = self._op_read, self._op_write
+        self._dispatch: Dict[type, Callable[[_TaskState, Any], Any]] = {
+            ReadReg: read_op,
+            WriteReg: write_op,
+            SetTimer: self._op_set_timer,
+            LocalStep: self._op_local,
+            FetchAdd: self._op_fetch_add,
+        }
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -93,27 +122,33 @@ class ProcessRuntime:
         if self.crashed:
             return
         self.timer_expirations += 1
+        handle = self.run.timer_service.active_timer(self.pid)
+        if handle is not None:
+            self.run.trace.record_timer_fired(
+                self._sim._now, self.pid, handle.fires_at - handle.set_at
+            )
         gen = self.algorithm.timer_task()
         if gen is not None:
             self.tasks.append(_TaskState(gen, "T3"))
 
     # ------------------------------------------------------------------
     def _schedule_next_step(self) -> None:
-        delay = self.run.delay_model.delay(self.pid, self.run.sim.now)
+        delay = self._delay_of(self.pid, self._sim._now)
         if delay <= 0:
             raise ValueError(f"step-delay model returned non-positive delay {delay}")
-        self.run.sim.schedule_after(delay, self.step, kind="step", pid=self.pid)
+        self._schedule_after(delay, self._step_cb, kind="step", pid=self.pid)
 
     def step(self) -> None:
         """Execute one operation of the front task."""
         if self.crashed or self.blocked:
             return
-        if self.run.crash_plan.is_crashed(self.pid, self.run.sim.now):
+        if self._is_crashed_at(self.pid, self._sim._now):
             self.crash()
             return
-        if not self.tasks:
+        tasks = self.tasks
+        if not tasks:
             return  # all tasks exhausted; process is passive (not crashed)
-        task = self.tasks[0]
+        task = tasks[0]
         try:
             if task.started:
                 op = task.gen.send(task.inbox)
@@ -121,34 +156,46 @@ class ProcessRuntime:
                 task.started = True
                 op = next(task.gen)
         except StopIteration:
-            self.tasks.popleft()
+            tasks.popleft()
             self._schedule_next_step()
             return
         task.inbox = None
         self.steps_taken += 1
-        self._apply(task, op)
+        handler = self._dispatch.get(op.__class__)
+        if handler is None:  # pragma: no cover - defensive
+            raise TypeError(f"unknown operation {op!r}")
+        if handler(task, op):
+            return  # the disk path schedules the continuation itself
+        tasks.rotate(-1)
+        self._schedule_next_step()
 
     # ------------------------------------------------------------------
-    def _apply(self, task: _TaskState, op: Operation) -> None:
+    # Operation handlers (exact-type dispatch targets)
+    # ------------------------------------------------------------------
+    def _op_read(self, task: _TaskState, op: ReadReg) -> None:
+        task.inbox = op.register.read(self.pid)
+
+    def _op_write(self, task: _TaskState, op: WriteReg) -> None:
+        op.register.write(self.pid, op.value)
+
+    def _op_fetch_add(self, task: _TaskState, op: FetchAdd) -> None:
+        task.inbox = op.register.fetch_add(self.pid, op.amount)
+
+    def _op_local(self, task: _TaskState, op: LocalStep) -> None:
+        pass
+
+    def _op_set_timer(self, task: _TaskState, op: SetTimer) -> None:
         run = self.run
-        if isinstance(op, SetTimer):
-            run.timer_service.set_timer(self.pid, op.timeout, self.on_timer)
-            run.trace.record(run.sim.now, "timer_set", pid=self.pid, timeout=op.timeout)
-        elif isinstance(op, LocalStep):
-            pass
-        elif isinstance(op, (ReadReg, WriteReg)) and run.disk is not None:
-            self._apply_via_disk(task, op)
-            return  # the disk path schedules the continuation itself
-        elif isinstance(op, ReadReg):
-            task.inbox = op.register.read(self.pid)
-        elif isinstance(op, WriteReg):
-            op.register.write(self.pid, op.value)
-        elif isinstance(op, FetchAdd):
-            task.inbox = op.register.fetch_add(self.pid, op.amount)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown operation {op!r}")
-        self.tasks.rotate(-1)
-        self._schedule_next_step()
+        run.timer_service.set_timer(self.pid, op.timeout, self.on_timer)
+        run.trace.record_timer_set(self._sim._now, self.pid, op.timeout)
+
+    def _op_read_disk(self, task: _TaskState, op: ReadReg) -> bool:
+        self._apply_via_disk(task, op)
+        return True
+
+    def _op_write_disk(self, task: _TaskState, op: WriteReg) -> bool:
+        self._apply_via_disk(task, op)
+        return True
 
     def _apply_via_disk(self, task: _TaskState, op: Operation) -> None:
         """Interval semantics: block, linearize mid-interval, resume."""
@@ -213,18 +260,25 @@ class RunResult:
     def final_leaders(self) -> Dict[int, int]:
         """Last sampled ``leader()`` output of each live process.
 
-        "Last" is by sample *time*, decided explicitly: samples are
-        sorted (stably) by time and the latest one per pid wins, rather
-        than relying on the trace's append order.
+        "Last" is by sample *time*.  Simulation-produced traces append
+        samples in non-decreasing time order, so a single pass taking
+        the last occurrence per pid is equivalent to the old
+        stable-sort-then-scan -- the monotonicity is verified on the fly
+        and the sort only happens in the (never simulator-produced)
+        out-of-order case.
         """
-        latest: Dict[int, Tuple[float, int]] = {}
-        for t, pid, leader in sorted(self.trace.leader_samples(), key=lambda s: s[0]):
-            latest[pid] = (t, leader)
-        return {
-            pid: leader
-            for pid, (_, leader) in latest.items()
-            if self.crash_plan.is_correct(pid)
-        }
+        samples = self.trace.leader_samples()
+        prev = float("-inf")
+        for t, _, _ in samples:
+            if t < prev:
+                samples = sorted(samples, key=lambda s: s[0])
+                break
+            prev = t
+        latest: Dict[int, int] = {}
+        for _, pid, leader in samples:
+            latest[pid] = leader
+        is_correct = self.crash_plan.is_correct
+        return {pid: leader for pid, leader in latest.items() if is_correct(pid)}
 
     def check_properties(
         self,
@@ -380,9 +434,11 @@ class Run:
 
     def _sample(self) -> None:
         now = self.sim.now
+        record = self.trace.record_leader_sample
+        algorithms = self.algorithms
         for pid, runtime in enumerate(self.runtimes):
             if not runtime.crashed:
-                self.trace.record(now, "leader_sample", pid=pid, leader=self.algorithms[pid].peek_leader())
+                record(now, pid, algorithms[pid].peek_leader())
         nxt = now + self.sample_interval
         if nxt <= self.horizon:
             self.sim.schedule_at(nxt, self._sample, kind="sample")
@@ -407,8 +463,8 @@ class Run:
         # Final observer sample at the horizon.
         for pid, runtime in enumerate(self.runtimes):
             if not runtime.crashed:
-                self.trace.record(
-                    self.horizon, "leader_sample", pid=pid, leader=self.algorithms[pid].peek_leader()
+                self.trace.record_leader_sample(
+                    self.horizon, pid, self.algorithms[pid].peek_leader()
                 )
         return RunResult(
             algorithm_name=self.algorithm_cls.display_name,

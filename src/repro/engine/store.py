@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Tuple
 
 from repro.engine.spec import SPEC_FORMAT, ExperimentSpec
+from repro.paths import repo_root
 from repro.engine.summary import RunSummary
 from repro.engine.worker import CellOutcome
 
@@ -38,15 +39,13 @@ ENV_RESULTS_DIR = "REPRO_RESULTS_DIR"
 def _anchored_default() -> Path:
     """The repo-anchored cache root.
 
-    ``store.py`` lives at ``<root>/src/repro/engine/store.py`` in a
-    source checkout; when that root looks like the project (it has
-    ``pyproject.toml``), the cache is anchored there so ``repro sweep``
-    invoked from any working directory hits the same cache.  For an
-    installed package (no project root above the module) the historical
-    CWD-relative default applies.
+    Anchored at the checkout root (:func:`repro.paths.repo_root`) so
+    ``repro sweep`` invoked from any working directory hits the same
+    cache.  For an installed package (no project root above the module)
+    the historical CWD-relative default applies.
     """
-    root = Path(__file__).resolve().parents[3]
-    if (root / "pyproject.toml").is_file():
+    root = repo_root()
+    if root is not None:
         return root / "results" / "engine"
     return Path("results") / "engine"
 

@@ -140,7 +140,7 @@ class MpRun:
             if not self._crashed[pid]:
                 self.processes[pid].on_timer(tag)
 
-        self._timers[key] = self.sim.schedule_after(delay, fire, kind="mp-timer", pid=pid)
+        self._timers[key] = self.sim.schedule_after_cancellable(delay, fire, kind="mp-timer", pid=pid)
 
     def _deliver(self, message: Message) -> None:
         if not self._crashed[message.receiver]:
@@ -161,7 +161,7 @@ class MpRun:
         now = self.sim.now
         for pid, proc in enumerate(self.processes):
             if not self._crashed[pid]:
-                self.trace.record(now, "leader_sample", pid=pid, leader=proc.peek_leader())
+                self.trace.record_leader_sample(now, pid, proc.peek_leader())
         nxt = now + self.sample_interval
         if nxt <= self.horizon:
             self.sim.schedule_at(nxt, self._sample, kind="sample")
@@ -176,7 +176,7 @@ class MpRun:
         self.sim.run(until=self.horizon)
         for pid, proc in enumerate(self.processes):
             if not self._crashed[pid]:
-                self.trace.record(self.horizon, "leader_sample", pid=pid, leader=proc.peek_leader())
+                self.trace.record_leader_sample(self.horizon, pid, proc.peek_leader())
         return MpRunResult(
             algorithm_name=type(self.processes[0]).display_name,
             n=self.n,

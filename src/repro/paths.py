@@ -1,0 +1,24 @@
+"""Repo-anchored filesystem locations.
+
+Artifacts (the engine's JSONL result cache, the perf baseline) belong at
+the repository root regardless of the caller's working directory.  The
+one shared rule lives here: walk up from this file to the checkout root
+and verify it by its ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+
+def repo_root() -> Optional[Path]:
+    """The checkout root, or ``None`` when the package is installed
+    outside one (no ``pyproject.toml`` at the expected depth)."""
+    root = Path(__file__).resolve().parents[2]
+    if (root / "pyproject.toml").is_file():
+        return root
+    return None
+
+
+__all__ = ["repo_root"]

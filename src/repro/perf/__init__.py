@@ -1,0 +1,59 @@
+"""The ``repro perf`` benchmark subsystem.
+
+Makes the simulation core's speed a first-class, tracked artifact:
+
+``bench``
+    The microbenchmarks -- kernel event throughput, per-scenario run
+    time, and engine sweep throughput -- each returning a
+    :class:`~repro.perf.bench.BenchResult`.
+``baseline``
+    The stable-schema JSON baseline (``BENCH_perf.json`` at the repo
+    root), the regression comparator behind
+    ``repro perf --compare BASELINE.json --max-regress 15%``, and the
+    recorded pre-overhaul reference numbers.
+
+See EXPERIMENTS.md ("Performance tracking") for the schema and the
+baseline-refresh workflow.
+"""
+
+from repro.perf.baseline import (
+    BASELINE_FILENAME,
+    PRE_OVERHAUL_REFERENCE,
+    SCHEMA_FORMAT,
+    Regression,
+    compare_payloads,
+    default_baseline_path,
+    load_payload,
+    make_payload,
+    merge_best,
+    parse_max_regress,
+    write_payload,
+)
+from repro.perf.bench import (
+    PROFILES,
+    BenchResult,
+    bench_kernel_throughput,
+    bench_scenario,
+    bench_sweep_throughput,
+    collect_profile,
+)
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BenchResult",
+    "PRE_OVERHAUL_REFERENCE",
+    "PROFILES",
+    "Regression",
+    "SCHEMA_FORMAT",
+    "bench_kernel_throughput",
+    "bench_scenario",
+    "bench_sweep_throughput",
+    "collect_profile",
+    "compare_payloads",
+    "default_baseline_path",
+    "load_payload",
+    "make_payload",
+    "merge_best",
+    "parse_max_regress",
+    "write_payload",
+]

@@ -1,0 +1,285 @@
+"""The perf microbenchmarks.
+
+Three families, mirroring the layers of the simulation core:
+
+* **kernel throughput** -- events/second through the tuple-heap event
+  queue and the fused run loop, with and without cancellation handles;
+* **per-scenario run time** -- wall seconds (and derived events/second)
+  of a nominal ``alg1`` election at a fixed seed, in both the traced and
+  the low-overhead run mode;
+* **sweep throughput** -- cells/second through the parallel experiment
+  engine on a small uncached grid.
+
+Each benchmark repeats its measured section and keeps the *best* repeat
+(minimum wall time), which is the standard way to damp scheduler and
+allocator jitter in short benchmarks.  Values are wall-clock dependent:
+compare them only against baselines recorded on comparable hardware
+(see EXPERIMENTS.md, "Performance tracking").
+
+Two profiles exist: ``full`` (the committed-baseline workloads) and
+``quick`` (scaled-down workloads for CI smoke jobs and tests).  A
+profile's benchmark *names* are identical across machines; comparisons
+match on ``(profile, name)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One measured benchmark value."""
+
+    name: str
+    value: float
+    unit: str
+    higher_is_better: bool
+    #: Workload knobs and secondary measurements (never compared).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "meta": dict(self.meta),
+        }
+
+
+# ----------------------------------------------------------------------
+# Kernel throughput
+# ----------------------------------------------------------------------
+def bench_kernel_throughput(
+    events: int = 200_000,
+    chains: int = 4,
+    repeats: int = 3,
+    cancellable: bool = False,
+    name: str = "kernel_events_per_sec",
+) -> BenchResult:
+    """Events/second through the kernel's schedule-and-fire cycle.
+
+    ``chains`` self-rescheduling callbacks ping through the heap until
+    ``events`` events fired; with ``cancellable`` every reschedule takes
+    the handle-allocating path (the timer service's pattern).
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        sim = Simulator(trace_events=False)
+        if cancellable:
+            def make(ch: int) -> Callable[[], None]:
+                def cb() -> None:
+                    sim.schedule_after_cancellable(1.0, cb, kind="bench", pid=ch)
+                return cb
+        else:
+            def make(ch: int) -> Callable[[], None]:
+                def cb() -> None:
+                    sim.schedule_after(1.0, cb, kind="bench", pid=ch)
+                return cb
+        for ch in range(chains):
+            sim.schedule_at(float(ch) / chains, make(ch), kind="bench", pid=ch)
+        started = time.perf_counter()
+        sim.run(max_events=events)
+        best = min(best, time.perf_counter() - started)
+    return BenchResult(
+        name=name,
+        value=events / best,
+        unit="events/s",
+        higher_is_better=True,
+        meta={
+            "events": events,
+            "chains": chains,
+            "repeats": repeats,
+            "cancellable": cancellable,
+            "best_wall_s": best,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-scenario run time
+# ----------------------------------------------------------------------
+def bench_scenario(
+    scenario: str = "nominal",
+    algorithm: str = "alg1",
+    n: int = 16,
+    horizon: float = 2000.0,
+    seed: int = 0,
+    repeats: int = 2,
+    fast: bool = False,
+    name: str = "scenario_alg1_n16_wall_s",
+) -> Tuple[BenchResult, BenchResult]:
+    """Wall seconds of one full scenario run, plus derived events/sec.
+
+    Returns ``(wall_result, throughput_result)``; the throughput entry
+    is ``<name minus _wall_s>_events_per_sec``.
+    """
+    from repro.workloads.registry import ALGORITHMS, SCENARIO_FACTORIES
+
+    scen = SCENARIO_FACTORIES[scenario](n=n, horizon=horizon)
+    algo_cls = ALGORITHMS[algorithm]
+    overrides: Dict[str, Any] = (
+        {"log_reads": False, "trace_events": False} if fast else {}
+    )
+    scen.run(algo_cls, seed=seed, **overrides)  # warm-up (imports, JITs nothing, caches code)
+    best = float("inf")
+    events = 0
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = scen.run(algo_cls, seed=seed, **overrides)
+        best = min(best, time.perf_counter() - started)
+        events = result.sim.events_fired
+    meta = {
+        "scenario": scenario,
+        "algorithm": algorithm,
+        "n": n,
+        "horizon": horizon,
+        "seed": seed,
+        "repeats": repeats,
+        "fast": fast,
+        "events_fired": events,
+    }
+    wall = BenchResult(
+        name=name, value=best, unit="s", higher_is_better=False, meta=meta
+    )
+    stem = name[: -len("_wall_s")] if name.endswith("_wall_s") else name
+    throughput = BenchResult(
+        name=f"{stem}_events_per_sec",
+        value=events / best,
+        unit="events/s",
+        higher_is_better=True,
+        meta=meta,
+    )
+    return wall, throughput
+
+
+# ----------------------------------------------------------------------
+# Sweep throughput
+# ----------------------------------------------------------------------
+def bench_sweep_throughput(
+    n: int = 6,
+    horizon: float = 800.0,
+    seeds: Tuple[int, ...] = (0, 1, 2, 3),
+    algorithms: Tuple[str, ...] = ("alg1", "alg2"),
+    jobs: int = 2,
+    name: str = "sweep_cells_per_sec",
+) -> BenchResult:
+    """Cells/second through the parallel engine (cache disabled)."""
+    from repro.engine.driver import run_experiment
+    from repro.engine.spec import ExperimentSpec
+    from repro.workloads.registry import ALGORITHMS, SCENARIO_FACTORIES
+
+    algos = {label: ALGORITHMS[label] for label in algorithms}
+    scen = SCENARIO_FACTORIES["nominal"](n=n, horizon=horizon)
+    spec = ExperimentSpec.from_objects("perf-sweep", algos, [scen], seeds)
+    report = run_experiment(spec, jobs=jobs, cache=False, strict=True)
+    cells = spec.size()
+    return BenchResult(
+        name=name,
+        value=cells / report.wall_time_s,
+        unit="cells/s",
+        higher_is_better=True,
+        meta={
+            "cells": cells,
+            "jobs": jobs,
+            "n": n,
+            "horizon": horizon,
+            "seeds": list(seeds),
+            "algorithms": list(algorithms),
+            "wall_s": report.wall_time_s,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+def _collect_full() -> List[BenchResult]:
+    out: List[BenchResult] = [
+        bench_kernel_throughput(events=200_000, chains=4, repeats=5),
+        bench_kernel_throughput(
+            events=100_000,
+            chains=4,
+            repeats=5,
+            cancellable=True,
+            name="kernel_cancellable_events_per_sec",
+        ),
+    ]
+    out.extend(
+        bench_scenario(
+            n=16, horizon=2000.0, fast=False, name="scenario_alg1_n16_traced_wall_s"
+        )
+    )
+    out.extend(
+        bench_scenario(
+            n=16, horizon=2000.0, fast=True, name="scenario_alg1_n16_fast_wall_s"
+        )
+    )
+    out.append(bench_sweep_throughput())
+    return out
+
+
+def _collect_quick() -> List[BenchResult]:
+    out: List[BenchResult] = [
+        bench_kernel_throughput(events=50_000, chains=4, repeats=5),
+        bench_kernel_throughput(
+            events=25_000,
+            chains=4,
+            repeats=5,
+            cancellable=True,
+            name="kernel_cancellable_events_per_sec",
+        ),
+    ]
+    out.extend(
+        bench_scenario(
+            n=8,
+            horizon=800.0,
+            repeats=2,
+            fast=False,
+            name="scenario_alg1_n8_traced_wall_s",
+        )
+    )
+    out.extend(
+        bench_scenario(
+            n=8,
+            horizon=800.0,
+            repeats=2,
+            fast=True,
+            name="scenario_alg1_n8_fast_wall_s",
+        )
+    )
+    out.append(
+        bench_sweep_throughput(n=4, horizon=400.0, seeds=(0, 1), jobs=2)
+    )
+    return out
+
+
+#: profile name -> collector.
+PROFILES: Dict[str, Callable[[], List[BenchResult]]] = {
+    "full": _collect_full,
+    "quick": _collect_quick,
+}
+
+
+def collect_profile(profile: str) -> Dict[str, BenchResult]:
+    """Run one profile's benchmarks; returns ``{name: result}`` in run order."""
+    try:
+        collector = PROFILES[profile]
+    except KeyError:
+        raise ValueError(f"unknown perf profile {profile!r}; have {sorted(PROFILES)}")
+    results = collector()
+    return {r.name: r for r in results}
+
+
+__all__ = [
+    "BenchResult",
+    "PROFILES",
+    "bench_kernel_throughput",
+    "bench_scenario",
+    "bench_sweep_throughput",
+    "collect_profile",
+]

@@ -316,6 +316,9 @@ class WriteOptimalityMonitor:
         if window <= 0 or count <= 0:
             raise ValueError("window and count must be positive")
         start = max(0.0, horizon - window * count)
+        self._start = start
+        self._width = window
+        self._count = count
         self._windows: List[Tuple[float, float]] = [
             (start + i * window, start + (i + 1) * window) for i in range(count)
         ]
@@ -323,11 +326,28 @@ class WriteOptimalityMonitor:
         self._writes_by_pid: Dict[int, int] = {}
 
     def observe_write(self, time: float, pid: int, register: str, value: object) -> None:
-        self._writes_by_pid[pid] = self._writes_by_pid.get(pid, 0) + 1
-        for idx, (t0, t1) in enumerate(self._windows):
-            if t0 <= time < t1 or (idx == len(self._windows) - 1 and time == t1):
+        writes = self._writes_by_pid
+        writes[pid] = writes.get(pid, 0) + 1
+        if time < self._start:
+            return
+        # O(1) windowing: windows are contiguous and equal-width, so the
+        # index is arithmetic -- but the boundaries computed by the old
+        # per-window scan were sums (`start + i*width`), and float
+        # division can disagree with them at the edges.  Snap to the
+        # scan's half-open [t0, t1) semantics (last window closed at the
+        # horizon) by checking the computed window's bounds.
+        idx = int((time - self._start) / self._width)
+        if idx >= self._count:
+            idx = self._count - 1
+        t0, t1 = self._windows[idx]
+        if time < t0:
+            idx -= 1
+        elif time >= t1 and idx < self._count - 1:
+            idx += 1
+        if 0 <= idx < self._count:
+            t0, t1 = self._windows[idx]
+            if t0 <= time < t1 or (idx == self._count - 1 and time == t1):
                 self._writers[idx].add(pid)
-                break
 
     def forever_writers(self) -> Tuple[int, ...]:
         result = set(self._writers[0])

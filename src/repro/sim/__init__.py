@@ -13,7 +13,8 @@ GIL-scheduling noise without adding fidelity; see DESIGN.md.)
 Modules
 -------
 ``events``
-    The time-ordered event queue (stable within equal timestamps).
+    The time-ordered event queue: plain tuple heap entries, stable
+    within equal timestamps, with opt-in cancellation handles.
 ``kernel``
     The :class:`~repro.sim.kernel.Simulator`: virtual clock, callback
     scheduling, run-loop with stop predicates.
@@ -30,7 +31,7 @@ Modules
 """
 
 from repro.sim.crash import CrashPlan
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EventHandle, EventQueue
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.schedulers import (
@@ -48,7 +49,7 @@ __all__ = [
     "AdversarialStallDelay",
     "CompositeDelay",
     "CrashPlan",
-    "Event",
+    "EventHandle",
     "EventQueue",
     "FixedDelay",
     "HeavyTailDelay",

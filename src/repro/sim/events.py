@@ -1,63 +1,84 @@
-"""Event records and the time-ordered event queue.
+"""The time-ordered event queue: plain tuple heap entries.
 
-The queue is the heart of the simulator: a binary heap of
-:class:`Event` records ordered by ``(time, seq)``.  The monotonically
-increasing sequence number makes ordering *stable*: two events scheduled
-for the same instant fire in the order they were scheduled, which keeps
-runs deterministic and makes the linearization order of same-time
-register operations well defined.
+The queue is the heart of the simulator, and every experiment bottoms
+out in its push/pop cycle, so entries are bare tuples rather than
+objects::
+
+    (time, seq, kind_id, pid, callback, handle)
+
+ordered by ``(time, seq)``.  The monotonically increasing sequence
+number makes ordering *stable* -- two events scheduled for the same
+instant fire in the order they were scheduled, which keeps runs
+deterministic and makes the linearization order of same-time register
+operations well defined -- and, because it is unique, tuple comparison
+never reaches the non-comparable ``callback`` element.
+
+``kind_id`` is an interned integer id for the event-kind label
+(``"step"``, ``"timer"``, ...): interning happens once per distinct
+string, so the hot path never hashes label strings into per-event
+records.  ``handle`` is ``None`` on the dominant schedule-and-fire path;
+only :meth:`EventQueue.push_cancellable` allocates an
+:class:`EventHandle` (the O(1) lazy-cancel trick: the entry stays in the
+heap and the run loop skips it when popped).
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from heapq import heappop, heappush
+from typing import Callable, Optional, Tuple
+
+# Tuple-entry layout indices (documented for consumers of pop()).
+TIME = 0
+SEQ = 1
+KIND = 2
+PID = 3
+CALLBACK = 4
+HANDLE = 5
+
+#: One scheduled event: ``(time, seq, kind_id, pid, callback, handle)``.
+EventEntry = Tuple[float, int, int, Optional[int], Optional[Callable[[], None]], Optional["EventHandle"]]
+
+# ----------------------------------------------------------------------
+# Kind interning
+# ----------------------------------------------------------------------
+_KIND_IDS: dict = {}
+_KIND_NAMES: list = []
 
 
-@dataclass(frozen=True, slots=True)
-class Event:
-    """A scheduled simulator event.
+def intern_kind(kind: str) -> int:
+    """Return the stable integer id of an event-kind label.
 
-    Attributes
-    ----------
-    time:
-        Virtual time at which the event fires.
-    seq:
-        Scheduling sequence number; ties on ``time`` are broken by ``seq``
-        so that the queue is a stable priority queue.
-    kind:
-        A short label used for tracing and debugging (``"step"``,
-        ``"timer"``, ``"sample"``, ...).
-    callback:
-        Zero-argument callable invoked when the event fires.  ``None``
-        for cancelled events.
-    pid:
-        Process the event belongs to, or ``None`` for global events.
+    Ids are process-global and assigned in first-seen order; they are an
+    in-memory optimization only and must never be persisted.
     """
-
-    time: float
-    seq: int
-    kind: str
-    callback: Optional[Callable[[], None]]
-    pid: Optional[int] = None
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    kid = _KIND_IDS.get(kind)
+    if kid is None:
+        kid = len(_KIND_NAMES)
+        _KIND_IDS[kind] = kid
+        _KIND_NAMES.append(kind)
+    return kid
 
 
-@dataclass(slots=True)
+def kind_name(kind_id: int) -> str:
+    """The label interned as ``kind_id`` (IndexError if never interned)."""
+    return _KIND_NAMES[kind_id]
+
+
 class EventHandle:
-    """Cancellable reference to a scheduled event.
+    """Cancellable reference to a scheduled event (opt-in).
 
-    Cancellation is lazy: the event stays in the heap but its callback is
-    skipped when popped.  This is the standard O(1)-cancel trick and keeps
-    the heap invariant untouched.
+    Cancellation is lazy: the entry stays in the heap but the run loop
+    skips its callback when popped.  Handles exist only for events
+    scheduled through the ``*_cancellable`` paths; the dominant
+    schedule-and-fire path carries ``None`` in the handle slot and
+    allocates nothing beyond the heap tuple.
     """
 
-    event: Event
-    cancelled: bool = field(default=False)
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips its callback."""
@@ -65,18 +86,20 @@ class EventHandle:
 
 
 class EventQueue:
-    """A stable min-heap of :class:`Event` records.
+    """A stable min-heap of plain tuple event entries.
 
     >>> q = EventQueue()
-    >>> _ = q.push(2.0, "b", None)
-    >>> _ = q.push(1.0, "a", None)
-    >>> q.pop()[0].kind
+    >>> q.push(2.0, "b", None)
+    >>> q.push(1.0, "a", None)
+    >>> kind_name(q.pop()[KIND])
     'a'
     """
 
+    __slots__ = ("_heap", "_next_seq")
+
     def __init__(self) -> None:
-        self._heap: list[tuple[Event, EventHandle]] = []
-        self._seq = itertools.count()
+        self._heap: list = []
+        self._next_seq = itertools.count().__next__
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -90,34 +113,64 @@ class EventQueue:
         kind: str,
         callback: Optional[Callable[[], None]],
         pid: Optional[int] = None,
-    ) -> EventHandle:
-        """Schedule ``callback`` at virtual time ``time``.
+    ) -> None:
+        """Schedule ``callback`` at virtual time ``time`` (no handle).
 
-        Returns an :class:`EventHandle` that can cancel the event.
-        Scheduling in the past is a programming error and raises.
+        The fast path: allocates only the heap tuple.  Scheduling at a
+        NaN time is a programming error and raises.
         """
         if time != time:  # NaN guard
             raise ValueError("event time must not be NaN")
-        event = Event(time=time, seq=next(self._seq), kind=kind, callback=callback, pid=pid)
-        handle = EventHandle(event)
-        heapq.heappush(self._heap, (event, handle))
+        kid = _KIND_IDS.get(kind)
+        if kid is None:
+            kid = intern_kind(kind)
+        heappush(self._heap, (time, self._next_seq(), kid, pid, callback, None))
+
+    def push_cancellable(
+        self,
+        time: float,
+        kind: str,
+        callback: Optional[Callable[[], None]],
+        pid: Optional[int] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` and return a cancellation handle."""
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        kid = _KIND_IDS.get(kind)
+        if kid is None:
+            kid = intern_kind(kind)
+        handle = EventHandle()
+        heappush(self._heap, (time, self._next_seq(), kid, pid, callback, handle))
         return handle
 
     def peek_time(self) -> Optional[float]:
         """Time of the next (possibly cancelled) event, or ``None``."""
         if not self._heap:
             return None
-        return self._heap[0][0].time
+        return self._heap[0][0]
 
-    def pop(self) -> tuple[Event, EventHandle]:
-        """Remove and return the next event with its handle."""
+    def pop(self) -> EventEntry:
+        """Remove and return the next entry tuple."""
         if not self._heap:
             raise IndexError("pop from empty EventQueue")
-        return heapq.heappop(self._heap)
+        return heappop(self._heap)
 
     def clear(self) -> None:
-        """Drop all pending events."""
+        """Drop all pending events (in place; the heap list identity is
+        stable so callers may hold a direct reference to it)."""
         self._heap.clear()
 
 
-__all__ = ["Event", "EventHandle", "EventQueue"]
+__all__ = [
+    "CALLBACK",
+    "EventEntry",
+    "EventHandle",
+    "EventQueue",
+    "HANDLE",
+    "KIND",
+    "PID",
+    "SEQ",
+    "TIME",
+    "intern_kind",
+    "kind_name",
+]

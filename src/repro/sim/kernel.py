@@ -8,13 +8,21 @@ time to each event in order and fires it.
 The kernel deliberately knows nothing about processes, registers or
 timers -- it is a plain DES core, which keeps it easy to test in
 isolation and reusable by every substrate.
+
+Scheduling comes in two flavours: :meth:`Simulator.schedule_at` /
+:meth:`Simulator.schedule_after` are the dominant schedule-and-fire path
+and allocate nothing but the heap tuple; the ``*_cancellable`` variants
+additionally allocate and return an
+:class:`~repro.sim.events.EventHandle` for callers that may need to
+disarm the event later (the timer service, the netsim timer table).
 """
 
 from __future__ import annotations
 
+from heapq import heappop
 from typing import Callable, Optional
 
-from repro.sim.events import EventHandle, EventQueue
+from repro.sim.events import _KIND_NAMES, EventHandle, EventQueue
 
 
 class SimulationError(RuntimeError):
@@ -39,6 +47,10 @@ class Simulator:
 
     def __init__(self, trace_events: bool = True) -> None:
         self._queue = EventQueue()
+        # Direct reference to the queue's heap list for the fused
+        # peek/pop run loop (the list identity is stable; see
+        # EventQueue.clear).
+        self._heap = self._queue._heap
         self._now = 0.0
         self._running = False
         self._stopped = False
@@ -66,17 +78,19 @@ class Simulator:
         callback: Callable[[], None],
         kind: str = "event",
         pid: Optional[int] = None,
-    ) -> EventHandle:
+    ) -> None:
         """Schedule ``callback`` at absolute virtual time ``time``.
 
         ``time`` may equal ``now`` (fires after currently-firing event)
-        but may not precede it.
+        but may not precede it.  The fast path: no handle is created;
+        use :meth:`schedule_at_cancellable` when the event may need to
+        be disarmed.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time} before current time {self._now}"
             )
-        return self._queue.push(time, kind, callback, pid=pid)
+        self._queue.push(time, kind, callback, pid=pid)
 
     def schedule_after(
         self,
@@ -84,11 +98,37 @@ class Simulator:
         callback: Callable[[], None],
         kind: str = "event",
         pid: Optional[int] = None,
-    ) -> EventHandle:
-        """Schedule ``callback`` after a non-negative ``delay``."""
+    ) -> None:
+        """Schedule ``callback`` after a non-negative ``delay`` (no handle)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self._now + delay, callback, kind=kind, pid=pid)
+        self.schedule_at(self._now + delay, callback, kind=kind, pid=pid)
+
+    def schedule_at_cancellable(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        kind: str = "event",
+        pid: Optional[int] = None,
+    ) -> EventHandle:
+        """Like :meth:`schedule_at`, but returns a cancellation handle."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        return self._queue.push_cancellable(time, kind, callback, pid=pid)
+
+    def schedule_after_cancellable(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        kind: str = "event",
+        pid: Optional[int] = None,
+    ) -> EventHandle:
+        """Like :meth:`schedule_after`, but returns a cancellation handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at_cancellable(self._now + delay, callback, kind=kind, pid=pid)
 
     # ------------------------------------------------------------------
     # Run loop
@@ -111,7 +151,10 @@ class Simulator:
             Inclusive virtual-time horizon.  Events scheduled strictly
             after it stay queued; the clock is advanced to ``until``.
         max_events:
-            Safety valve on the number of fired events.
+            Safety valve on the number of events fired *by this
+            invocation* (not the simulator-lifetime ``events_fired``
+            counter, so repeated ``run()`` calls each get a fresh
+            budget).
         stop_when:
             Optional predicate evaluated after every event.
 
@@ -124,28 +167,39 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
-        # Hoisted out of the loop: with tracing off the hot path touches
-        # neither the flag nor the per-kind dict.
+        # Hoisted out of the loop: the hot path touches only locals and
+        # two instance counters.  ``heap`` aliases the queue's list, so
+        # callbacks that schedule new events grow it in place.
+        heap = self._heap
+        pop = heappop
         fired_by_kind = self.fired_by_kind if self._trace_events else None
+        kind_names = _KIND_NAMES
+        # ``fired`` shadows the cumulative counter in a local; the
+        # attribute is kept in sync every event so callbacks and
+        # ``stop_when`` predicates reading ``events_fired`` mid-run see
+        # live values (as they did before the loop was fused).
+        start = fired = self.events_fired
         try:
-            while self._queue:
-                next_time = self._queue.peek_time()
-                assert next_time is not None
-                if until is not None and next_time > until:
+            while heap:
+                if until is not None and heap[0][0] > until:
                     self._now = until
                     break
-                event, handle = self._queue.pop()
-                self._now = event.time
-                if handle.cancelled or event.callback is None:
+                entry = pop(heap)
+                self._now = entry[0]
+                callback = entry[4]
+                handle = entry[5]
+                if callback is None or (handle is not None and handle.cancelled):
                     self.events_skipped += 1
                     continue
-                event.callback()
-                self.events_fired += 1
+                callback()
+                fired += 1
+                self.events_fired = fired
                 if fired_by_kind is not None:
-                    fired_by_kind[event.kind] = fired_by_kind.get(event.kind, 0) + 1
+                    kind = kind_names[entry[2]]
+                    fired_by_kind[kind] = fired_by_kind.get(kind, 0) + 1
                 if self._stopped:
                     break
-                if max_events is not None and self.events_fired >= max_events:
+                if max_events is not None and fired - start >= max_events:
                     break
                 if stop_when is not None and stop_when():
                     break

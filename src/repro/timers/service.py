@@ -72,7 +72,9 @@ class TimerService:
         if duration <= 0:
             raise ValueError(f"behaviour produced non-positive duration {duration}")
         self.history_by_pid.setdefault(pid, []).append((now, timeout, duration))
-        event = self._sim.schedule_after(duration, callback, kind="timer", pid=pid)
+        # Re-arming must disarm the previous event, so timers take the
+        # handle-allocating path (the only kernel consumer that does).
+        event = self._sim.schedule_after_cancellable(duration, callback, kind="timer", pid=pid)
         handle = TimerHandle(
             pid=pid, timeout=timeout, set_at=now, fires_at=now + duration, _event=event
         )

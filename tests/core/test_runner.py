@@ -30,6 +30,17 @@ class TestRunBasics:
         b = Run(WriteEfficientOmega, n=3, seed=2, horizon=300.0).execute()
         assert [r.time for r in a.memory.write_log] != [r.time for r in b.memory.write_log]
 
+    def test_timer_activity_traced(self):
+        run = Run(WriteEfficientOmega, n=3, seed=3, horizon=300.0)
+        result = run.execute()
+        set_rows = result.trace.timer_rows("timer_set")
+        fired_rows = result.trace.timer_rows("timer_fired")
+        assert set_rows and fired_rows
+        # every fired row carries the realized duration of an armed timer
+        assert all(duration > 0 for _, _, duration in fired_rows)
+        total_expirations = sum(rt.timer_expirations for rt in run.runtimes)
+        assert len(fired_rows) == total_expirations
+
     def test_result_carries_config(self):
         result = Run(WriteEfficientOmega, n=3, seed=5, horizon=100.0).execute()
         assert result.n == 3

@@ -1,0 +1,61 @@
+"""The engine's low-overhead fast path (satellite requirement).
+
+Sweeps default to ``fast=True`` (``log_reads=False``,
+``trace_events=False`` end-to-end), and over a whole fixed seed grid the
+fast-path :class:`~repro.engine.summary.RunSummary` -- including the
+embedded Theorem 1-4 :class:`~repro.props.report.PropertyReport` -- must
+be identical to the traced-path summary.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.algorithm2 import BoundedOmega
+from repro.engine import ExperimentSpec
+from repro.engine.worker import run_cell
+from repro.workloads.scenarios import leader_crash, nominal
+
+ALGOS = {"alg1": WriteEfficientOmega, "alg2": BoundedOmega}
+SCENARIOS = [nominal(n=3, horizon=1500.0), leader_crash(n=3, horizon=2000.0)]
+SEEDS = [0, 1]
+
+
+def _spec(**kwargs):
+    return ExperimentSpec.from_objects("fastpath", ALGOS, SCENARIOS, SEEDS, **kwargs)
+
+
+class TestFastPathDefaults:
+    def test_spec_defaults_to_fast(self):
+        assert _spec().fast is True
+
+    def test_fast_flag_participates_in_content_hash(self):
+        assert _spec().content_hash() != _spec(fast=False).content_hash()
+
+
+class TestFastPathIdentity:
+    def test_summaries_identical_across_the_grid(self):
+        """Every cell of the fixed seed grid: fast == traced, byte-for-byte."""
+        for cell in _spec().cells():
+            fast = run_cell(cell, window=100.0, fast=True)
+            traced = run_cell(cell, window=100.0, fast=False)
+            assert fast.canonical_json() == traced.canonical_json(), cell.key
+            assert fast == traced, cell.key
+
+    def test_property_reports_identical_across_the_grid(self):
+        """The embedded PropertyReport (Theorems 1-4) must not depend on
+        the run mode: its inputs are the write log, the crash plan and
+        the sample trace, all of which survive the fast path."""
+        for cell in _spec().cells():
+            fast = run_cell(cell, window=100.0, fast=True)
+            traced = run_cell(cell, window=100.0, fast=False)
+            assert fast.properties is not None
+            assert fast.properties == traced.properties, cell.key
+            assert fast.property_violations == traced.property_violations, cell.key
+
+    def test_fast_path_skips_read_log_but_keeps_counters(self):
+        scen = SCENARIOS[0]
+        result = scen.run(WriteEfficientOmega, seed=0, log_reads=False, trace_events=False)
+        assert result.memory.read_log == []
+        assert result.memory.total_reads > 0
+        assert result.sim.fired_by_kind == {}
+        assert result.sim.events_fired > 0

@@ -1,4 +1,4 @@
-"""Event queue: ordering, stability, cancellation."""
+"""Tuple-heap event queue: ordering, stability, cancellation, guards."""
 
 from __future__ import annotations
 
@@ -6,14 +6,23 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import (
+    CALLBACK,
+    HANDLE,
+    KIND,
+    PID,
+    SEQ,
+    TIME,
+    EventQueue,
+    intern_kind,
+    kind_name,
+)
 
 
 def drain(queue: EventQueue):
     out = []
     while queue:
-        event, handle = queue.pop()
-        out.append((event, handle))
+        out.append(queue.pop())
     return out
 
 
@@ -35,8 +44,8 @@ class TestEventQueueBasics:
         q = EventQueue()
         q.push(5.0, "late", None)
         q.push(1.0, "early", None)
-        event, _ = q.pop()
-        assert event.kind == "early"
+        entry = q.pop()
+        assert kind_name(entry[KIND]) == "early"
 
     def test_peek_time(self):
         q = EventQueue()
@@ -48,7 +57,7 @@ class TestEventQueueBasics:
         q = EventQueue()
         for label in ("first", "second", "third"):
             q.push(7.0, label, None)
-        kinds = [event.kind for event, _ in drain(q)]
+        kinds = [kind_name(entry[KIND]) for entry in drain(q)]
         assert kinds == ["first", "second", "third"]
 
     def test_nan_time_rejected(self):
@@ -56,12 +65,10 @@ class TestEventQueueBasics:
         with pytest.raises(ValueError):
             q.push(float("nan"), "x", None)
 
-    def test_cancel_marks_handle(self):
+    def test_nan_time_rejected_on_cancellable_path(self):
         q = EventQueue()
-        handle = q.push(1.0, "x", None)
-        handle.cancel()
-        _, popped_handle = q.pop()
-        assert popped_handle.cancelled
+        with pytest.raises(ValueError):
+            q.push_cancellable(float("nan"), "x", None)
 
     def test_clear(self):
         q = EventQueue()
@@ -72,8 +79,73 @@ class TestEventQueueBasics:
     def test_pid_recorded(self):
         q = EventQueue()
         q.push(1.0, "x", None, pid=3)
-        event, _ = q.pop()
-        assert event.pid == 3
+        entry = q.pop()
+        assert entry[PID] == 3
+
+    def test_entry_layout(self):
+        q = EventQueue()
+        cb = lambda: None  # noqa: E731
+        q.push(2.5, "step", cb, pid=1)
+        entry = q.pop()
+        assert entry[TIME] == 2.5
+        assert isinstance(entry[SEQ], int)
+        assert kind_name(entry[KIND]) == "step"
+        assert entry[PID] == 1
+        assert entry[CALLBACK] is cb
+        assert entry[HANDLE] is None
+
+
+class TestCancellation:
+    def test_plain_push_carries_no_handle(self):
+        q = EventQueue()
+        q.push(1.0, "x", None)
+        assert q.pop()[HANDLE] is None
+
+    def test_cancel_marks_handle(self):
+        q = EventQueue()
+        handle = q.push_cancellable(1.0, "x", None)
+        assert not handle.cancelled
+        handle.cancel()
+        popped = q.pop()
+        assert popped[HANDLE] is handle
+        assert popped[HANDLE].cancelled
+
+    def test_cancel_is_lazy_entry_stays_queued(self):
+        q = EventQueue()
+        handle = q.push_cancellable(1.0, "x", None)
+        handle.cancel()
+        assert len(q) == 1  # the standard O(1)-cancel trick
+
+    def test_cancel_one_of_many(self):
+        q = EventQueue()
+        q.push(1.0, "keep-a", None)
+        handle = q.push_cancellable(2.0, "drop", None)
+        q.push(3.0, "keep-b", None)
+        handle.cancel()
+        live = [kind_name(e[KIND]) for e in drain(q) if e[HANDLE] is None or not e[HANDLE].cancelled]
+        assert live == ["keep-a", "keep-b"]
+
+    def test_cancellable_entries_keep_fifo_order_with_plain_ones(self):
+        q = EventQueue()
+        q.push(5.0, "plain-1", None)
+        q.push_cancellable(5.0, "cancellable", None)
+        q.push(5.0, "plain-2", None)
+        kinds = [kind_name(e[KIND]) for e in drain(q)]
+        assert kinds == ["plain-1", "cancellable", "plain-2"]
+
+
+class TestKindInterning:
+    def test_round_trip(self):
+        kid = intern_kind("some-unique-kind-label")
+        assert kind_name(kid) == "some-unique-kind-label"
+
+    def test_stable_ids(self):
+        assert intern_kind("timer") == intern_kind("timer")
+
+    def test_queue_uses_interned_ids(self):
+        q = EventQueue()
+        q.push(1.0, "timer", None)
+        assert q.pop()[KIND] == intern_kind("timer")
 
 
 class TestEventOrderingProperty:
@@ -82,7 +154,7 @@ class TestEventOrderingProperty:
         q = EventQueue()
         for t in times:
             q.push(t, "e", None)
-        popped = [event.time for event, _ in drain(q)]
+        popped = [entry[TIME] for entry in drain(q)]
         assert popped == sorted(times)
 
     @given(
@@ -96,7 +168,7 @@ class TestEventOrderingProperty:
         q = EventQueue()
         for t, tag in items:
             q.push(t, str(tag), None)
-        popped = [(event.time, event.kind) for event, _ in drain(q)]
+        popped = [(entry[TIME], kind_name(entry[KIND])) for entry in drain(q)]
         expected = sorted(
             [(t, str(tag)) for t, tag in items],
             key=lambda pair: pair[0],
@@ -111,10 +183,10 @@ class TestEventOrderingProperty:
         assert reconstructed == by_time
         assert [p[0] for p in popped] == [e[0] for e in expected]
 
-
-class TestEventRecord:
-    def test_lt_uses_time_then_seq(self):
-        a = Event(1.0, 0, "a", None)
-        b = Event(1.0, 1, "b", None)
-        c = Event(0.5, 9, "c", None)
-        assert c < a < b
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    def test_seq_numbers_strictly_increase_in_push_order(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(float(t), "e", None)
+        seqs_by_push_order = sorted(drain(q), key=lambda e: e[SEQ])
+        assert [e[TIME] for e in seqs_by_push_order] == [float(t) for t in times]

@@ -49,14 +49,38 @@ class TestScheduling:
         sim.run()
         assert fired == [2.0]
 
+    def test_plain_scheduling_returns_no_handle(self):
+        sim = Simulator()
+        assert sim.schedule_at(1.0, lambda: None) is None
+        assert sim.schedule_after(1.0, lambda: None) is None
+
     def test_cancelled_event_skipped(self):
         sim = Simulator()
         fired = []
-        handle = sim.schedule_at(1.0, lambda: fired.append("x"))
+        handle = sim.schedule_at_cancellable(1.0, lambda: fired.append("x"))
         handle.cancel()
         sim.run()
         assert fired == []
         assert sim.events_skipped == 1
+
+    def test_cancellable_after_delay(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule_after_cancellable(1.0, lambda: fired.append("keep"))
+        drop = sim.schedule_after_cancellable(2.0, lambda: fired.append("drop"))
+        drop.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+    def test_cancellable_rejects_past_and_negative(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, sim.stop)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at_cancellable(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_after_cancellable(-1.0, lambda: None)
 
 
 class TestRunLoop:
@@ -82,6 +106,27 @@ class TestRunLoop:
             sim.schedule_at(float(t), lambda: None)
         sim.run(max_events=3)
         assert sim.events_fired == 3
+
+    def test_max_events_budget_is_per_invocation(self):
+        # Regression: the budget used to be checked against the
+        # *cumulative* events_fired counter, so a second run() on the
+        # same simulator stopped immediately.
+        sim = Simulator()
+        for t in range(10):
+            sim.schedule_at(float(t), lambda: None)
+        sim.run(max_events=3)
+        sim.run(max_events=3)
+        assert sim.events_fired == 6
+        sim.run(max_events=None)
+        assert sim.events_fired == 10
+
+    def test_events_fired_is_live_during_the_run(self):
+        # stop_when predicates may read the public counter mid-run.
+        sim = Simulator()
+        for t in range(10):
+            sim.schedule_at(float(t), lambda: None)
+        sim.run(stop_when=lambda: sim.events_fired >= 4)
+        assert sim.events_fired == 4
 
     def test_stop_when_predicate(self):
         sim = Simulator()
