@@ -10,7 +10,8 @@ Commands
     Execute an (algorithm x scenario x seed) grid through the parallel
     experiment engine: ``--jobs N`` worker processes, deterministic row
     order, per-cell error capture, and a JSONL result cache under
-    ``results/engine/`` keyed by the grid's content hash.
+    ``results/engine/`` keyed by the grid's content hash.  ``--memory
+    emulated`` forces the ABD register emulation onto every cell.
 ``check``
     Audit the paper's Theorems 1-4 over the adversarial scenario suite
     through the parallel engine and print the property-violation table;
@@ -35,6 +36,7 @@ Examples
     python -m repro run --algorithm alg1 --scenario leader-crash --seed 3
     python -m repro sweep --algorithms alg1 alg2 --scenarios nominal leader-crash \
         --seeds 0 1 2 --jobs 4
+    python -m repro sweep --scenarios nominal --memory emulated --seeds 0 1
     python -m repro check --jobs 4
     python -m repro compare --scenario nominal --seeds 0 1 2
     python -m repro perf --quick --compare BENCH_perf.json --max-regress 25%
@@ -49,6 +51,7 @@ from typing import Callable, Dict, Optional, Sequence
 from repro.analysis.report import format_property_table, format_table
 from repro.analysis.timeline import build_timeline, render_timeline
 from repro.analysis.write_stats import forever_writers, growing_registers
+from repro.memory.backend import BACKENDS
 from repro.workloads.registry import ALGORITHMS, SCENARIO_FACTORIES
 from repro.workloads.scenarios import Scenario
 from repro.workloads.sweep import SweepRow, summarize_result
@@ -68,6 +71,11 @@ CHECK_SCENARIOS = [
     "near-all-cascade",
     "timely-churn",
     "awb-only",
+    # The emulated-backend cells: the same theorems must hold when the
+    # registers are realized by the ABD quorum emulation, including
+    # under a minority of replica crashes.
+    "nominal-emulated",
+    "replica-crash",
 ]
 
 
@@ -106,8 +114,18 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     scen = _build_scenario(args.scenario, args.n, args.horizon)
     algorithm = ALGORITHMS[args.algorithm]
-    print(f"running {algorithm.display_name} on {scen.name} (seed {args.seed})...")
-    result = scen.run(algorithm, seed=args.seed)
+    overrides = {} if args.memory is None else {"memory": args.memory}
+    backend = args.memory or scen.memory
+    print(
+        f"running {algorithm.display_name} on {scen.name} "
+        f"(seed {args.seed}, {backend} memory)..."
+    )
+    try:
+        result = scen.run(algorithm, seed=args.seed, **overrides)
+    except ValueError as exc:
+        # e.g. forcing the emulated backend onto the SAN disk scenario.
+        print(f"repro run: error: {exc}", file=sys.stderr)
+        return 2
 
     report = result.stabilization(margin=scen.margin)
     print(f"\nstabilized: {report.stabilized}")
@@ -176,6 +194,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             args.seeds,
             window=args.window,
             fast=not args.traced,
+            memory=args.memory,
         )
     except ValueError as exc:
         print(f"repro sweep: error: {exc}", file=sys.stderr)
@@ -393,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--n", type=int, default=None, help="override process count")
     run_p.add_argument("--horizon", type=float, default=None, help="override horizon")
+    run_p.add_argument(
+        "--memory",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="memory backend override (default: the scenario's own choice)",
+    )
     run_p.add_argument("--timeline", action="store_true", help="render the leadership timeline")
     run_p.set_defaults(func=cmd_run)
 
@@ -406,6 +431,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seeds", nargs="*", type=int, default=[0, 1])
     sweep_p.add_argument("--n", type=int, default=None, help="override process count")
     sweep_p.add_argument("--horizon", type=float, default=None, help="override horizon")
+    sweep_p.add_argument(
+        "--memory",
+        choices=sorted(BACKENDS),
+        default=None,
+        help=(
+            "force a memory backend onto every cell ('emulated' puts the whole "
+            "grid on the ABD quorum emulation, 'shared' strips it from "
+            "emulated-native scenarios); default: each scenario's own choice"
+        ),
+    )
     sweep_p.add_argument(
         "--traced",
         action="store_true",

@@ -37,7 +37,9 @@ from repro.core.interfaces import (
     Task,
     WriteReg,
 )
+from repro.memory.backend import create_memory
 from repro.memory.disk import Disk
+from repro.memory.emulated import EmulatedMemory
 from repro.memory.memory import SharedMemory
 from repro.sim.crash import CrashPlan
 from repro.sim.kernel import Simulator
@@ -91,17 +93,23 @@ class ProcessRuntime:
         self._schedule_after = run.sim.schedule_after
         self._is_crashed_at = run.crash_plan.is_crashed
         # Exact-type operation dispatch.  A handler returns True when it
-        # schedules the process's continuation itself (the disk path).
+        # schedules the process's continuation itself (the disk and
+        # emulated-memory paths, whose operations are intervals).
         if run.disk is not None:
             read_op, write_op = self._op_read_disk, self._op_write_disk
+            fetch_op = self._op_fetch_add
+        elif isinstance(run.memory, EmulatedMemory):
+            read_op, write_op = self._op_read_emulated, self._op_write_emulated
+            fetch_op = self._op_fetch_add_emulated
         else:
             read_op, write_op = self._op_read, self._op_write
+            fetch_op = self._op_fetch_add
         self._dispatch: Dict[type, Callable[[_TaskState, Any], Any]] = {
             ReadReg: read_op,
             WriteReg: write_op,
             SetTimer: self._op_set_timer,
             LocalStep: self._op_local,
-            FetchAdd: self._op_fetch_add,
+            FetchAdd: fetch_op,
         }
 
     # ------------------------------------------------------------------
@@ -231,6 +239,43 @@ class ProcessRuntime:
         run.sim.schedule_after(sample.lin_offset, linearize, kind="disk-lin", pid=self.pid)
         run.sim.schedule_after(sample.resp_offset, resume, kind="disk-resp", pid=self.pid)
 
+    # ------------------------------------------------------------------
+    # Emulated-memory handlers (ABD quorum phases; interval semantics)
+    # ------------------------------------------------------------------
+    def _emulated_resume(self, task: _TaskState) -> Callable[[Any], None]:
+        """Completion callback: unblock, deliver the value, reschedule.
+
+        Quorum operations outlive their invoker exactly like in-flight
+        disk operations: replica state already changed, so a write
+        completes even if the writer crashed mid-phase -- only the
+        process's continuation is suppressed.
+        """
+
+        def resume(value: Any) -> None:
+            self.blocked = False
+            if self.crashed:
+                return
+            task.inbox = value
+            self.tasks.rotate(-1)
+            self._schedule_next_step()
+
+        return resume
+
+    def _op_read_emulated(self, task: _TaskState, op: ReadReg) -> bool:
+        self.blocked = True
+        self.run.memory.emu_read(self.pid, op.register, self._emulated_resume(task))
+        return True
+
+    def _op_write_emulated(self, task: _TaskState, op: WriteReg) -> bool:
+        self.blocked = True
+        self.run.memory.emu_write(self.pid, op.register, op.value, self._emulated_resume(task))
+        return True
+
+    def _op_fetch_add_emulated(self, task: _TaskState, op: FetchAdd) -> bool:
+        self.blocked = True
+        self.run.memory.emu_fetch_add(self.pid, op.register, op.amount, self._emulated_resume(task))
+        return True
+
 
 # ----------------------------------------------------------------------
 @dataclass
@@ -249,6 +294,8 @@ class RunResult:
     timer_service: TimerService
     disk: Optional[Disk]
     snapshots: List[Tuple[float, Tuple[Tuple[str, Any], ...]]] = field(default_factory=list)
+    #: Which memory backend produced this run ("shared" or "emulated").
+    memory_backend: str = "shared"
 
     # Convenience delegations to the analysis layer --------------------
     def stabilization(self, margin: float = 0.0) -> "Any":
@@ -357,6 +404,16 @@ class Run:
         Forwarded to :class:`~repro.sim.kernel.Simulator`; disable to
         skip per-kind event accounting on the hot path (the engine's
         low-overhead run mode).
+    memory:
+        Memory backend name (:data:`repro.memory.backend.BACKENDS`):
+        ``"shared"`` (instantaneous registers, the default) or
+        ``"emulated"`` (ABD quorum emulation over message passing, in
+        which case every register access becomes an interval operation
+        like the disk path).
+    emulation:
+        Plain-dict :class:`~repro.memory.emulated.EmulationConfig`
+        knobs for the emulated backend (replica count, link model,
+        replica crashes); only valid with ``memory="emulated"``.
     """
 
     def __init__(
@@ -376,9 +433,16 @@ class Run:
         algo_config: Optional[Dict[str, Any]] = None,
         log_reads: bool = True,
         trace_events: bool = True,
+        memory: str = "shared",
+        emulation: Optional[Dict[str, Any]] = None,
     ) -> None:
         if n < 2:
             raise ValueError("need at least two processes")
+        if memory == "emulated" and disk is not None:
+            raise ValueError(
+                "the emulated backend and the SAN disk model both make register "
+                "accesses interval operations; pick one"
+            )
         self.algorithm_cls = algorithm_cls
         self.n = n
         self.seed = seed
@@ -389,7 +453,15 @@ class Run:
         self.rng = RngRegistry(seed)
 
         self.sim = Simulator(trace_events=trace_events)
-        self.memory = SharedMemory(clock=lambda: self.sim.now, log_reads=log_reads)
+        self.memory_backend = memory
+        self.memory = create_memory(
+            memory,
+            clock=lambda: self.sim.now,
+            log_reads=log_reads,
+            sim=self.sim,
+            rng=self.rng,
+            emulation=emulation,
+        )
         self.delay_model: StepDelayModel = delay_model or UniformDelay(self.rng, 0.5, 1.5)
         self.crash_plan = crash_plan or CrashPlan.none(n)
         self.trace = RunTrace()
@@ -454,6 +526,10 @@ class Run:
     def execute(self, max_events: Optional[int] = None) -> RunResult:
         """Run to the horizon and return the result bundle."""
         self._install_crashes()
+        if isinstance(self.memory, EmulatedMemory):
+            # Seed the replicas from the (possibly scrambled) initial
+            # register values and schedule replica crashes.
+            self.memory.start(self.horizon)
         for runtime in self.runtimes:
             runtime.start()
         self.sim.schedule_at(0.0, self._sample, kind="sample")
@@ -479,6 +555,7 @@ class Run:
             timer_service=self.timer_service,
             disk=self.disk,
             snapshots=self.snapshots,
+            memory_backend=self.memory_backend,
         )
 
 

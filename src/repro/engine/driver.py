@@ -75,6 +75,7 @@ class EngineReport:
 
     @property
     def ok(self) -> bool:
+        """True when every cell produced a summary."""
         return not self.failures
 
 
@@ -92,7 +93,10 @@ def default_jobs() -> int:
 
 # ----------------------------------------------------------------------
 def _execute_serial(cells: List[Cell], spec: ExperimentSpec) -> List[CellOutcome]:
-    return [execute_cell(cell, window=spec.window, fast=spec.fast) for cell in cells]
+    return [
+        execute_cell(cell, window=spec.window, fast=spec.fast, memory=spec.memory)
+        for cell in cells
+    ]
 
 
 def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> List[CellOutcome]:
@@ -100,7 +104,7 @@ def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> Lis
     orphaned: List[int] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         pending = {
-            pool.submit(execute_cell, cell, spec.window, spec.fast): idx
+            pool.submit(execute_cell, cell, spec.window, spec.fast, spec.memory): idx
             for idx, cell in enumerate(cells)
         }
         while pending:
@@ -124,7 +128,7 @@ def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> Lis
         try:
             with ProcessPoolExecutor(max_workers=1) as solo:
                 outcomes[idx] = solo.submit(
-                    execute_cell, cells[idx], spec.window, spec.fast
+                    execute_cell, cells[idx], spec.window, spec.fast, spec.memory
                 ).result()
         except Exception as exc:  # noqa: BLE001 - crashed again: record it
             outcomes[idx] = CellOutcome(

@@ -24,12 +24,14 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Bumped whenever the payload layout or the RunSummary fields change in
 #: a way that invalidates previously cached results.
 #: 2: RunSummary embeds the Theorem 1-4 PropertyReport.
-SPEC_FORMAT = 2
+#: 3: specs carry a memory-backend axis; RunSummary records the backend
+#:    and the emulation's message count.
+SPEC_FORMAT = 3
 
 
 def _canonical(payload: Any) -> str:
@@ -53,11 +55,13 @@ class ScenarioRef:
 
     @classmethod
     def make(cls, factory: str, kwargs: Mapping[str, Any] | None = None) -> "ScenarioRef":
+        """Build a ref, validating that ``kwargs`` is JSON-serializable."""
         items = tuple(sorted((kwargs or {}).items()))
         json.dumps(dict(items))  # fail fast on unserializable values
         return cls(factory=factory, kwargs=items)
 
     def kwargs_dict(self) -> Dict[str, Any]:
+        """The keyword arguments as a plain dict."""
         return dict(self.kwargs)
 
     def key(self) -> str:
@@ -65,10 +69,12 @@ class ScenarioRef:
         return f"{self.factory}({_canonical(self.kwargs_dict())})"
 
     def to_payload(self) -> Dict[str, Any]:
+        """The JSON form stored in spec payloads."""
         return {"factory": self.factory, "kwargs": self.kwargs_dict()}
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "ScenarioRef":
+        """Rebuild a ref from its JSON form."""
         return cls.make(payload["factory"], payload.get("kwargs") or {})
 
 
@@ -87,10 +93,12 @@ class AlgorithmRef:
     target: str
 
     def to_payload(self) -> Dict[str, Any]:
+        """The JSON form stored in spec payloads."""
         return {"label": self.label, "target": self.target}
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "AlgorithmRef":
+        """Rebuild a ref from its JSON form."""
         return cls(label=payload["label"], target=payload["target"])
 
 
@@ -104,6 +112,7 @@ class Cell:
 
     @property
     def key(self) -> Tuple[str, str, int]:
+        """The cell's identity in caches and reports."""
         return (self.algorithm.label, self.scenario.key(), self.seed)
 
 
@@ -124,6 +133,14 @@ class ExperimentSpec:
         mode (``log_reads=False``, ``trace_events=False``); summaries
         are identical either way because the summarizer only consumes
         the write log, the aggregate counters and the sample trace.
+    memory:
+        Memory-backend override for every cell
+        (:data:`repro.memory.backend.BACKENDS`).  ``None`` -- the
+        default -- leaves each scenario's own backend choice in force
+        (so the ``*-emulated`` factories still emulate); ``"emulated"``
+        forces the ABD emulation onto every cell (the ``repro sweep
+        --memory emulated`` path) and ``"shared"`` forces the shared
+        backend even onto emulated-native scenarios.
     """
 
     name: str
@@ -132,10 +149,17 @@ class ExperimentSpec:
     seeds: Tuple[int, ...]
     window: float = 100.0
     fast: bool = True
+    memory: Optional[str] = None
 
     def __post_init__(self) -> None:
+        from repro.memory.backend import BACKENDS
+
         if not self.algorithms or not self.scenarios or not self.seeds:
             raise ValueError("spec needs at least one algorithm, scenario and seed")
+        if self.memory is not None and self.memory not in BACKENDS:
+            raise ValueError(
+                f"unknown memory backend {self.memory!r}; choose from {sorted(BACKENDS)}"
+            )
         labels = [a.label for a in self.algorithms]
         if len(set(labels)) != len(labels):
             raise ValueError(f"duplicate algorithm labels in spec: {labels}")
@@ -155,10 +179,12 @@ class ExperimentSpec:
         ]
 
     def size(self) -> int:
+        """Number of grid cells."""
         return len(self.algorithms) * len(self.scenarios) * len(self.seeds)
 
     # ------------------------------------------------------------------
     def to_payload(self) -> Dict[str, Any]:
+        """The canonical JSON form (hashed by :meth:`content_hash`)."""
         return {
             "format": SPEC_FORMAT,
             "name": self.name,
@@ -167,6 +193,7 @@ class ExperimentSpec:
             "seeds": list(self.seeds),
             "window": self.window,
             "fast": self.fast,
+            "memory": self.memory,
         }
 
     def content_hash(self) -> str:
@@ -190,6 +217,7 @@ class ExperimentSpec:
         *,
         window: float = 100.0,
         fast: bool = True,
+        memory: Optional[str] = None,
     ) -> "ExperimentSpec":
         """Build a spec from live objects (the ``run_matrix`` arguments).
 
@@ -223,6 +251,7 @@ class ExperimentSpec:
             seeds=tuple(int(s) for s in seeds),
             window=window,
             fast=fast,
+            memory=memory,
         )
 
 

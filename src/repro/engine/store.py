@@ -92,6 +92,7 @@ class ResultStore:
         self.root = Path(root) if root is not None else default_results_dir()
 
     def path_for(self, spec: ExperimentSpec) -> Path:
+        """The spec's JSONL file: sanitized name + content hash."""
         safe_name = "".join(c if c.isalnum() or c in "-_." else "-" for c in spec.name)
         return self.root / f"{safe_name}-{spec.content_hash()}.jsonl"
 

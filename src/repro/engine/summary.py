@@ -66,6 +66,10 @@ class RunSummary(SweepRow):
     property_violations: int = 0
     #: The full Theorem 1-4 claimed-vs-measured report.
     properties: Optional[PropertyReport] = None
+    #: Memory backend the run used ("shared" or "emulated").
+    memory_backend: str = "shared"
+    #: Protocol messages sent by the register emulation (0 when shared).
+    messages_sent: int = 0
 
     # ------------------------------------------------------------------
     def to_jsonable(self) -> Dict[str, Any]:
@@ -78,6 +82,8 @@ class RunSummary(SweepRow):
 
     @classmethod
     def from_jsonable(cls, payload: Mapping[str, Any]) -> "RunSummary":
+        """Rebuild a summary from :meth:`to_jsonable` output (unknown
+        keys are ignored, so old cache rows load under newer fields)."""
         data = dict(payload)
         data["forever_writers"] = frozenset(data.get("forever_writers", ()))
         if isinstance(data.get("properties"), Mapping):
@@ -171,6 +177,8 @@ def summarize_run(
         suspicion_writes_tail=susp_tail,
         property_violations=len(props.violations()),
         properties=props,
+        memory_backend=getattr(result, "memory_backend", "shared"),
+        messages_sent=getattr(getattr(result.memory, "network", None), "total_sent", 0),
     )
 
 

@@ -34,17 +34,29 @@ class CellOutcome:
 
     @property
     def ok(self) -> bool:
+        """True when the cell produced a summary."""
         return self.error is None
 
 
-def run_cell(cell: Cell, window: float = 100.0, fast: bool = True) -> RunSummary:
-    """Execute one cell in-process and return its summary (raises on error)."""
+def run_cell(
+    cell: Cell, window: float = 100.0, fast: bool = True, memory: Optional[str] = None
+) -> RunSummary:
+    """Execute one cell in-process and return its summary (raises on error).
+
+    ``memory`` is the spec-level backend override: ``None`` (the
+    default) leaves the scenario's own backend choice in force, a
+    backend name forces that backend onto the cell (the
+    ``repro sweep --memory emulated`` path -- and ``"shared"`` forces
+    the shared backend even onto emulated-native scenarios).
+    """
     from repro.workloads.registry import build_scenario, resolve_algorithm
 
     started = time.perf_counter()
     algorithm_cls = resolve_algorithm(cell.algorithm.target)
     scenario = build_scenario(cell.scenario.factory, cell.scenario.kwargs_dict())
-    overrides = {"log_reads": False, "trace_events": False} if fast else {}
+    overrides: dict = {"log_reads": False, "trace_events": False} if fast else {}
+    if memory is not None:
+        overrides["memory"] = memory
     result = scenario.run(algorithm_cls, seed=cell.seed, **overrides)
     summary = summarize_run(
         result,
@@ -59,10 +71,15 @@ def run_cell(cell: Cell, window: float = 100.0, fast: bool = True) -> RunSummary
     return summary
 
 
-def execute_cell(cell: Cell, window: float = 100.0, fast: bool = True) -> CellOutcome:
+def execute_cell(
+    cell: Cell, window: float = 100.0, fast: bool = True, memory: Optional[str] = None
+) -> CellOutcome:
     """Pool-safe wrapper around :func:`run_cell`: captures errors."""
     try:
-        return CellOutcome(key=cell.key, summary=run_cell(cell, window=window, fast=fast))
+        return CellOutcome(
+            key=cell.key,
+            summary=run_cell(cell, window=window, fast=fast, memory=memory),
+        )
     except Exception:  # noqa: BLE001 - the driver re-raises in strict mode
         return CellOutcome(key=cell.key, error=traceback.format_exc())
 

@@ -14,6 +14,15 @@ one-writer/multi-reader (1WnR) registers.  This package provides:
   when, which registers are still growing, global state snapshots);
 * :class:`~repro.memory.mwmr.MultiWriterRegister` -- for the paper's
   Section 3.5 nWnR variant;
+* :mod:`~repro.memory.backend` -- the pluggable **memory backend**
+  layer: the :class:`~repro.memory.backend.MemoryBackend` protocol every
+  substrate implements, the :data:`~repro.memory.backend.BACKENDS`
+  registry and the :func:`~repro.memory.backend.create_memory` factory
+  ``Run`` selects backends through;
+* :mod:`~repro.memory.emulated` -- the ``"emulated"`` backend: an
+  ABD-style majority-quorum emulation of the registers over
+  :mod:`repro.netsim` message passing (replica nodes, timestamped
+  values, reader/writer phases, retransmission, replica crashes);
 * :mod:`~repro.memory.disk` -- a network-attached-disk model (the SAN
   deployment the paper motivates) with non-instantaneous operations;
 * :mod:`~repro.memory.linearizability` -- a checker for single-writer
@@ -21,6 +30,8 @@ one-writer/multi-reader (1WnR) registers.  This package provides:
 """
 
 from repro.memory.arrays import RegisterArray, RegisterMatrix
+from repro.memory.backend import BACKENDS, MemoryBackend, create_memory
+from repro.memory.emulated import EmulatedMemory, EmulationConfig
 from repro.memory.memory import AccessKind, SharedMemory
 from repro.memory.mwmr import MultiWriterRegister
 from repro.memory.register import AtomicRegister, OwnershipError
@@ -28,9 +39,14 @@ from repro.memory.register import AtomicRegister, OwnershipError
 __all__ = [
     "AccessKind",
     "AtomicRegister",
+    "BACKENDS",
+    "EmulatedMemory",
+    "EmulationConfig",
+    "MemoryBackend",
     "MultiWriterRegister",
     "OwnershipError",
     "RegisterArray",
     "RegisterMatrix",
     "SharedMemory",
+    "create_memory",
 ]

@@ -67,6 +67,7 @@ class LatencyModel:
         self._rng = rng
 
     def sample(self, pid: int) -> LatencySample:
+        """Draw one operation's (linearization, response) offsets."""
         stream = self._rng.stream(f"disk:{pid}")
         total = stream.uniform(self.lo, self.hi)
         lin = stream.uniform(0.0, total)

@@ -1,0 +1,560 @@
+"""ABD-style quorum emulation of the paper's registers over messages.
+
+The paper assumes 1WMR *regular* registers as a primitive.  Deployments
+without physical shared memory (the cluster the paper's Section 1
+motivates next to the SAN) must **emulate** those registers over
+message passing.  This module implements the classic
+Attiya-Bar-Noy-Dolev construction on top of :mod:`repro.netsim`:
+
+* the register namespace is replicated across ``m`` replica nodes, each
+  holding a ``(timestamp, value)`` pair per register;
+* a **write** stamps the value with the writer's next timestamp,
+  broadcasts it to every replica and completes on a majority of acks;
+* a **read** queries every replica and completes on a majority of
+  replies, returning the value with the largest timestamp.
+
+Any two majorities intersect, so a read that starts after a write
+completed sees it; a read concurrent with a write may return either
+value -- exactly the *regular* register the paper requires (single
+writer per register makes the read write-back phase of atomic ABD
+unnecessary).  Multi-writer registers (the Section 3.5 variant) use
+``(counter, pid)`` timestamps with a query phase before the write
+phase; their ``fetch&add`` becomes the racy two-step
+read-then-write emulation, which the variant is documented to tolerate
+(lost increments only slow suspicion growth).
+
+The emulation tolerates crashes of **up to a minority** of replicas and
+message loss (pending phases retransmit to unacked replicas every
+``retry_interval``).  Link timing/loss is pluggable through the
+:data:`LINK_MODELS` registry over the :mod:`repro.netsim.network`
+behaviours -- including the PR 2 adversaries (GST ramps, fair loss).
+
+:class:`EmulatedMemory` subclasses
+:class:`~repro.memory.memory.SharedMemory`: the namespace, the access
+logs, the window queries and the no-log read fast path are all
+inherited, so every theorem monitor, census and report in the repo
+consumes emulated runs unchanged.  What changes is the *operation
+semantics*: reads and writes become asynchronous phases, driven by the
+process runtime (:mod:`repro.core.runner`), which blocks the issuing
+process until its quorum completes -- operations are intervals, like
+the SAN disk model, but realized by an actual replicated protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.memory.memory import SharedMemory
+from repro.memory.mwmr import MultiWriterRegister
+from repro.memory.register import AtomicRegister, OwnershipError
+from repro.netsim.network import (
+    ChannelBehavior,
+    FairLossyLinks,
+    Message,
+    Network,
+    RampLinks,
+    SynchronousLinks,
+    TimelyLinks,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Timestamp ordering is lexicographic on ``(counter, pid)``; the
+#: initial replica state predates every real write.
+_INITIAL_TS: Tuple[int, int] = (0, -1)
+
+
+def _make_links(name: str, rng: RngRegistry, params: Mapping[str, Any]) -> ChannelBehavior:
+    """Instantiate a link model by registry name with keyword ``params``."""
+    try:
+        factory = LINK_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown emulation link model {name!r}; choose from {sorted(LINK_MODELS)}"
+        ) from None
+    return factory(rng, dict(params))
+
+
+#: Link-model name -> ``(rng, params) -> ChannelBehavior`` factory.
+#: ``sync`` draws no randomness at all, which is what makes the
+#: backend-equivalence tests exact; the others re-use the netsim
+#: behaviours (``gst-ramp`` is the PR 2 adversary ported to links).
+LINK_MODELS: Dict[str, Callable[[RngRegistry, Dict[str, Any]], ChannelBehavior]] = {
+    "sync": lambda rng, p: SynchronousLinks(**p),
+    "timely": lambda rng, p: TimelyLinks(rng, **p),
+    "lossy": lambda rng, p: FairLossyLinks(rng, **p),
+    "gst-ramp": lambda rng, p: RampLinks(rng, **p),
+}
+
+
+@dataclass(frozen=True)
+class EmulationConfig:
+    """Plain-data knobs of one register emulation.
+
+    Every field is JSON-serializable (ints, floats, strings, flat
+    dicts), so configs travel inside scenario-factory kwargs through
+    the parallel engine's content-hashed specs.
+
+    Parameters
+    ----------
+    replicas:
+        Number of replica nodes holding the register copies; quorums
+        are majorities, so the emulation tolerates
+        ``(replicas - 1) // 2`` replica crashes.
+    links:
+        Link-model name from :data:`LINK_MODELS`.
+    link_params:
+        Keyword arguments for the link model (e.g. ``{"delta": 0.25}``
+        for ``sync``, ``{"loss": 0.1}`` for ``lossy``).
+    retry_interval:
+        Retransmission period for pending phases (loss tolerance; with
+        loss-free link models the retransmit timers arm but never win).
+    replica_crash_times:
+        ``{replica index: crash time}`` -- crash-stop for replicas.
+        Must leave a majority alive or quorums become unreachable.
+    """
+
+    replicas: int = 3
+    links: str = "sync"
+    link_params: Tuple[Tuple[str, Any], ...] = ()
+    retry_interval: float = 20.0
+    replica_crash_times: Tuple[Tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.replicas < 2:
+            raise ValueError("need at least two replicas for a meaningful quorum")
+        if self.links not in LINK_MODELS:
+            raise ValueError(
+                f"unknown link model {self.links!r}; choose from {sorted(LINK_MODELS)}"
+            )
+        if self.retry_interval <= 0:
+            raise ValueError("retry_interval must be positive")
+        crashes = dict(self.replica_crash_times)
+        for idx, t in crashes.items():
+            if not 0 <= idx < self.replicas:
+                raise ValueError(f"replica index {idx} out of range for {self.replicas}")
+            if t < 0:
+                raise ValueError(f"negative crash time {t} for replica {idx}")
+        if len(crashes) > (self.replicas - 1) // 2:
+            raise ValueError(
+                f"crashing {len(crashes)} of {self.replicas} replicas leaves no "
+                "majority; the emulation tolerates only a minority of crashes"
+            )
+
+    @property
+    def majority(self) -> int:
+        """Quorum size: any two majorities intersect."""
+        return self.replicas // 2 + 1
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The plain-dict form (scenario kwargs, JSON payloads)."""
+        return {
+            "replicas": self.replicas,
+            "links": self.links,
+            "link_params": dict(self.link_params),
+            "retry_interval": self.retry_interval,
+            "replica_crash_times": {str(i): t for i, t in self.replica_crash_times},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EmulationConfig":
+        """Build a config from the plain-dict form (inverse of
+        :meth:`to_dict`; JSON string keys are re-intified)."""
+        data = dict(payload)
+        unknown = set(data) - {
+            "replicas",
+            "links",
+            "link_params",
+            "retry_interval",
+            "replica_crash_times",
+        }
+        if unknown:
+            raise ValueError(f"unknown emulation option(s): {sorted(unknown)}")
+        crashes = data.get("replica_crash_times") or {}
+        return cls(
+            replicas=int(data.get("replicas", 3)),
+            links=str(data.get("links", "sync")),
+            link_params=tuple(sorted((data.get("link_params") or {}).items())),
+            retry_interval=float(data.get("retry_interval", 20.0)),
+            replica_crash_times=tuple(
+                sorted((int(i), float(t)) for i, t in dict(crashes).items())
+            ),
+        )
+
+
+class ReplicaNode:
+    """One replica: a ``{register: (timestamp, value)}`` store.
+
+    Replicas are passive state machines -- they never initiate traffic,
+    only answer queries and apply timestamped writes (monotonically:
+    an older write arriving late never regresses the stored value).
+    Crash-stop: a crashed replica silently drops everything.
+    """
+
+    def __init__(self, index: int, initial: Dict[str, Tuple[Tuple[int, int], Any]]) -> None:
+        self.index = index
+        self.store: Dict[str, Tuple[Tuple[int, int], Any]] = dict(initial)
+        self.crashed = False
+        self.writes_applied = 0
+        self.reads_served = 0
+
+    #: Node id on the wire: clients use their non-negative pid, so
+    #: replicas live on the negative axis.
+    @property
+    def node_id(self) -> int:
+        """The replica's address on the emulation network."""
+        return -(self.index + 1)
+
+    def handle(self, message: Message, network: Network, initial_of: Callable[[str], Tuple[Tuple[int, int], Any]]) -> None:
+        """Serve one query or apply one timestamped write, then reply."""
+        if self.crashed:
+            return
+        if message.kind == "abd.read":
+            op_id, name = message.payload
+            ts, value = self.store.get(name) or initial_of(name)
+            self.reads_served += 1
+            network.send(self.node_id, message.sender, "abd.read-reply", (op_id, name, ts, value))
+        elif message.kind == "abd.write":
+            op_id, name, ts, value = message.payload
+            current = self.store.get(name) or initial_of(name)
+            if ts > current[0]:
+                self.store[name] = (ts, value)
+                self.writes_applied += 1
+            network.send(self.node_id, message.sender, "abd.write-ack", (op_id, name, ts))
+
+
+class _PendingOp:
+    """One in-flight quorum operation of one client process."""
+
+    __slots__ = (
+        "op_id",
+        "pid",
+        "register",
+        "kind",
+        "phase",
+        "ts",
+        "value",
+        "amount",
+        "replies",
+        "best_ts",
+        "best_value",
+        "callback",
+        "done",
+        "retry_handle",
+        "started_at",
+    )
+
+    def __init__(
+        self,
+        op_id: int,
+        pid: int,
+        register: Any,
+        kind: str,
+        callback: Callable[[Any], None],
+        started_at: float,
+    ) -> None:
+        self.op_id = op_id
+        self.pid = pid
+        self.register = register
+        self.kind = kind  # "read" | "write" | "mwmr-write" | "fetch-add"
+        self.phase = ""  # "query" | "write"
+        self.ts: Tuple[int, int] = _INITIAL_TS
+        self.value: Any = None
+        self.amount = 0
+        self.replies: Set[int] = set()
+        self.best_ts: Tuple[int, int] = _INITIAL_TS
+        self.best_value: Any = None
+        self.callback = callback
+        self.done = False
+        self.retry_handle = None
+        self.started_at = started_at
+
+
+class EmulatedMemory(SharedMemory):
+    """1WMR regular registers emulated by an ABD replica quorum.
+
+    Drop-in :class:`~repro.memory.backend.MemoryBackend`: the namespace,
+    access logs, censuses and snapshots are inherited from
+    :class:`SharedMemory`.  The local register objects act as the
+    *completed-state mirror* -- a register's local value is updated at
+    the instant its write's quorum completes, so uncounted observer
+    reads (``peek``, leader sampling, snapshots) and the write log see
+    exactly the completed prefix of the emulated history.
+
+    The asynchronous operation API (:meth:`emu_read`,
+    :meth:`emu_write`, :meth:`emu_fetch_add`) is driven by
+    :class:`~repro.core.runner.ProcessRuntime`, which blocks the issuing
+    process until the completion callback fires.  :meth:`start` must
+    run once at execution start (after scenario scrambling) to seed the
+    replicas and schedule their crashes; ``Run.execute`` does this.
+
+    Parameters
+    ----------
+    clock / log_reads:
+        As for :class:`SharedMemory` (the read fast path is inherited).
+    sim:
+        The run's simulator; all protocol messages ride its event queue.
+    rng:
+        The run's RNG registry; link models draw per-link streams from
+        it (the ``sync`` model draws nothing, keeping emulated runs
+        stream-identical to shared-memory runs of the same seed).
+    config:
+        The :class:`EmulationConfig` knobs.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        sim: Simulator,
+        rng: RngRegistry,
+        config: Optional[EmulationConfig] = None,
+        log_reads: bool = True,
+    ) -> None:
+        super().__init__(clock, log_reads=log_reads)
+        self.config = config or EmulationConfig()
+        self._sim = sim
+        self.network = Network(
+            sim, _make_links(self.config.links, rng, dict(self.config.link_params))
+        )
+        self.network.install_delivery(self._on_delivery)
+        self.replicas: List[ReplicaNode] = []
+        self._initial: Dict[str, Tuple[Tuple[int, int], Any]] = {}
+        self._write_counters: Dict[str, int] = {}
+        self._ops: Dict[int, _PendingOp] = {}
+        self._op_counter = 0
+        self._started = False
+        # Protocol statistics (per-run observability; see RunSummary).
+        self.reads_completed = 0
+        self.writes_completed = 0
+        self.retransmissions = 0
+        self.total_op_latency = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, horizon: float) -> None:
+        """Seed the replicas and schedule their crashes (run once).
+
+        Called by ``Run.execute`` after layout creation and scenario
+        scrambling, so replicas start from the registers' *actual*
+        initial values (footnote 7's arbitrary-initial-value scenarios
+        included).
+        """
+        if self._started:
+            raise RuntimeError("emulation already started")
+        self._started = True
+        for reg in self.all_registers():
+            self._initial[reg.name] = (_INITIAL_TS, reg.peek())
+        self.replicas = [
+            ReplicaNode(i, self._initial) for i in range(self.config.replicas)
+        ]
+        for idx, t in self.config.replica_crash_times:
+            if t <= horizon:
+                replica = self.replicas[idx]
+
+                def crash(node: ReplicaNode = replica) -> None:
+                    node.crashed = True
+
+                self._sim.schedule_at(t, crash, kind="replica-crash")
+
+    def _initial_of(self, name: str) -> Tuple[Tuple[int, int], Any]:
+        """A register's seeded replica state (for post-start lookups)."""
+        return self._initial.get(name, (_INITIAL_TS, 0))
+
+    @property
+    def live_replicas(self) -> int:
+        """Replicas that have not crashed yet."""
+        return sum(1 for r in self.replicas if not r.crashed)
+
+    # ------------------------------------------------------------------
+    # Asynchronous operation API (driven by the process runtime)
+    # ------------------------------------------------------------------
+    def emu_read(self, pid: int, register: Any, callback: Callable[[Any], None]) -> None:
+        """Start a quorum read; ``callback(value)`` fires at completion."""
+        op = self._new_op(pid, register, "read", callback)
+        self._enter_query(op)
+
+    def emu_write(
+        self, pid: int, register: Any, value: Any, callback: Callable[[Any], None]
+    ) -> None:
+        """Start a quorum write; ``callback(None)`` fires at completion.
+
+        Ownership is checked *synchronously* at invocation (exactly like
+        the shared backend), so an illegal write raises
+        :class:`~repro.memory.register.OwnershipError` in the issuing
+        process's step rather than completing remotely.
+        """
+        owner = getattr(register, "owner", None)
+        if isinstance(register, AtomicRegister) and owner is not None and pid != owner:
+            raise OwnershipError(
+                f"process {pid} attempted to write {register.name} owned by {owner}"
+            )
+        if isinstance(register, MultiWriterRegister):
+            op = self._new_op(pid, register, "mwmr-write", callback)
+            op.value = value
+            self._enter_query(op)  # learn the current max timestamp first
+        else:
+            op = self._new_op(pid, register, "write", callback)
+            op.value = value
+            counter = self._write_counters.get(register.name, 0) + 1
+            self._write_counters[register.name] = counter
+            self._enter_write(op, (counter, pid))
+
+    def emu_fetch_add(
+        self, pid: int, register: MultiWriterRegister, amount: int, callback: Callable[[Any], None]
+    ) -> None:
+        """Start an emulated fetch&add; ``callback(old_value)`` at completion.
+
+        ABD registers offer only read and write, so fetch&add degrades
+        to the racy two-step emulation (query the value, write value +
+        amount): concurrent increments may be lost.  The Section 3.5
+        variant is documented to tolerate exactly this.
+        """
+        op = self._new_op(pid, register, "fetch-add", callback)
+        op.amount = amount
+        self._enter_query(op)
+
+    # ------------------------------------------------------------------
+    # Protocol phases
+    # ------------------------------------------------------------------
+    def _new_op(
+        self, pid: int, register: Any, kind: str, callback: Callable[[Any], None]
+    ) -> _PendingOp:
+        if not self._started:
+            # Without replicas the phase would broadcast to nobody and
+            # the operation would hang forever; fail loudly instead.
+            raise RuntimeError(
+                "emulation not started: call start() before issuing operations "
+                "(Run.execute does this)"
+            )
+        self._op_counter += 1
+        op = _PendingOp(self._op_counter, pid, register, kind, callback, self._clock())
+        self._ops[op.op_id] = op
+        return op
+
+    def _enter_query(self, op: _PendingOp) -> None:
+        op.phase = "query"
+        op.replies = set()
+        op.best_ts, op.best_value = self._initial_of(op.register.name)
+        self._broadcast_phase(op)
+        self._arm_retry(op)
+
+    def _enter_write(self, op: _PendingOp, ts: Tuple[int, int]) -> None:
+        op.phase = "write"
+        op.ts = ts
+        op.replies = set()
+        self._broadcast_phase(op)
+        if op.retry_handle is None:  # direct writes skip the query phase
+            self._arm_retry(op)
+
+    def _broadcast_phase(self, op: _PendingOp) -> None:
+        """(Re-)send the current phase's message to unacked replicas."""
+        name = op.register.name
+        for replica in self.replicas:
+            if replica.index in op.replies:
+                continue
+            if op.phase == "query":
+                self.network.send(op.pid, replica.node_id, "abd.read", (op.op_id, name))
+            else:
+                self.network.send(
+                    op.pid, replica.node_id, "abd.write", (op.op_id, name, op.ts, op.value)
+                )
+
+    def _arm_retry(self, op: _PendingOp) -> None:
+        def retry() -> None:
+            if op.done:
+                return
+            self.retransmissions += 1
+            self._broadcast_phase(op)
+            op.retry_handle = self._sim.schedule_after_cancellable(
+                self.config.retry_interval, retry, kind="abd-retry", pid=op.pid
+            )
+
+        op.retry_handle = self._sim.schedule_after_cancellable(
+            self.config.retry_interval, retry, kind="abd-retry", pid=op.pid
+        )
+
+    def _finish(self, op: _PendingOp, result: Any) -> None:
+        op.done = True
+        if op.retry_handle is not None:
+            op.retry_handle.cancel()
+        del self._ops[op.op_id]
+        self.total_op_latency += self._clock() - op.started_at
+        op.callback(result)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _on_delivery(self, message: Message) -> None:
+        if message.receiver < 0:
+            self.replicas[-message.receiver - 1].handle(
+                message, self.network, self._initial_of
+            )
+            return
+        op = self._ops.get(message.payload[0])
+        if op is None or op.done:
+            return  # late ack of a completed phase
+        if message.kind == "abd.read-reply":
+            self._on_read_reply(op, message)
+        elif message.kind == "abd.write-ack":
+            self._on_write_ack(op, message)
+
+    def _on_read_reply(self, op: _PendingOp, message: Message) -> None:
+        if op.phase != "query":
+            return
+        _, name, ts, value = message.payload
+        replica_index = -message.sender - 1
+        if replica_index in op.replies:
+            return
+        op.replies.add(replica_index)
+        if ts > op.best_ts:
+            op.best_ts, op.best_value = ts, value
+        if len(op.replies) < self.config.majority:
+            return
+        if op.kind == "read":
+            self._complete_read(op)
+        elif op.kind == "mwmr-write":
+            self._enter_write(op, (op.best_ts[0] + 1, op.pid))
+        else:  # fetch-add: write value + amount, return the old value
+            op.value = op.best_value + op.amount
+            self._enter_write(op, (op.best_ts[0] + 1, op.pid))
+
+    def _on_write_ack(self, op: _PendingOp, message: Message) -> None:
+        _, name, ts = message.payload
+        if op.phase != "write" or ts != op.ts:
+            return
+        replica_index = -message.sender - 1
+        op.replies.add(replica_index)
+        if len(op.replies) < self.config.majority:
+            return
+        self._complete_write(op)
+
+    # ------------------------------------------------------------------
+    # Completions (the linearization points of the emulated history)
+    # ------------------------------------------------------------------
+    def _complete_read(self, op: _PendingOp) -> None:
+        register = op.register
+        self._note_read(register.name, op.pid)
+        if isinstance(register, AtomicRegister):
+            register._reads += 1  # keep the per-register counter exact
+        self.reads_completed += 1
+        self._finish(op, op.best_value)
+
+    def _complete_write(self, op: _PendingOp) -> None:
+        register = op.register
+        self.writes_completed += 1
+        if op.kind == "fetch-add":
+            # One counted read + one counted write, like the shared
+            # fetch&add; the local mirror takes the written value.
+            self._note_read(register.name, op.pid)
+            register.poke(op.value)
+            self._note_write(register.name, op.pid, op.value, critical=register.critical)
+            self._finish(op, op.value - op.amount)
+        else:
+            register.write(op.pid, op.value)  # mirror + accounting + owner check
+            self._finish(op, None)
+
+
+__all__ = ["EmulatedMemory", "EmulationConfig", "LINK_MODELS", "ReplicaNode"]

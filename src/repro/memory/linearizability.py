@@ -46,6 +46,7 @@ class LinearizabilityReport:
     ops_checked: int = 0
 
     def summary(self) -> str:
+        """One-paragraph human-readable verdict (first 10 violations)."""
         if self.ok:
             return (
                 f"linearizable: {self.ops_checked} ops over "

@@ -17,7 +17,11 @@ network analogue of :mod:`repro.memory`:
 * full traffic accounting, mirroring the shared-memory access logs, so
   the same censuses (who sends forever, convergence times) apply.
 
-:mod:`repro.related` builds the related-work Omega algorithms on top.
+Two subsystems build on top: :mod:`repro.related` (the related-work
+Omega algorithms as :class:`MpProcess` subclasses) and
+:mod:`repro.memory.emulated` (the ABD-style quorum emulation of the
+paper's 1WMR registers, which turns every shared-memory algorithm in
+the repo into a message-passing experiment).
 """
 
 from repro.netsim.network import (
@@ -26,6 +30,9 @@ from repro.netsim.network import (
     FairLossyLinks,
     Message,
     Network,
+    RampLinks,
+    SourceChurnLinks,
+    SynchronousLinks,
     TimelyLinks,
 )
 from repro.netsim.runtime import MpProcess, MpRun, MpRunResult
@@ -39,5 +46,8 @@ __all__ = [
     "MpRun",
     "MpRunResult",
     "Network",
+    "RampLinks",
+    "SourceChurnLinks",
+    "SynchronousLinks",
     "TimelyLinks",
 ]

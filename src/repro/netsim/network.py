@@ -1,10 +1,15 @@
 """Point-to-point channels with pluggable timing and loss.
 
 A channel behaviour answers one question per message: *when* does it
-arrive (or ``None`` for a drop).  The three shipped behaviours span the
+arrive (or ``None`` for a drop).  The shipped behaviours span the
 assumptions the related work uses:
 
+* :class:`SynchronousLinks` -- a deterministic fixed delay on every
+  link (the reference model for backend-equivalence tests of the
+  register emulation, :mod:`repro.memory.emulated`);
 * :class:`TimelyLinks` -- always-bounded delays (synchronous control);
+* :class:`RampLinks` -- delays decaying linearly to timely at a GST
+  (the message-passing twin of the PR 2 ``GstRampDelay`` adversary);
 * :class:`FairLossyLinks` -- arbitrary finite delays and probabilistic
   drops, but infinitely many messages get through (the fair-lossy
   channels of [2]);
@@ -44,6 +49,69 @@ class ChannelBehavior(Protocol):
         ...
 
 
+class SynchronousLinks:
+    """Deterministic fixed one-way delay on every link, no loss.
+
+    The strongest (and simplest) link model: every message arrives
+    exactly ``delta`` after it is sent.  It draws no randomness at all,
+    which makes it the reference model for backend-equivalence tests --
+    a run whose registers are emulated over synchronous links consumes
+    exactly the same random streams as a shared-memory run of the same
+    seed, so the two must elect the same leader.
+    """
+
+    def __init__(self, delta: float = 0.25) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+
+    def delivery_delay(self, message: Message) -> Optional[float]:
+        """Always ``delta``; never a drop."""
+        return self.delta
+
+
+class RampLinks:
+    """Link delays that shrink linearly until a GST, then stay timely.
+
+    The message-passing twin of
+    :class:`repro.sim.schedulers.GstRampDelay` (the PR 2 adversary):
+    instead of asynchrony switching off at an unknown global
+    stabilization time, the delay scale decays *gradually* from
+    ``start_scale``x down to 1x at ``gst`` -- a moving target for any
+    protocol phase that must collect a quorum.  From ``gst`` on, every
+    link is timely in ``[lo, hi]``.
+    """
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        gst: float,
+        start_scale: float = 8.0,
+        lo: float = 0.5,
+        hi: float = 2.0,
+    ) -> None:
+        if not 0 < lo <= hi:
+            raise ValueError("need 0 < lo <= hi")
+        if gst < 0 or start_scale < 1.0:
+            raise ValueError("need gst >= 0 and start_scale >= 1")
+        self.gst = gst
+        self.start_scale = start_scale
+        self.lo, self.hi = lo, hi
+        self._rng = rng
+
+    def scale_at(self, time: float) -> float:
+        """The delay multiplier in effect at ``time`` (1.0 from gst on)."""
+        if self.gst <= 0 or time >= self.gst:
+            return 1.0
+        frac = time / self.gst
+        return self.start_scale + (1.0 - self.start_scale) * frac
+
+    def delivery_delay(self, message: Message) -> Optional[float]:
+        """A timely draw scaled by the ramp at the send instant."""
+        stream = self._rng.stream(f"link:{message.sender}->{message.receiver}")
+        return stream.uniform(self.lo, self.hi) * self.scale_at(message.sent_at)
+
+
 class TimelyLinks:
     """Uniformly bounded delays on every link, no loss."""
 
@@ -54,6 +122,7 @@ class TimelyLinks:
         self._rng = rng
 
     def delivery_delay(self, message: Message) -> Optional[float]:
+        """A uniform draw in ``[lo, hi]``; never a drop."""
         stream = self._rng.stream(f"link:{message.sender}->{message.receiver}")
         return stream.uniform(self.lo, self.hi)
 
@@ -83,6 +152,7 @@ class FairLossyLinks:
         self._rng = rng
 
     def delivery_delay(self, message: Message) -> Optional[float]:
+        """Drop with probability ``loss``; otherwise an arbitrary finite delay."""
         stream = self._rng.stream(f"link:{message.sender}->{message.receiver}")
         if stream.random() < self.loss:
             return None
@@ -118,6 +188,7 @@ class EventuallyTimelyLinks:
         self._rng = rng
 
     def delivery_delay(self, message: Message) -> Optional[float]:
+        """Timely for post-gst source traffic; ``base`` for everything else."""
         if message.sender in self.sources and message.sent_at >= self.gst:
             stream = self._rng.stream(f"timely:{message.sender}->{message.receiver}")
             return stream.uniform(self.timely_lo, self.timely_hi)
@@ -168,6 +239,7 @@ class SourceChurnLinks:
         return self.rotation[int(time // self.epoch) % len(self.rotation)]
 
     def delivery_delay(self, message: Message) -> Optional[float]:
+        """Timely for the epoch's rotating source set; ``base`` otherwise."""
         if message.sender in self.sources_at(message.sent_at):
             stream = self._rng.stream(f"timely:{message.sender}->{message.receiver}")
             return stream.uniform(self.timely_lo, self.timely_hi)
@@ -220,6 +292,7 @@ class Network:
 
     @property
     def total_sent(self) -> int:
+        """Messages handed to the network across all senders."""
         return sum(self.sent_by_pid.values())
 
 
@@ -229,6 +302,8 @@ __all__ = [
     "FairLossyLinks",
     "Message",
     "Network",
+    "RampLinks",
     "SourceChurnLinks",
+    "SynchronousLinks",
     "TimelyLinks",
 ]

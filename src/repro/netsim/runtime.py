@@ -88,6 +88,7 @@ class MpRunResult:
     processes: List[MpProcess]
 
     def stabilization(self, margin: float = 0.0) -> Any:
+        """Eventual-leadership verdict (see :mod:`repro.analysis.omega_props`)."""
         from repro.analysis.omega_props import check_eventual_leadership
 
         return check_eventual_leadership(self.trace, self.crash_plan, self.horizon, margin=margin)
@@ -129,6 +130,7 @@ class MpRun:
 
     # ------------------------------------------------------------------
     def set_timer(self, pid: int, tag: str, delay: float) -> None:
+        """(Re-)arm one process's named timer (cancels the previous one)."""
         if delay <= 0:
             raise ValueError("timer delay must be positive")
         key = (pid, tag)
@@ -168,6 +170,7 @@ class MpRun:
 
     # ------------------------------------------------------------------
     def execute(self) -> MpRunResult:
+        """Run to the horizon and return the result bundle."""
         self._install_crashes()
         for pid, proc in enumerate(self.processes):
             if not self.crash_plan.is_crashed(pid, 0.0):

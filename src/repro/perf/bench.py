@@ -6,7 +6,10 @@ Three families, mirroring the layers of the simulation core:
   queue and the fused run loop, with and without cancellation handles;
 * **per-scenario run time** -- wall seconds (and derived events/second)
   of a nominal ``alg1`` election at a fixed seed, in both the traced and
-  the low-overhead run mode;
+  the low-overhead run mode, plus the same election with the registers
+  realized by the ABD quorum emulation (the emulated-backend axis: its
+  event count multiplies with replica messages, so it tracks the
+  netsim/emulation hot path rather than the register fast path);
 * **sweep throughput** -- cells/second through the parallel experiment
   engine on a small uncached grid.
 
@@ -219,6 +222,15 @@ def _collect_full() -> List[BenchResult]:
             n=16, horizon=2000.0, fast=True, name="scenario_alg1_n16_fast_wall_s"
         )
     )
+    out.extend(
+        bench_scenario(
+            scenario="nominal-emulated",
+            n=8,
+            horizon=2000.0,
+            fast=True,
+            name="scenario_alg1_emulated_n8_wall_s",
+        )
+    )
     out.append(bench_sweep_throughput())
     return out
 
@@ -250,6 +262,16 @@ def _collect_quick() -> List[BenchResult]:
             repeats=2,
             fast=True,
             name="scenario_alg1_n8_fast_wall_s",
+        )
+    )
+    out.extend(
+        bench_scenario(
+            scenario="nominal-emulated",
+            n=4,
+            horizon=800.0,
+            repeats=2,
+            fast=True,
+            name="scenario_alg1_emulated_n4_wall_s",
         )
     )
     out.append(

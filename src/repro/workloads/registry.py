@@ -51,6 +51,13 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "async-bursts": scen_mod.async_bursts,
     "near-all-cascade": scen_mod.near_all_cascade,
     "timely-churn": scen_mod.timely_churn,
+    # The emulated-backend family: the registers realized by the ABD
+    # quorum emulation over message passing (repro.memory.emulated).
+    "nominal-emulated": scen_mod.nominal_emulated,
+    "leader-crash-emulated": scen_mod.leader_crash_emulated,
+    "replica-crash": scen_mod.replica_crash,
+    "emulated-lossy": scen_mod.emulated_lossy,
+    "emulated-gst-ramp": scen_mod.emulated_gst_ramp,
 }
 
 

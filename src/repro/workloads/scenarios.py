@@ -108,6 +108,13 @@ class Scenario:
     #: checkers (:mod:`repro.props`) expect an algorithm's claimed
     #: theorems only when this class covers the algorithm's requirement.
     assumption: str = "awb"
+    #: Memory backend the runs use (:data:`repro.memory.backend.BACKENDS`):
+    #: ``"shared"`` or ``"emulated"``.
+    memory: str = "shared"
+    #: Plain-dict :class:`~repro.memory.emulated.EmulationConfig` knobs
+    #: (replica count, link model, replica crashes); empty means the
+    #: emulation defaults, and it is ignored by the shared backend.
+    emulation: Dict[str, Any] = field(default_factory=dict)
     #: ``(factory_name, kwargs)`` attached by :func:`scenario_factory`;
     #: lets the parallel engine rebuild this scenario in a worker
     #: process.  ``None`` for hand-built instances (in-process only).
@@ -131,8 +138,15 @@ class Scenario:
             algo_config=dict(self.algo_config),
             log_reads=self.log_reads,
             trace_events=self.trace_events,
+            memory=self.memory,
+            emulation=dict(self.emulation) or None,
         )
         kwargs.update(overrides)
+        if kwargs.get("memory") == "shared":
+            # Forcing an emulated scenario back onto the shared backend
+            # (e.g. ``repro run --memory shared``) drops the emulation
+            # knobs instead of tripping the dead-configuration guard.
+            kwargs["emulation"] = None
         return Run(algorithm_cls, self.n, **kwargs)
 
     def run(self, algorithm_cls: Type[OmegaAlgorithm], seed: int = 0, **overrides: Any) -> RunResult:
@@ -638,6 +652,228 @@ def timely_churn(
     )
 
 
+# ----------------------------------------------------------------------
+# Emulated-backend family: the same environments with the registers
+# realized by the ABD quorum emulation over message passing
+# (:mod:`repro.memory.emulated`).  Horizons are scaled up because every
+# register access now costs a quorum round trip on top of the step
+# delay; margins scale with them.
+# ----------------------------------------------------------------------
+def _emulation_knobs(
+    replicas: int, links: str, delta: float, **extra: Any
+) -> Dict[str, Any]:
+    """Assemble the plain-dict emulation config the factories share."""
+    knobs: Dict[str, Any] = {"replicas": replicas, "links": links}
+    if links == "sync":
+        knobs["link_params"] = {"delta": delta}
+    knobs.update(extra)
+    return knobs
+
+
+@scenario_factory
+def nominal_emulated(
+    n: int = 4,
+    horizon: float = 6000.0,
+    replicas: int = 3,
+    links: str = "sync",
+    delta: float = 0.25,
+) -> Scenario:
+    """:func:`nominal` with ABD-emulated registers.
+
+    The baseline emulated workload and one half of the
+    backend-equivalence pair: under the deterministic ``sync`` link
+    model the run consumes exactly the same random streams as the
+    shared-memory run of the same seed, so Algorithm 1 must elect the
+    same leader.
+    """
+    return Scenario(
+        name=f"nominal-emulated-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"nominal over {replicas}-replica ABD emulation, {links} links"
+        ),
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        margin=horizon * 0.1,
+        memory="emulated",
+        emulation=_emulation_knobs(replicas, links, delta),
+    )
+
+
+@scenario_factory
+def leader_crash_emulated(
+    n: int = 4,
+    horizon: float = 9000.0,
+    crash_at_fraction: float = 0.35,
+    replicas: int = 3,
+    links: str = "sync",
+    delta: float = 0.25,
+) -> Scenario:
+    """:func:`leader_crash` with ABD-emulated registers.
+
+    The core liveness scenario on the message-passing substrate: the
+    stable leader crashes mid-run and the re-election must complete
+    through quorum rounds.
+    """
+    crash_at = horizon * crash_at_fraction
+    return Scenario(
+        name=f"leader-crash-emulated-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"pid 0 crashes at t={crash_at:.0f}; {replicas}-replica ABD "
+            f"emulation, {links} links"
+        ),
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        make_crash_plan=lambda rng: CrashPlan.single(n, 0, crash_at),
+        margin=horizon * 0.05,
+        memory="emulated",
+        emulation=_emulation_knobs(replicas, links, delta),
+    )
+
+
+@scenario_factory
+def replica_crash(
+    n: int = 4,
+    horizon: float = 9000.0,
+    replicas: int = 5,
+    crash_replicas: int = 2,
+    crash_at_fraction: float = 0.25,
+    crash_spacing: float = 50.0,
+    delta: float = 0.25,
+) -> Scenario:
+    """A minority of *replica nodes* crash-stops mid-run.
+
+    The fault axis no shared-memory scenario can express: the processes
+    all stay correct, but the substrate under them degrades.  ABD
+    quorums tolerate any minority of replica crashes, so the election
+    must neither stall nor churn while acks thin out.
+    """
+    if crash_replicas > (replicas - 1) // 2:
+        raise ValueError(
+            f"crashing {crash_replicas} of {replicas} replicas would kill the majority"
+        )
+    start = horizon * crash_at_fraction
+    crash_times = {
+        str(i): start + i * crash_spacing for i in range(crash_replicas)
+    }
+    return Scenario(
+        name=f"replica-crash-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"{crash_replicas} of {replicas} ABD replicas crash from "
+            f"t={start:.0f}; all processes correct"
+        ),
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        margin=horizon * 0.05,
+        memory="emulated",
+        emulation=_emulation_knobs(
+            replicas, "sync", delta, replica_crash_times=crash_times
+        ),
+    )
+
+
+@scenario_factory
+def emulated_lossy(
+    n: int = 3,
+    horizon: float = 9000.0,
+    replicas: int = 3,
+    loss: float = 0.1,
+    retry_interval: float = 10.0,
+) -> Scenario:
+    """ABD emulation over fair-lossy links (retransmission stress).
+
+    Quorum phases must survive dropped messages via periodic
+    retransmission to unacked replicas; delays are arbitrary but
+    finite, so AWB still holds and the election must stabilize.
+    """
+    return Scenario(
+        name=f"emulated-lossy-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"{replicas}-replica ABD emulation over fair-lossy links "
+            f"(loss {loss:g}, retry every {retry_interval:g})"
+        ),
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        margin=horizon * 0.05,
+        memory="emulated",
+        emulation={
+            "replicas": replicas,
+            "links": "lossy",
+            "link_params": {"loss": loss, "lo": 0.5, "hi": 4.0, "cap": 8.0},
+            "retry_interval": retry_interval,
+        },
+    )
+
+
+@scenario_factory
+def emulated_gst_ramp(
+    n: int = 4,
+    horizon: float = 10000.0,
+    replicas: int = 3,
+    gst_fraction: float = 0.3,
+    start_scale: float = 6.0,
+) -> Scenario:
+    """ABD emulation over links that only *gradually* become timely.
+
+    The PR 2 GST-ramp adversary ported to the substrate: quorum round
+    trips shrink linearly until the GST, so early elections are built
+    on slow, moving evidence.  AWB holds from the ramp's end and the
+    election must settle.
+    """
+    gst = horizon * gst_fraction
+    return Scenario(
+        name=f"emulated-gst-ramp-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"{replicas}-replica ABD emulation; link delays shrink from "
+            f"{start_scale:g}x until t={gst:.0f}"
+        ),
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0, jitter=0.5),
+        margin=horizon * 0.05,
+        memory="emulated",
+        emulation={
+            "replicas": replicas,
+            "links": "gst-ramp",
+            "link_params": {
+                "gst": gst,
+                "start_scale": start_scale,
+                "lo": 0.25,
+                "hi": 1.0,
+            },
+        },
+    )
+
+
+#: Backend-equivalence cells: ``(algorithm registry name, shared
+#: factory, emulated factory, seed)``.  On the deterministic ``sync``
+#: link model an emulated run consumes exactly the same random streams
+#: as the shared run of the same seed, but the elected leader still
+#: depends on suspicion *dynamics*, which shift with operation latency
+#: -- so exact leader equivalence is a per-cell deterministic fact
+#: rather than a universal law.  These cells are verified to elect
+#: identical leaders on both backends, and the simulator is
+#: deterministic, so they match forever.  Pinned here once; the
+#: equivalence test (``tests/core/test_emulated_run.py``) and the
+#: ``EMU_equivalence`` bench both import this list.
+BACKEND_EQUIVALENCE_CELLS: Tuple[Tuple[str, Any, Any, int], ...] = (
+    ("alg1", nominal, nominal_emulated, 0),
+    ("alg1", nominal, nominal_emulated, 2),
+    ("alg1", leader_crash, leader_crash_emulated, 2),
+    ("alg1-nwnr", nominal, nominal_emulated, 1),
+    ("alg1-nwnr", leader_crash, leader_crash_emulated, 0),
+    ("alg1-no-timer", leader_crash, leader_crash_emulated, 1),
+)
+
+
 _F_KINDS: Dict[str, Callable[[float], Any]] = {
     "linear": LinearF,
     "sqrt": SqrtF,
@@ -730,6 +966,7 @@ def ablation(
 
 
 __all__ = [
+    "BACKEND_EQUIVALENCE_CELLS",
     "Scenario",
     "ablation",
     "all_but_one",
@@ -738,13 +975,18 @@ __all__ = [
     "capped_timers",
     "cascade",
     "chaotic_timers",
+    "emulated_gst_ramp",
+    "emulated_lossy",
     "ev_sync",
     "gst_ramp",
     "leader_crash",
+    "leader_crash_emulated",
     "leader_storm",
     "near_all_cascade",
     "nominal",
+    "nominal_emulated",
     "random_faults",
+    "replica_crash",
     "san",
     "scenario_factory",
     "scramble_registers",

@@ -128,6 +128,8 @@ def _ref_is_faithful(scenario: Scenario) -> bool:
         "trace_events",
         "margin",
         "assumption",
+        "memory",
+        "emulation",
     )
     callables = ("make_delay", "make_timers", "make_crash_plan", "make_disk", "scramble")
     return all(

@@ -1,0 +1,105 @@
+"""End-to-end runs on the emulated backend: liveness, theorems, equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import Run
+from repro.memory.emulated import EmulatedMemory
+from repro.workloads.registry import ALGORITHMS
+from repro.workloads.scenarios import (
+    BACKEND_EQUIVALENCE_CELLS,
+    emulated_lossy,
+    leader_crash,
+    leader_crash_emulated,
+    nominal,
+    nominal_emulated,
+    replica_crash,
+)
+
+
+@pytest.mark.parametrize("algo", ["alg1", "alg2", "alg1-nwnr", "alg1-no-timer"])
+def test_nominal_emulated_stabilizes_clean(algo):
+    """Acceptance: every algorithm stabilizes with zero T1-T4 violations."""
+    scen = nominal_emulated(n=4)
+    result = scen.run(ALGORITHMS[algo], seed=0)
+    assert result.memory_backend == "emulated"
+    assert isinstance(result.memory, EmulatedMemory)
+    report = result.stabilization(margin=scen.margin)
+    assert report.stabilized and report.leader_correct
+    props = result.check_properties(assumption=scen.assumption, margin=scen.margin)
+    assert props.violations() == []
+    assert result.memory.network.total_sent > 0
+
+
+@pytest.mark.parametrize("algo", ["alg1", "alg2"])
+def test_leader_crash_emulated_reelects_clean(algo):
+    scen = leader_crash_emulated(n=4)
+    result = scen.run(ALGORITHMS[algo], seed=0)
+    report = result.stabilization(margin=scen.margin)
+    assert report.stabilized and report.leader != 0 and report.leader_correct
+    props = result.check_properties(assumption=scen.assumption, margin=scen.margin)
+    assert props.violations() == []
+
+
+@pytest.mark.parametrize(
+    "algo,shared_factory,emulated_factory,seed",
+    BACKEND_EQUIVALENCE_CELLS,
+    ids=[f"{a}-{sf.__name__}-s{s}" for a, sf, _, s in BACKEND_EQUIVALENCE_CELLS],
+)
+def test_backend_equivalence_identical_leaders(algo, shared_factory, emulated_factory, seed):
+    """Acceptance: same seed, sync links -> identical elected leaders."""
+    cls = ALGORITHMS[algo]
+    shared = shared_factory(n=4).run(cls, seed=seed).final_leaders()
+    emulated = emulated_factory(n=4).run(cls, seed=seed).final_leaders()
+    assert shared == emulated
+
+
+def test_replica_crash_scenario_survives():
+    scen = replica_crash(n=4)
+    result = scen.run(ALGORITHMS["alg1"], seed=1)
+    assert result.memory.live_replicas == 3  # 2 of 5 crashed
+    report = result.stabilization(margin=scen.margin)
+    assert report.stabilized and report.leader_correct
+    assert result.check_properties(margin=scen.margin).violations() == []
+
+
+def test_lossy_scenario_retransmits_and_stabilizes():
+    scen = emulated_lossy(n=3)
+    result = scen.run(ALGORITHMS["alg1"], seed=0)
+    assert result.memory.network.dropped > 0
+    assert result.memory.retransmissions > 0
+    report = result.stabilization(margin=scen.margin)
+    assert report.stabilized and report.leader_correct
+
+
+def test_emulated_run_blocks_are_intervals():
+    """Operation latency is visible: emulated runs fire far more events."""
+    shared = Run(ALGORITHMS["alg1"], n=3, seed=0, horizon=500.0).execute()
+    emulated = Run(
+        ALGORITHMS["alg1"], n=3, seed=0, horizon=500.0, memory="emulated"
+    ).execute()
+    assert emulated.sim.events_fired > 2 * shared.sim.events_fired
+    assert emulated.memory.total_op_latency > 0
+
+
+def test_run_rejects_emulated_plus_disk():
+    from repro.memory.disk import Disk, LatencyModel
+    from repro.sim.rng import RngRegistry
+
+    disk = Disk(LatencyModel(RngRegistry(0), lo=1.0, hi=2.0))
+    with pytest.raises(ValueError, match="pick one"):
+        Run(ALGORITHMS["alg1"], n=3, memory="emulated", disk=disk)
+
+
+def test_run_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown memory backend"):
+        Run(ALGORITHMS["alg1"], n=3, memory="astral")
+
+
+def test_scenario_override_back_to_shared_drops_emulation_knobs():
+    """``repro run --memory shared`` on an emulated scenario must work."""
+    scen = nominal_emulated(n=3, horizon=800.0)
+    result = scen.run(ALGORITHMS["alg1"], seed=0, memory="shared")
+    assert result.memory_backend == "shared"
+    assert not isinstance(result.memory, EmulatedMemory)

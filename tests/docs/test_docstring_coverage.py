@@ -1,0 +1,74 @@
+"""Docstring-coverage gate (the repo's ``interrogate`` equivalent).
+
+``tools/docstring_coverage.py`` walks the AST and counts docstrings on
+public modules, classes and functions.  The three packages this PR's
+documentation pass covered -- ``repro.memory``, ``repro.netsim`` and
+``repro.engine`` -- are pinned at 100%; the whole ``src/`` tree must
+stay above a floor so new code cannot land silently undocumented.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_tool():
+    """Import tools/docstring_coverage.py by file path (not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "docstring_coverage", REPO_ROOT / "tools" / "docstring_coverage.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Dataclass processing resolves the defining module through
+    # sys.modules, so register before executing.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+tool = _load_tool()
+
+
+def test_documented_packages_at_full_coverage():
+    report = tool.scan_paths(
+        [
+            REPO_ROOT / "src" / "repro" / "memory",
+            REPO_ROOT / "src" / "repro" / "netsim",
+            REPO_ROOT / "src" / "repro" / "engine",
+        ]
+    )
+    assert report.percent == 100.0, "undocumented:\n" + "\n".join(report.missing)
+
+
+def test_whole_tree_above_floor():
+    """Floor for the whole tree (many misses are interface-method
+    overrides documented on their base class, so the floor is below the
+    per-package 100% pins)."""
+    report = tool.scan_paths([REPO_ROOT / "src" / "repro"])
+    assert report.percent >= 80.0, (
+        f"src/repro docstring coverage fell to {report.percent:.1f}%:\n"
+        + "\n".join(report.missing)
+    )
+
+
+def test_cli_entry_point_works():
+    assert (
+        tool.main(
+            [str(REPO_ROOT / "src" / "repro" / "memory"), "--fail-under", "100", "--quiet"]
+        )
+        == 0
+    )
+    assert tool.main([str(REPO_ROOT / "src"), "--fail-under", "100.1", "--quiet"]) == 1
+
+
+def test_tool_counts_misses(tmp_path):
+    sample = tmp_path / "sample.py"
+    sample.write_text(
+        '"""Module doc."""\n\n\ndef documented():\n    """Doc."""\n\n\ndef bare():\n    pass\n\n\ndef _private():\n    pass\n'
+    )
+    report = tool.scan_paths([sample])
+    assert (report.total, report.documented) == (3, 2)
+    assert len(report.missing) == 1 and "bare" in report.missing[0]

@@ -1,0 +1,45 @@
+"""Doc-drift guard: every ``examples/*.py`` must actually run.
+
+Examples are executable documentation; an API change that breaks one
+must break the build, not the next reader.  Each example runs in a
+subprocess (its own interpreter, like a reader would run it) with the
+checkout's ``src/`` on the path.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    """The examples directory must not silently empty out."""
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=[p.name for p in EXAMPLES])
+def test_example_runs_clean(example: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{example.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )

@@ -1,0 +1,98 @@
+"""The memory-backend axis through the parallel experiment engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.driver import run_experiment
+from repro.engine.spec import ExperimentSpec
+from repro.engine.summary import RunSummary
+from repro.engine.worker import run_cell
+from repro.workloads.registry import ALGORITHMS
+from repro.workloads.scenarios import nominal, nominal_emulated
+
+
+def small_spec(**kwargs) -> ExperimentSpec:
+    return ExperimentSpec.from_objects(
+        "emu-test",
+        {"alg1": ALGORITHMS["alg1"]},
+        [nominal(n=3, horizon=800.0)],
+        [0],
+        **kwargs,
+    )
+
+
+def test_spec_memory_default_and_payload():
+    spec = small_spec()
+    assert spec.memory is None  # None = leave each scenario's choice in force
+    assert spec.to_payload()["memory"] is None
+    assert small_spec(memory="emulated").to_payload()["memory"] == "emulated"
+
+
+def test_spec_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown memory backend"):
+        small_spec(memory="astral")
+
+
+def test_memory_axis_changes_content_hash():
+    assert small_spec().content_hash() != small_spec(memory="emulated").content_hash()
+
+
+def test_worker_forces_backend_onto_cell():
+    spec = small_spec(memory="emulated")
+    summary = run_cell(spec.cells()[0], memory=spec.memory)
+    assert summary.memory_backend == "emulated"
+    assert summary.messages_sent > 0
+    assert summary.stabilized
+
+
+def test_worker_default_keeps_scenario_backend():
+    spec = ExperimentSpec.from_objects(
+        "emu-test",
+        {"alg1": ALGORITHMS["alg1"]},
+        [nominal_emulated(n=3, horizon=1500.0)],
+        [0],
+    )
+    assert spec.memory is None  # the default override is "no override"
+    summary = run_cell(spec.cells()[0], memory=spec.memory)
+    assert summary.memory_backend == "emulated"
+
+
+def test_worker_can_force_shared_onto_emulated_scenario():
+    """``--memory shared`` must actually strip the emulation."""
+    spec = ExperimentSpec.from_objects(
+        "emu-test",
+        {"alg1": ALGORITHMS["alg1"]},
+        [nominal_emulated(n=3, horizon=1500.0)],
+        [0],
+        memory="shared",
+    )
+    summary = run_cell(spec.cells()[0], memory=spec.memory)
+    assert summary.memory_backend == "shared"
+    assert summary.messages_sent == 0
+
+
+def test_emulated_grid_through_driver_parallel(tmp_path):
+    spec = ExperimentSpec.from_objects(
+        "emu-grid",
+        {"alg1": ALGORITHMS["alg1"], "alg2": ALGORITHMS["alg2"]},
+        [nominal_emulated(n=3, horizon=1500.0)],
+        [0, 1],
+    )
+    report = run_experiment(spec, jobs=2, cache=True, results_dir=tmp_path)
+    assert len(report.rows) == 4
+    assert all(row.memory_backend == "emulated" for row in report.rows)
+    assert all(row.stabilized for row in report.rows)
+    # A second run of the same spec is served entirely from the cache,
+    # and cached rows keep the backend fields through JSONL round-trip.
+    again = run_experiment(spec, jobs=2, cache=True, results_dir=tmp_path)
+    assert again.cache_hits == 4 and again.executed == 0
+    assert again.rows == report.rows
+
+
+def test_summary_backend_fields_round_trip_jsonl():
+    summary = run_cell(small_spec(memory="emulated").cells()[0], memory="emulated")
+    restored = RunSummary.from_jsonable(summary.to_jsonable())
+    assert restored.memory_backend == "emulated"
+    assert restored.messages_sent == summary.messages_sent
+    assert restored == summary

@@ -1,0 +1,184 @@
+"""Unit tests of the ABD quorum emulation (no process runtime)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.emulated import EmulatedMemory, EmulationConfig, LINK_MODELS
+from repro.memory.register import OwnershipError
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def make_memory(seed: int = 7, **knobs):
+    """A started EmulatedMemory with one register PROG owned by pid 0."""
+    sim = Simulator()
+    mem = EmulatedMemory(
+        clock=lambda: sim.now,
+        sim=sim,
+        rng=RngRegistry(seed),
+        config=EmulationConfig.from_dict(knobs),
+    )
+    reg = mem.create_register("PROG", owner=0, initial=0, critical=True)
+    mem.start(horizon=10_000.0)
+    return sim, mem, reg
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+def test_config_defaults_round_trip():
+    config = EmulationConfig()
+    assert EmulationConfig.from_dict(config.to_dict()) == config
+
+
+def test_config_rejects_unknown_options():
+    with pytest.raises(ValueError, match="unknown emulation option"):
+        EmulationConfig.from_dict({"replica": 3})
+
+
+def test_config_rejects_unknown_link_model():
+    with pytest.raises(ValueError, match="unknown link model"):
+        EmulationConfig(links="carrier-pigeon")
+
+
+def test_config_rejects_majority_crash():
+    with pytest.raises(ValueError, match="minority"):
+        EmulationConfig(replicas=3, replica_crash_times=((0, 5.0), (1, 6.0)))
+
+
+def test_config_minority_crash_allowed():
+    config = EmulationConfig(replicas=5, replica_crash_times=((0, 5.0), (1, 6.0)))
+    assert config.majority == 3
+
+
+def test_link_model_registry_covers_adversaries():
+    assert {"sync", "timely", "lossy", "gst-ramp"} <= set(LINK_MODELS)
+
+
+# ----------------------------------------------------------------------
+# Quorum operations
+# ----------------------------------------------------------------------
+def test_write_completes_on_majority_and_mirrors_locally():
+    sim, mem, reg = make_memory()
+    done = []
+    mem.emu_write(0, reg, 42, done.append)
+    assert reg.peek() == 0  # not yet: acks in flight
+    sim.run(until=5.0)
+    assert done == [None]
+    assert reg.peek() == 42  # local mirror updated at quorum time
+    assert [rec.value for rec in mem.write_log] == [42]
+    assert mem.writes_completed == 1
+    # All three replicas eventually hold the value.
+    assert all(r.store["PROG"][1] == 42 for r in mem.replicas)
+
+
+def test_read_returns_latest_completed_write():
+    sim, mem, reg = make_memory()
+    mem.emu_write(0, reg, 7, lambda _: None)
+    sim.run(until=5.0)
+    got = []
+    mem.emu_read(3, reg, got.append)
+    sim.run(until=10.0)
+    assert got == [7]
+    assert mem.reads_by_pid[3] == 1
+    assert reg.read_count == 1  # the per-register counter stays exact
+
+
+def test_read_of_initial_value():
+    sim, mem, reg = make_memory()
+    got = []
+    mem.emu_read(2, reg, got.append)
+    sim.run(until=5.0)
+    assert got == [0]
+
+
+def test_ownership_checked_synchronously():
+    sim, mem, reg = make_memory()
+    with pytest.raises(OwnershipError):
+        mem.emu_write(1, reg, 9, lambda _: None)
+    assert mem.total_writes == 0
+
+
+def test_timestamps_monotone_per_register():
+    sim, mem, reg = make_memory()
+    for value in (1, 2, 3):
+        mem.emu_write(0, reg, value, lambda _: None)
+        sim.run(until=sim.now + 5.0)
+    ts, stored = mem.replicas[0].store["PROG"]
+    assert stored == 3 and ts == (3, 0)
+
+
+def test_minority_replica_crash_tolerated():
+    sim, mem, reg = make_memory(replicas=3, replica_crash_times={"0": 1.0})
+    sim.run(until=2.0)  # let the replica crash
+    assert mem.live_replicas == 2
+    done = []
+    mem.emu_write(0, reg, 5, done.append)
+    got = []
+    mem.emu_read(1, reg, got.append)
+    sim.run(until=10.0)
+    assert done == [None] and got and got[0] in (0, 5)
+
+
+def test_lossy_links_complete_via_retransmission():
+    sim, mem, reg = make_memory(
+        links="lossy",
+        link_params={"loss": 0.4, "lo": 0.5, "hi": 2.0, "cap": 4.0},
+        retry_interval=5.0,
+    )
+    done = []
+    for value in (1, 2):
+        mem.emu_write(0, reg, value, done.append)
+        sim.run(until=sim.now + 200.0)
+    assert done == [None, None]
+    assert reg.peek() == 2
+
+
+def test_mwmr_write_and_fetch_add():
+    sim = Simulator()
+    mem = EmulatedMemory(clock=lambda: sim.now, sim=sim, rng=RngRegistry(3))
+    counter = mem.create_mwmr("SUSP", initial=0)
+    mem.start(horizon=1000.0)
+    old = []
+    mem.emu_fetch_add(1, counter, 1, old.append)
+    sim.run(until=10.0)
+    mem.emu_fetch_add(2, counter, 1, old.append)
+    sim.run(until=20.0)
+    assert old == [0, 1]
+    assert counter.peek() == 2
+    # fetch&add counts one read plus one write, like the shared backend.
+    assert mem.total_reads == 2 and mem.total_writes == 2
+    done = []
+    mem.emu_write(3, counter, 10, done.append)
+    sim.run(until=30.0)
+    assert done == [None] and counter.peek() == 10
+
+
+def test_start_twice_rejected():
+    sim, mem, _ = make_memory()
+    with pytest.raises(RuntimeError, match="already started"):
+        mem.start(horizon=1.0)
+
+
+def test_operations_before_start_rejected():
+    """Without replicas an op would hang forever; it must raise instead."""
+    sim = Simulator()
+    mem = EmulatedMemory(clock=lambda: sim.now, sim=sim, rng=RngRegistry(1))
+    reg = mem.create_register("R", owner=0, initial=0)
+    with pytest.raises(RuntimeError, match="not started"):
+        mem.emu_read(0, reg, lambda _: None)
+    with pytest.raises(RuntimeError, match="not started"):
+        mem.emu_write(0, reg, 1, lambda _: None)
+
+
+def test_scrambled_initial_values_seed_replicas():
+    sim = Simulator()
+    mem = EmulatedMemory(clock=lambda: sim.now, sim=sim, rng=RngRegistry(5))
+    reg = mem.create_register("R", owner=0, initial=0)
+    reg.poke(99)  # scenario scrambling happens before start()
+    mem.start(horizon=1000.0)
+    got = []
+    mem.emu_read(1, reg, got.append)
+    sim.run(until=5.0)
+    assert got == [99]

@@ -51,6 +51,24 @@ class TestParser:
         assert build_parser().parse_args(["sweep"]).traced is False
         assert build_parser().parse_args(["sweep", "--traced"]).traced is True
 
+    def test_memory_flags(self):
+        assert build_parser().parse_args(["sweep"]).memory is None
+        assert (
+            build_parser().parse_args(["sweep", "--memory", "shared"]).memory
+            == "shared"
+        )
+        assert (
+            build_parser().parse_args(["sweep", "--memory", "emulated"]).memory
+            == "emulated"
+        )
+        assert build_parser().parse_args(["run"]).memory is None
+        assert (
+            build_parser().parse_args(["run", "--memory", "emulated"]).memory
+            == "emulated"
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--memory", "astral"])
+
     def test_perf_defaults(self):
         args = build_parser().parse_args(["perf"])
         assert args.profile == "full"
@@ -139,6 +157,31 @@ class TestCommands:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "0 executed" in out and "2 from cache" in out
+
+    def test_sweep_memory_emulated(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--algorithms", "alg1", "--scenarios", "nominal",
+             "--seeds", "0", "--n", "3", "--horizon", "1000",
+             "--memory", "emulated", "--jobs", "1", "--results-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out
+
+    def test_run_memory_override(self, capsys):
+        assert main(
+            ["run", "--algorithm", "alg1", "--scenario", "nominal", "--seed", "0",
+             "--n", "3", "--horizon", "1000", "--memory", "emulated"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "emulated memory" in out and "stabilized: True" in out
+
+    def test_run_memory_conflict_is_friendly(self, capsys):
+        # The SAN scenario uses the disk model; forcing the emulated
+        # backend on top must produce a CLI error, not a traceback.
+        code = main(["run", "--scenario", "san", "--memory", "emulated"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "repro run: error:" in captured.err and "pick one" in captured.err
 
     def test_sweep_reports_cell_failures(self, capsys, tmp_path):
         code = main(

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Docstring-coverage checker (stdlib-only ``interrogate`` equivalent).
+
+Walks the AST of every ``.py`` file under the given paths and counts
+docstrings on *public API surface*: modules, public classes, and public
+functions/methods (names not starting with ``_``, plus ``__init__``
+methods that take documented-worthy parameters are exempted -- the
+class docstring documents construction).  Nested (closure) functions
+are implementation detail and are not counted.
+
+Used two ways:
+
+* CI and developers: ``python tools/docstring_coverage.py --fail-under
+  100 src/repro/memory src/repro/netsim src/repro/engine``
+* the doc-drift guard: ``tests/docs/test_docstring_coverage.py``
+  imports :func:`scan_paths` and asserts the documented thresholds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+_Def = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef]
+
+
+@dataclass
+class CoverageReport:
+    """Totals plus the list of undocumented public definitions."""
+
+    total: int = 0
+    documented: int = 0
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def percent(self) -> float:
+        """Documented fraction in percent (an empty surface is 100%)."""
+        return 100.0 if self.total == 0 else 100.0 * self.documented / self.total
+
+    def merge(self, other: "CoverageReport") -> None:
+        """Fold another report's counts into this one."""
+        self.total += other.total
+        self.documented += other.documented
+        self.missing.extend(other.missing)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _count(node: ast.AST, qualname: str, path: Path, report: CoverageReport) -> None:
+    """Count one module/class body's direct public definitions."""
+    body = getattr(node, "body", [])
+    for child in body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not _is_public(child.name):
+                continue
+            label = f"{path}:{child.lineno} {qualname}{child.name}"
+            report.total += 1
+            if ast.get_docstring(child):
+                report.documented += 1
+            else:
+                report.missing.append(label)
+            if isinstance(child, ast.ClassDef):
+                _count(child, f"{qualname}{child.name}.", path, report)
+
+
+def scan_file(path: Path) -> CoverageReport:
+    """Coverage of one Python file (module docstring included)."""
+    report = CoverageReport()
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    report.total += 1
+    if ast.get_docstring(tree):
+        report.documented += 1
+    else:
+        report.missing.append(f"{path}:1 <module>")
+    _count(tree, "", path, report)
+    return report
+
+
+def scan_paths(paths: Iterable[Union[str, Path]]) -> CoverageReport:
+    """Aggregate coverage over files and directories (recursive)."""
+    report = CoverageReport()
+    for raw in paths:
+        path = Path(raw)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            report.merge(scan_file(file))
+    return report
+
+
+def main(argv: Union[List[str], None] = None) -> int:
+    """CLI entry point: print the summary, exit 1 below the threshold."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="files or directories to scan")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=100.0,
+        help="minimum coverage percent (default 100)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-miss listing"
+    )
+    args = parser.parse_args(argv)
+
+    report = scan_paths(args.paths)
+    if report.missing and not args.quiet:
+        print("undocumented public definitions:")
+        for miss in report.missing:
+            print(f"  {miss}")
+    print(
+        f"docstring coverage: {report.documented}/{report.total} "
+        f"({report.percent:.1f}%), threshold {args.fail_under:.1f}%"
+    )
+    return 0 if report.percent >= args.fail_under else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
