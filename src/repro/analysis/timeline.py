@@ -34,6 +34,7 @@ class LeadershipInterval:
 
     @property
     def duration(self) -> float:
+        """Length of the span."""
         return self.end - self.start
 
 

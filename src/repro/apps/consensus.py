@@ -161,6 +161,8 @@ class ConsensusProcess(OmegaAlgorithm):
 
     @classmethod
     def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> ConsensusShared:
+        """Lay out the embedded Omega's registers plus the Paxos block
+        and decision arrays (``config["omega_cls"]`` picks the oracle)."""
         omega_cls: Type[OmegaAlgorithm] = config.get("omega_cls", WriteEfficientOmega)
         return ConsensusShared(
             omega_cls=omega_cls,
@@ -172,21 +174,27 @@ class ConsensusProcess(OmegaAlgorithm):
 
     # -- delegate the election machinery --------------------------------
     def main_task(self) -> Task:
+        """The embedded Omega's main task (election runs unchanged)."""
         return self.omega.main_task()
 
     def timer_task(self) -> Optional[Task]:
+        """The embedded Omega's timer task."""
         return self.omega.timer_task()
 
     def initial_timeout(self) -> Optional[float]:
+        """The embedded Omega's initial timeout."""
         return self.omega.initial_timeout()
 
     def peek_leader(self) -> int:
+        """Uncounted observer view of the embedded Omega's leader."""
         return self.omega.peek_leader()
 
     def leader_query(self) -> Task:
+        """Counted in-protocol ``leader()`` query of the embedded Omega."""
         return self.omega.leader_query()
 
     def extra_tasks(self) -> List[Task]:
+        """The consensus proposer task alongside the Omega's own extras."""
         return [self._consensus_task()] + self.omega.extra_tasks()
 
     # -- the consensus task ---------------------------------------------

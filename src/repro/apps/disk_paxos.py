@@ -54,10 +54,12 @@ class DiskFleet:
 
     @property
     def m(self) -> int:
+        """Number of disks in the fleet."""
         return len(self.arrays)
 
     @property
     def majority(self) -> int:
+        """Quorum size: any two disk majorities intersect."""
         return self.m // 2 + 1
 
     def available(self, disk: int, now: float) -> bool:
@@ -184,6 +186,8 @@ class DiskPaxosProcess(OmegaAlgorithm):
 
     @classmethod
     def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> DiskPaxosShared:
+        """Lay out the embedded Omega's registers plus one block array
+        per disk (``config["num_disks"]``, crash times included)."""
         omega_cls: Type[OmegaAlgorithm] = config.get("omega_cls", WriteEfficientOmega)
         m = int(config.get("num_disks", 3))
         if m < 1:
@@ -204,21 +208,27 @@ class DiskPaxosProcess(OmegaAlgorithm):
 
     # -- delegate the election machinery --------------------------------
     def main_task(self) -> Task:
+        """The embedded Omega's main task (election runs unchanged)."""
         return self.omega.main_task()
 
     def timer_task(self) -> Optional[Task]:
+        """The embedded Omega's timer task."""
         return self.omega.timer_task()
 
     def initial_timeout(self) -> Optional[float]:
+        """The embedded Omega's initial timeout."""
         return self.omega.initial_timeout()
 
     def peek_leader(self) -> int:
+        """Uncounted observer view of the embedded Omega's leader."""
         return self.omega.peek_leader()
 
     def leader_query(self) -> Task:
+        """Counted in-protocol ``leader()`` query of the embedded Omega."""
         return self.omega.leader_query()
 
     def extra_tasks(self) -> List[Task]:
+        """The Disk Paxos proposer task alongside the Omega's extras."""
         return [self._paxos_task()] + self.omega.extra_tasks()
 
     # -- the Disk Paxos task ----------------------------------------------

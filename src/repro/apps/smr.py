@@ -90,6 +90,8 @@ class ReplicatedStateMachine(OmegaAlgorithm):
 
     @classmethod
     def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> SMRShared:
+        """Lay out the embedded Omega's registers; slot cells are
+        created lazily by the replication task as the log grows."""
         omega_cls: Type[OmegaAlgorithm] = config.get("omega_cls", WriteEfficientOmega)
         return SMRShared(
             omega_cls=omega_cls,
@@ -100,21 +102,27 @@ class ReplicatedStateMachine(OmegaAlgorithm):
 
     # -- delegate the election machinery --------------------------------
     def main_task(self) -> Task:
+        """The embedded Omega's main task (election runs unchanged)."""
         return self.omega.main_task()
 
     def timer_task(self) -> Optional[Task]:
+        """The embedded Omega's timer task."""
         return self.omega.timer_task()
 
     def initial_timeout(self) -> Optional[float]:
+        """The embedded Omega's initial timeout."""
         return self.omega.initial_timeout()
 
     def peek_leader(self) -> int:
+        """Uncounted observer view of the embedded Omega's leader."""
         return self.omega.peek_leader()
 
     def leader_query(self) -> Task:
+        """Counted in-protocol ``leader()`` query of the embedded Omega."""
         return self.omega.leader_query()
 
     def extra_tasks(self) -> List[Task]:
+        """The replication task alongside the Omega's own extras."""
         return [self._smr_task()] + self.omega.extra_tasks()
 
     # -- the replication task -------------------------------------------

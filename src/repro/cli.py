@@ -52,6 +52,7 @@ from repro.analysis.report import format_property_table, format_table
 from repro.analysis.timeline import build_timeline, render_timeline
 from repro.analysis.write_stats import forever_writers, growing_registers
 from repro.memory.backend import BACKENDS
+from repro.memory.emulated import CONSISTENCY_LEVELS
 from repro.workloads.registry import ALGORITHMS, SCENARIO_FACTORIES
 from repro.workloads.scenarios import Scenario
 from repro.workloads.sweep import SweepRow, summarize_result
@@ -76,6 +77,11 @@ CHECK_SCENARIOS = [
     # under a minority of replica crashes.
     "nominal-emulated",
     "replica-crash",
+    # The atomic consistency level: write-back reads whose recorded
+    # histories are additionally audited for linearizability (the audit
+    # verdict counts toward this command's violation total).
+    "nominal-emulated-atomic",
+    "replica-crash-atomic",
 ]
 
 
@@ -101,6 +107,7 @@ def _build_scenario(name: str, n: Optional[int], horizon: Optional[float]) -> Sc
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
+    """Print the registered algorithms and scenarios."""
     print("algorithms:")
     for name, cls in ALGORITHMS.items():
         print(f"  {name:14s} {cls.display_name} -- {cls.__doc__.strip().splitlines()[0]}")
@@ -112,13 +119,32 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """Execute one (algorithm, scenario, seed) run and print the report."""
     scen = _build_scenario(args.scenario, args.n, args.horizon)
     algorithm = ALGORITHMS[args.algorithm]
     overrides = {} if args.memory is None else {"memory": args.memory}
     backend = args.memory or scen.memory
+    if args.consistency is not None:
+        if backend != "emulated":
+            print(
+                "repro run: error: --consistency is an emulated-backend axis; "
+                "pass --memory emulated or pick an emulated scenario",
+                file=sys.stderr,
+            )
+            return 2
+        overrides["consistency"] = args.consistency
+    if backend == "emulated":
+        effective = (
+            args.consistency
+            or scen.consistency
+            or dict(scen.emulation).get("consistency", "regular")
+        )
+        level = f", {effective} reads"
+    else:
+        level = ""
     print(
         f"running {algorithm.display_name} on {scen.name} "
-        f"(seed {args.seed}, {backend} memory)..."
+        f"(seed {args.seed}, {backend} memory{level})..."
     )
     try:
         result = scen.run(algorithm, seed=args.seed, **overrides)
@@ -142,13 +168,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"traffic: {result.memory.total_writes} writes / {result.memory.total_reads} reads; "
         f"{result.sim.events_fired} events"
     )
+    audit = result.audit_consistency()
+    if audit is not None:
+        print(f"consistency audit: {audit.summary()}")
     if args.timeline:
         print("\nleadership timeline:")
         print(render_timeline(build_timeline(result.trace, result.crash_plan)))
-    return 0 if report.stabilized or scen.name.startswith("capped") else 1
+    ok = report.stabilized or scen.name.startswith("capped")
+    if audit is not None and not audit.ok:
+        ok = False
+    return 0 if ok else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    """Run several algorithms on one scenario and print the table."""
     scen = _build_scenario(args.scenario, args.n, args.horizon)
     names = args.algorithms or list(ALGORITHMS)
     rows = []
@@ -181,11 +214,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run an (algorithm x scenario x seed) grid through the engine."""
     from repro.engine.driver import run_experiment
     from repro.engine.spec import ExperimentSpec
 
     algorithms = {name: ALGORITHMS[name] for name in (args.algorithms or list(ALGORITHMS))}
     scenarios = [_build_scenario(name, args.n, args.horizon) for name in args.scenarios]
+    if args.consistency is not None and args.memory != "emulated":
+        # The override only ever applies to emulated cells; refusing a
+        # grid where it can't apply anywhere beats silently ignoring it.
+        off_axis = [s.name for s in scenarios if s.memory != "emulated"]
+        if args.memory == "shared" or off_axis:
+            print(
+                "repro sweep: error: --consistency is an emulated-backend axis "
+                f"but these cells run the shared backend: {off_axis or args.scenarios}; "
+                "pass --memory emulated or pick emulated scenarios",
+                file=sys.stderr,
+            )
+            return 2
     try:
         spec = ExperimentSpec.from_objects(
             args.name,
@@ -195,6 +241,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             window=args.window,
             fast=not args.traced,
             memory=args.memory,
+            consistency=args.consistency,
         )
     except ValueError as exc:
         print(f"repro sweep: error: {exc}", file=sys.stderr)
@@ -223,6 +270,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    """Audit Theorems 1-4 (plus consistency audits) over the suite."""
     from repro.engine.driver import run_experiment
     from repro.engine.spec import ExperimentSpec
 
@@ -243,11 +291,18 @@ def cmd_check(args: argparse.Namespace) -> int:
         f"{len(scenarios)} adversarial scenario(s) x {len(args.seeds)} seed(s)"
     )
     print(format_property_table(report.rows))
-    violations = sum(getattr(row, "property_violations", 0) for row in report.rows)
+    # Consistency-audit failures count alongside the theorem ones: an
+    # atomic-level cell whose history is not linearizable is as broken
+    # a claim as a violated theorem.
+    violations = sum(
+        getattr(row, "property_violations", 0) + getattr(row, "audit_violations", 0)
+        for row in report.rows
+    )
+    audited = sum(1 for row in report.rows if getattr(row, "audit_ok", None) is not None)
     print(
         f"\n{spec.size()} cell(s): {report.executed} executed on {report.jobs} job(s), "
         f"{report.cache_hits} from cache; wall {report.wall_time_s:.2f}s; "
-        f"{violations} violation(s)"
+        f"{violations} violation(s); {audited} consistency-audited cell(s)"
     )
     _print_results_dir(report)
     for row in report.rows:
@@ -258,11 +313,19 @@ def cmd_check(args: argparse.Namespace) -> int:
                 f"on {row.scenario} seed {row.seed}: {verdict.detail}",
                 file=sys.stderr,
             )
+        if getattr(row, "audit_ok", None) is False:
+            print(
+                f"CONSISTENCY AUDIT FAILED ({row.consistency} level, "
+                f"{row.audit_violations} violation(s)) for {row.algorithm} "
+                f"on {row.scenario} seed {row.seed}",
+                file=sys.stderr,
+            )
     _print_failures(report)
     return 1 if (violations or report.failures) else 0
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
+    """Run the perf microbenchmarks; write/gate BENCH_perf.json."""
     from pathlib import Path
 
     from repro.perf import (
@@ -398,6 +461,7 @@ def _add_engine_options(parser: argparse.ArgumentParser, default_name: str) -> N
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Assemble the full ``repro`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Eventual leader election in asynchronous shared memory (DSN 2007 reproduction)",
@@ -417,6 +481,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(BACKENDS),
         default=None,
         help="memory backend override (default: the scenario's own choice)",
+    )
+    run_p.add_argument(
+        "--consistency",
+        choices=list(CONSISTENCY_LEVELS),
+        default=None,
+        help=(
+            "consistency level of the emulated registers ('atomic' adds the "
+            "ABD write-back phase to every read); only valid when the run is "
+            "on the emulated backend"
+        ),
     )
     run_p.add_argument("--timeline", action="store_true", help="render the leadership timeline")
     run_p.set_defaults(func=cmd_run)
@@ -439,6 +513,16 @@ def build_parser() -> argparse.ArgumentParser:
             "force a memory backend onto every cell ('emulated' puts the whole "
             "grid on the ABD quorum emulation, 'shared' strips it from "
             "emulated-native scenarios); default: each scenario's own choice"
+        ),
+    )
+    sweep_p.add_argument(
+        "--consistency",
+        choices=list(CONSISTENCY_LEVELS),
+        default=None,
+        help=(
+            "force a consistency level onto every emulated cell ('atomic' = "
+            "ABD write-back reads); requires --memory emulated or an "
+            "emulated-native scenario list"
         ),
     )
     sweep_p.add_argument(
@@ -535,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse ``argv`` and dispatch to the selected subcommand."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

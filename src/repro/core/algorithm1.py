@@ -100,6 +100,8 @@ class WriteEfficientOmega(OmegaAlgorithm):
     # ------------------------------------------------------------------
     @classmethod
     def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> Algorithm1Shared:
+        """Lay out Figure 2's registers: ``SUSPICIONS`` (n x n),
+        ``PROGRESS`` and ``STOP`` (critical -- AWB1 bounds them)."""
         return Algorithm1Shared(
             suspicions=memory.create_matrix("SUSPICIONS", n, initial=0, critical=False),
             progress=memory.create_array("PROGRESS", n, initial=0, critical=True),
@@ -138,6 +140,8 @@ class WriteEfficientOmega(OmegaAlgorithm):
     # Task T2 -- main loop (lines 6-12)
     # ------------------------------------------------------------------
     def main_task(self) -> Task:
+        """Task T2 (lines 6-12): while leader, bump ``PROGRESS``;
+        maintain ``STOP`` on gaining/losing the leadership."""
         while True:  # line 6: repeat forever
             ld = yield from self._leader_query()
             while ld == self.pid:  # line 7
@@ -155,6 +159,8 @@ class WriteEfficientOmega(OmegaAlgorithm):
     # Task T3 -- timer handler (lines 13-27)
     # ------------------------------------------------------------------
     def timer_task(self) -> Task:
+        """Task T3 (lines 13-27): check every peer's progress, suspect
+        the silent candidates, re-arm the timer with line 27's rule."""
         i, n = self.pid, self.n
         for k in range(n):  # line 14
             if k == i:
@@ -187,6 +193,7 @@ class WriteEfficientOmega(OmegaAlgorithm):
         return float(max(self._my_suspicions) + 1)
 
     def initial_timeout(self) -> Optional[float]:
+        """First timer arming, by the same line-27 rule."""
         return self._next_timeout()
 
     # ------------------------------------------------------------------

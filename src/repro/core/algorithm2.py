@@ -80,6 +80,8 @@ class BoundedOmega(OmegaAlgorithm):
     # ------------------------------------------------------------------
     @classmethod
     def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> Algorithm2Shared:
+        """Lay out Figure 5's registers: ``SUSPICIONS``, the boolean
+        ``PROGRESS``/``LAST`` hand-shake matrices and ``STOP``."""
         return Algorithm2Shared(
             suspicions=memory.create_matrix("SUSPICIONS", n, initial=0, critical=False),
             progress=memory.create_matrix("PROGRESS", n, initial=False, critical=True),
@@ -116,6 +118,8 @@ class BoundedOmega(OmegaAlgorithm):
     # Task T2 -- main loop (lines 6-12 with 8.R1-8.R3)
     # ------------------------------------------------------------------
     def main_task(self) -> Task:
+        """Task T2 (lines 6-12 with 8.R1-8.R3): while leader, raise the
+        boolean hand-shake flag toward every follower."""
         i = self.pid
         while True:  # line 6
             ld = yield from self._leader_query()
@@ -139,6 +143,8 @@ class BoundedOmega(OmegaAlgorithm):
     # Task T3 -- timer handler (lines 13-27 with 16.R1/17.R1/19.R1)
     # ------------------------------------------------------------------
     def timer_task(self) -> Task:
+        """Task T3 (lines 13-27 with 16.R1/17.R1/19.R1): acknowledge
+        pending hand-shake signals, suspect the silent candidates."""
         i, n = self.pid, self.n
         for k in range(n):  # line 14
             if k == i:
@@ -163,6 +169,7 @@ class BoundedOmega(OmegaAlgorithm):
         return float(max(self._my_suspicions) + 1)
 
     def initial_timeout(self) -> Optional[float]:
+        """First timer arming, by the same line-27 rule."""
         return self._next_timeout()
 
     # ------------------------------------------------------------------

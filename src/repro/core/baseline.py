@@ -83,6 +83,8 @@ class EventuallySynchronousOmega(OmegaAlgorithm):
 
     @classmethod
     def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> BaselineShared:
+        """Lay out the heartbeat array (critical: timeliness carries
+        the eventual-synchrony assumption)."""
         return BaselineShared(
             heartbeat=memory.create_array("HB", n, initial=0, critical=True),
             n=n,
@@ -98,6 +100,8 @@ class EventuallySynchronousOmega(OmegaAlgorithm):
             yield WriteReg(self.shared.heartbeat.register(i), self._my_hb)
 
     def timer_task(self) -> Task:
+        """Check every peer's heartbeat; suspect after ``patience``
+        consecutive misses, doubling patience on false suspicion."""
         i, n = self.pid, self.n
         for k in range(n):
             if k == i:
@@ -117,6 +121,7 @@ class EventuallySynchronousOmega(OmegaAlgorithm):
         yield SetTimer(self.check_timeout)
 
     def initial_timeout(self) -> Optional[float]:
+        """Fixed monitoring period (no adaptive growth: the point)."""
         return self.check_timeout
 
     def leader_query(self) -> Task:

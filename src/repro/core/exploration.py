@@ -72,6 +72,7 @@ class LazyLeaderOmega(WriteEfficientOmega):
         return leader
 
     def timer_task(self) -> Optional[Task]:
+        """Algorithm 1's T3 until lazy; read-free stepping after."""
         if not self.lazy:
             return super().timer_task()
         return self._lazy_timer_task()
@@ -86,6 +87,7 @@ class LazyLeaderOmega(WriteEfficientOmega):
         yield SetTimer(self._next_timeout())
 
     def peek_leader(self) -> int:
+        """Itself once lazy (the committed answer), else Algorithm 1's."""
         if self.lazy:
             return self.pid
         return super().peek_leader()

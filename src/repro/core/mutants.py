@@ -51,6 +51,8 @@ class MutedLeaderOmega(WriteEfficientOmega):
         )
 
     def main_task(self) -> Task:
+        """Algorithm 1's T2, except the muted pid stops writing
+        ``PROGRESS``/``STOP`` after ``mute_after`` (the injected fault)."""
         i = self.pid
         while True:
             ld = yield from self._leader_query()
@@ -69,6 +71,7 @@ class MutedLeaderOmega(WriteEfficientOmega):
                 yield WriteReg(self.shared.stop.register(i), True)
 
     def timer_task(self) -> Task:
+        """Algorithm 1's T3, but the muted pid never writes suspicions."""
         if not self._muted:
             yield from super().timer_task()
             return
@@ -126,6 +129,7 @@ class BlindProcessOmega(WriteEfficientOmega):
         return self.pid
 
     def timer_task(self) -> Task:
+        """Algorithm 1's T3 until blindness strikes; read-free after."""
         if not self._blind:
             yield from super().timer_task()
             return
@@ -136,6 +140,7 @@ class BlindProcessOmega(WriteEfficientOmega):
         yield SetTimer(self._next_timeout())
 
     def peek_leader(self) -> int:
+        """The frozen pre-blindness answer once blind, else live."""
         if self._blind and self._cached_leader is not None:
             return self._cached_leader
         leader = super().peek_leader()

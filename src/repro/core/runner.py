@@ -327,6 +327,30 @@ class RunResult:
         is_correct = self.crash_plan.is_correct
         return {pid: leader for pid, leader in latest.items() if is_correct(pid)}
 
+    def audit_consistency(self) -> "Any":
+        """Consistency audit of the recorded emulated history.
+
+        Returns a
+        :class:`~repro.memory.linearizability.LinearizabilityReport`
+        checked at the run's own consistency level (atomic histories
+        against full linearizability, regular ones against regularity),
+        or ``None`` when there is nothing to audit -- a non-emulated
+        backend, or a run whose emulation config left
+        ``record_history`` off.
+        """
+        mem = self.memory
+        if not isinstance(mem, EmulatedMemory) or not mem.config.record_history:
+            return None
+        from repro.memory.linearizability import (
+            check_atomic_history,
+            check_regular_history,
+        )
+
+        history = mem.recorded_history()
+        if mem.config.consistency == "atomic":
+            return check_atomic_history(history)
+        return check_regular_history(history)
+
     def check_properties(
         self,
         *,
@@ -414,6 +438,14 @@ class Run:
         Plain-dict :class:`~repro.memory.emulated.EmulationConfig`
         knobs for the emulated backend (replica count, link model,
         replica crashes); only valid with ``memory="emulated"``.
+    consistency:
+        Consistency level of the emulated registers (``"regular"`` or
+        ``"atomic"``; see
+        :data:`repro.memory.emulated.CONSISTENCY_LEVELS`).  A non-None
+        value overrides the ``consistency`` key of ``emulation`` and is
+        only valid with ``memory="emulated"`` -- the shared backend's
+        instantaneous registers are atomic by construction, so forcing
+        a level onto it would be dead configuration.
     """
 
     def __init__(
@@ -435,6 +467,7 @@ class Run:
         trace_events: bool = True,
         memory: str = "shared",
         emulation: Optional[Dict[str, Any]] = None,
+        consistency: Optional[str] = None,
     ) -> None:
         if n < 2:
             raise ValueError("need at least two processes")
@@ -443,6 +476,14 @@ class Run:
                 "the emulated backend and the SAN disk model both make register "
                 "accesses interval operations; pick one"
             )
+        if consistency is not None:
+            if memory != "emulated":
+                raise ValueError(
+                    "consistency is an axis of the emulated backend; "
+                    "pass memory='emulated' or drop the option"
+                )
+            emulation = dict(emulation or {})
+            emulation["consistency"] = consistency
         self.algorithm_cls = algorithm_cls
         self.n = n
         self.seed = seed

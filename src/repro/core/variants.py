@@ -85,6 +85,8 @@ class MultiWriterOmega(OmegaAlgorithm):
 
     @classmethod
     def create_shared(cls, memory: SharedMemory, n: int, config: Dict[str, Any]) -> MultiWriterShared:
+        """Lay out the nWnR variant: one multi-writer ``SUSPICIONS[k]``
+        counter per candidate instead of the n x n 1WnR matrix."""
         return MultiWriterShared(
             suspicions=[memory.create_mwmr(f"SUSPICIONS[{k}]", initial=0) for k in range(n)],
             progress=memory.create_array("PROGRESS", n, initial=0, critical=True),
@@ -110,6 +112,7 @@ class MultiWriterOmega(OmegaAlgorithm):
         return self._leader_query()
 
     def main_task(self) -> Task:
+        """Task T2, unchanged from Algorithm 1 (only T1/T3 differ)."""
         i = self.pid
         while True:
             ld = yield from self._leader_query()
@@ -125,6 +128,8 @@ class MultiWriterOmega(OmegaAlgorithm):
                 yield WriteReg(self.shared.stop.register(i), True)
 
     def timer_task(self) -> Task:
+        """Task T3 with suspicion bumps via ``fetch&add`` on the shared
+        counters (or the racy read-then-write under the ablation knob)."""
         i, n = self.pid, self.n
         for k in range(n):
             if k == i:
@@ -148,12 +153,15 @@ class MultiWriterOmega(OmegaAlgorithm):
         yield SetTimer(self._next_timeout())
 
     def _next_timeout(self) -> float:
+        """Line 27's rule over the last-seen shared counter values."""
         return float(max(self._seen_susp) + 1)
 
     def initial_timeout(self) -> Optional[float]:
+        """First timer arming, by the same line-27 rule."""
         return self._next_timeout()
 
     def peek_leader(self) -> int:
+        """Uncounted ``leader()`` on the current counter values."""
         pairs = [(int(self.shared.suspicions[k].peek()), k) for k in sorted(self.candidates)]
         return lexmin_pair(pairs)[1]
 
@@ -182,12 +190,15 @@ class StepCounterOmega(WriteEfficientOmega):
     uses_timer = False
 
     def timer_task(self) -> Optional[Task]:
+        """No timer service: T3 lives inside the counting task."""
         return None
 
     def initial_timeout(self) -> Optional[float]:
+        """Never armed -- the variant eliminates the local clocks."""
         return None
 
     def extra_tasks(self) -> List[Task]:
+        """The perpetual countdown task replacing the timer."""
         return [self._counting_task()]
 
     def _counting_task(self) -> Task:

@@ -94,7 +94,13 @@ def default_jobs() -> int:
 # ----------------------------------------------------------------------
 def _execute_serial(cells: List[Cell], spec: ExperimentSpec) -> List[CellOutcome]:
     return [
-        execute_cell(cell, window=spec.window, fast=spec.fast, memory=spec.memory)
+        execute_cell(
+            cell,
+            window=spec.window,
+            fast=spec.fast,
+            memory=spec.memory,
+            consistency=spec.consistency,
+        )
         for cell in cells
     ]
 
@@ -104,7 +110,9 @@ def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> Lis
     orphaned: List[int] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         pending = {
-            pool.submit(execute_cell, cell, spec.window, spec.fast, spec.memory): idx
+            pool.submit(
+                execute_cell, cell, spec.window, spec.fast, spec.memory, spec.consistency
+            ): idx
             for idx, cell in enumerate(cells)
         }
         while pending:
@@ -128,7 +136,12 @@ def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> Lis
         try:
             with ProcessPoolExecutor(max_workers=1) as solo:
                 outcomes[idx] = solo.submit(
-                    execute_cell, cells[idx], spec.window, spec.fast, spec.memory
+                    execute_cell,
+                    cells[idx],
+                    spec.window,
+                    spec.fast,
+                    spec.memory,
+                    spec.consistency,
                 ).result()
         except Exception as exc:  # noqa: BLE001 - crashed again: record it
             outcomes[idx] = CellOutcome(

@@ -31,7 +31,9 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 #: 2: RunSummary embeds the Theorem 1-4 PropertyReport.
 #: 3: specs carry a memory-backend axis; RunSummary records the backend
 #:    and the emulation's message count.
-SPEC_FORMAT = 3
+#: 4: specs carry a consistency axis; RunSummary records the consistency
+#:    level and the history-audit outcome.
+SPEC_FORMAT = 4
 
 
 def _canonical(payload: Any) -> str:
@@ -141,6 +143,14 @@ class ExperimentSpec:
         forces the ABD emulation onto every cell (the ``repro sweep
         --memory emulated`` path) and ``"shared"`` forces the shared
         backend even onto emulated-native scenarios.
+    consistency:
+        Consistency-level override for every *emulated* cell
+        (:data:`repro.memory.emulated.CONSISTENCY_LEVELS`).  ``None``
+        -- the default -- leaves each scenario's own level in force;
+        ``"atomic"``/``"regular"`` force the level onto every cell that
+        runs the emulated backend (the ``repro sweep --consistency``
+        path).  Cells on the shared backend ignore it (their registers
+        are atomic by construction).
     """
 
     name: str
@@ -150,15 +160,22 @@ class ExperimentSpec:
     window: float = 100.0
     fast: bool = True
     memory: Optional[str] = None
+    consistency: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.memory.backend import BACKENDS
+        from repro.memory.emulated import CONSISTENCY_LEVELS
 
         if not self.algorithms or not self.scenarios or not self.seeds:
             raise ValueError("spec needs at least one algorithm, scenario and seed")
         if self.memory is not None and self.memory not in BACKENDS:
             raise ValueError(
                 f"unknown memory backend {self.memory!r}; choose from {sorted(BACKENDS)}"
+            )
+        if self.consistency is not None and self.consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"unknown consistency level {self.consistency!r}; "
+                f"choose from {list(CONSISTENCY_LEVELS)}"
             )
         labels = [a.label for a in self.algorithms]
         if len(set(labels)) != len(labels):
@@ -194,6 +211,7 @@ class ExperimentSpec:
             "window": self.window,
             "fast": self.fast,
             "memory": self.memory,
+            "consistency": self.consistency,
         }
 
     def content_hash(self) -> str:
@@ -218,6 +236,7 @@ class ExperimentSpec:
         window: float = 100.0,
         fast: bool = True,
         memory: Optional[str] = None,
+        consistency: Optional[str] = None,
     ) -> "ExperimentSpec":
         """Build a spec from live objects (the ``run_matrix`` arguments).
 
@@ -252,6 +271,7 @@ class ExperimentSpec:
             window=window,
             fast=fast,
             memory=memory,
+            consistency=consistency,
         )
 
 

@@ -70,6 +70,22 @@ class RunSummary(SweepRow):
     memory_backend: str = "shared"
     #: Protocol messages sent by the register emulation (0 when shared).
     messages_sent: int = 0
+    #: Consistency level of the run's registers: the emulation's
+    #: configured level ("regular" or "atomic"); "atomic" for the
+    #: shared backend, whose instantaneous registers are atomic by
+    #: construction.
+    consistency: str = "atomic"
+    #: Consistency-audit verdict of the recorded emulated history,
+    #: checked at the run's own level (atomic histories against full
+    #: linearizability, regular ones against regularity); ``None`` when
+    #: nothing was recorded (shared backend, or ``record_history`` off).
+    audit_ok: Optional[bool] = None
+    #: Operations the consistency audit covered (0 when not recorded).
+    audit_ops: int = 0
+    #: Violations the consistency audit found (0 when clean or not
+    #: recorded; `repro check` counts these alongside the theorem
+    #: violations).
+    audit_violations: int = 0
 
     # ------------------------------------------------------------------
     def to_jsonable(self) -> Dict[str, Any]:
@@ -152,6 +168,11 @@ def summarize_run(
     props = check_properties(
         result, assumption=assumption, margin=margin, window=window
     )
+    # Consistency level + history audit: the emulated backend carries
+    # its configured level; shared registers are atomic by construction.
+    emu_config = getattr(result.memory, "config", None)
+    consistency = getattr(emu_config, "consistency", "atomic")
+    audit = result.audit_consistency()
     return RunSummary(
         algorithm=result.algorithm_name,
         scenario=scenario_name,
@@ -179,6 +200,10 @@ def summarize_run(
         properties=props,
         memory_backend=getattr(result, "memory_backend", "shared"),
         messages_sent=getattr(getattr(result.memory, "network", None), "total_sent", 0),
+        consistency=consistency,
+        audit_ok=None if audit is None else audit.ok,
+        audit_ops=0 if audit is None else audit.ops_checked,
+        audit_violations=0 if audit is None else len(audit.violations),
     )
 
 

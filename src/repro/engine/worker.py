@@ -39,7 +39,11 @@ class CellOutcome:
 
 
 def run_cell(
-    cell: Cell, window: float = 100.0, fast: bool = True, memory: Optional[str] = None
+    cell: Cell,
+    window: float = 100.0,
+    fast: bool = True,
+    memory: Optional[str] = None,
+    consistency: Optional[str] = None,
 ) -> RunSummary:
     """Execute one cell in-process and return its summary (raises on error).
 
@@ -48,6 +52,10 @@ def run_cell(
     backend name forces that backend onto the cell (the
     ``repro sweep --memory emulated`` path -- and ``"shared"`` forces
     the shared backend even onto emulated-native scenarios).
+    ``consistency`` is the spec-level consistency-level override for
+    emulated cells (``repro sweep --consistency``); cells that end up
+    on the shared backend drop it (their registers are atomic by
+    construction).
     """
     from repro.workloads.registry import build_scenario, resolve_algorithm
 
@@ -57,6 +65,8 @@ def run_cell(
     overrides: dict = {"log_reads": False, "trace_events": False} if fast else {}
     if memory is not None:
         overrides["memory"] = memory
+    if consistency is not None and (memory or scenario.memory) == "emulated":
+        overrides["consistency"] = consistency
     result = scenario.run(algorithm_cls, seed=cell.seed, **overrides)
     summary = summarize_run(
         result,
@@ -72,13 +82,19 @@ def run_cell(
 
 
 def execute_cell(
-    cell: Cell, window: float = 100.0, fast: bool = True, memory: Optional[str] = None
+    cell: Cell,
+    window: float = 100.0,
+    fast: bool = True,
+    memory: Optional[str] = None,
+    consistency: Optional[str] = None,
 ) -> CellOutcome:
     """Pool-safe wrapper around :func:`run_cell`: captures errors."""
     try:
         return CellOutcome(
             key=cell.key,
-            summary=run_cell(cell, window=window, fast=fast, memory=memory),
+            summary=run_cell(
+                cell, window=window, fast=fast, memory=memory, consistency=consistency
+            ),
         )
     except Exception:  # noqa: BLE001 - the driver re-raises in strict mode
         return CellOutcome(key=cell.key, error=traceback.format_exc())

@@ -23,6 +23,20 @@ phase; their ``fetch&add`` becomes the racy two-step
 read-then-write emulation, which the variant is documented to tolerate
 (lost increments only slow suspicion growth).
 
+**Consistency levels** (``EmulationConfig.consistency``): the default
+``"regular"`` level is the single-phase read above -- all the paper
+needs.  The ``"atomic"`` level adds the classic ABD **write-back
+phase**: before returning, a read propagates the ``(timestamp, value)``
+it is about to return to a majority of replicas, which closes the
+new/old-inversion window and upgrades the register to Lamport's
+*atomic* level (both for the 1WMR registers and for the
+``(counter, pid)``-stamped multi-writer path).  With the per-operation
+history recorder on (``record_history``), the interval-order checkers
+in :mod:`repro.memory.linearizability` audit the run: atomic histories
+must be linearizable, regular histories must satisfy regularity --
+and :mod:`repro.memory.anomaly` pins a deterministic schedule where
+the two levels genuinely diverge.
+
 The emulation tolerates crashes of **up to a minority** of replicas and
 message loss (pending phases retransmit to unacked replicas every
 ``retry_interval``).  Link timing/loss is pluggable through the
@@ -42,6 +56,7 @@ the SAN disk model, but realized by an actual replicated protocol.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
@@ -50,6 +65,8 @@ from repro.memory.mwmr import MultiWriterRegister
 from repro.memory.register import AtomicRegister, OwnershipError
 from repro.netsim.network import (
     ChannelBehavior,
+    CorruptingLinks,
+    DuplicatingLinks,
     FairLossyLinks,
     Message,
     Network,
@@ -63,6 +80,37 @@ from repro.sim.rng import RngRegistry
 #: Timestamp ordering is lexicographic on ``(counter, pid)``; the
 #: initial replica state predates every real write.
 _INITIAL_TS: Tuple[int, int] = (0, -1)
+
+#: The consistency levels the emulation can provide (Lamport's
+#: hierarchy): ``regular`` is the single-phase read the paper needs,
+#: ``atomic`` adds the ABD write-back phase to every read.
+CONSISTENCY_LEVELS: Tuple[str, ...] = ("regular", "atomic")
+
+
+@dataclass(frozen=True, slots=True)
+class EmuOpRecord:
+    """One completed (or still-pending) emulated operation.
+
+    The interval shape mirrors :class:`~repro.memory.disk.DiskOpRecord`
+    -- invocation and response times plus the identity of the value
+    involved -- but the value identity is the protocol's own
+    ``(counter, pid)`` timestamp instead of a disk-side version counter
+    (timestamps also cover the multi-writer path, where per-register
+    version numbers are not unique).  ``ts`` is the timestamp the
+    operation wrote, or the one whose value a read returned;
+    :data:`_INITIAL_TS` denotes the pre-run initial value.  A write
+    still in flight when the run ends is reported with
+    ``resp = math.inf`` (invoked, never responded).
+    """
+
+    op_id: int
+    kind: str  # "read" | "write"
+    pid: int
+    register: str
+    ts: Tuple[int, int]
+    value: Any
+    inv: float
+    resp: float
 
 
 def _make_links(name: str, rng: RngRegistry, params: Mapping[str, Any]) -> ChannelBehavior:
@@ -80,11 +128,22 @@ def _make_links(name: str, rng: RngRegistry, params: Mapping[str, Any]) -> Chann
 #: ``sync`` draws no randomness at all, which is what makes the
 #: backend-equivalence tests exact; the others re-use the netsim
 #: behaviours (``gst-ramp`` is the PR 2 adversary ported to links).
+#: ``corruption`` and ``duplication`` are the mutating-fault adversaries
+#: over synchronous timing (``delta`` plus a mutation ``rate``): the
+#: emulation must *survive* duplication (timestamp application is
+#: idempotent) but is expected to *fail* the Theorem 1 audit under
+#: value corruption -- the negative-scenario family.
 LINK_MODELS: Dict[str, Callable[[RngRegistry, Dict[str, Any]], ChannelBehavior]] = {
     "sync": lambda rng, p: SynchronousLinks(**p),
     "timely": lambda rng, p: TimelyLinks(rng, **p),
     "lossy": lambda rng, p: FairLossyLinks(rng, **p),
     "gst-ramp": lambda rng, p: RampLinks(rng, **p),
+    "corruption": lambda rng, p: CorruptingLinks(
+        SynchronousLinks(p.pop("delta", 0.25)), rng, **p
+    ),
+    "duplication": lambda rng, p: DuplicatingLinks(
+        SynchronousLinks(p.pop("delta", 0.25)), rng, **p
+    ),
 }
 
 
@@ -113,6 +172,19 @@ class EmulationConfig:
     replica_crash_times:
         ``{replica index: crash time}`` -- crash-stop for replicas.
         Must leave a majority alive or quorums become unreachable.
+    consistency:
+        Consistency level of the emulated registers
+        (:data:`CONSISTENCY_LEVELS`): ``"regular"`` -- single-phase
+        reads, all the paper needs -- or ``"atomic"`` -- every read
+        runs a second write-back phase propagating the returned
+        ``(timestamp, value)`` to a majority before responding.
+    record_history:
+        Keep the per-operation interval history
+        (:class:`EmuOpRecord`) so the run can be audited by the
+        interval-order checkers in
+        :mod:`repro.memory.linearizability`.  Off by default: the
+        recorder is observability, not protocol, and perf profiles
+        must not pay for it.
     """
 
     replicas: int = 3
@@ -120,6 +192,8 @@ class EmulationConfig:
     link_params: Tuple[Tuple[str, Any], ...] = ()
     retry_interval: float = 20.0
     replica_crash_times: Tuple[Tuple[int, float], ...] = ()
+    consistency: str = "regular"
+    record_history: bool = False
 
     def __post_init__(self) -> None:
         if self.replicas < 2:
@@ -127,6 +201,11 @@ class EmulationConfig:
         if self.links not in LINK_MODELS:
             raise ValueError(
                 f"unknown link model {self.links!r}; choose from {sorted(LINK_MODELS)}"
+            )
+        if self.consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"unknown consistency level {self.consistency!r}; "
+                f"choose from {list(CONSISTENCY_LEVELS)}"
             )
         if self.retry_interval <= 0:
             raise ValueError("retry_interval must be positive")
@@ -156,6 +235,8 @@ class EmulationConfig:
             "link_params": dict(self.link_params),
             "retry_interval": self.retry_interval,
             "replica_crash_times": {str(i): t for i, t in self.replica_crash_times},
+            "consistency": self.consistency,
+            "record_history": self.record_history,
         }
 
     @classmethod
@@ -169,6 +250,8 @@ class EmulationConfig:
             "link_params",
             "retry_interval",
             "replica_crash_times",
+            "consistency",
+            "record_history",
         }
         if unknown:
             raise ValueError(f"unknown emulation option(s): {sorted(unknown)}")
@@ -181,6 +264,8 @@ class EmulationConfig:
             replica_crash_times=tuple(
                 sorted((int(i), float(t)) for i, t in dict(crashes).items())
             ),
+            consistency=str(data.get("consistency", "regular")),
+            record_history=bool(data.get("record_history", False)),
         )
 
 
@@ -330,6 +415,15 @@ class EmulatedMemory(SharedMemory):
         self.writes_completed = 0
         self.retransmissions = 0
         self.total_op_latency = 0.0
+        #: Latency accumulated by read operations alone -- at the atomic
+        #: consistency level this includes the write-back phase, which
+        #: is exactly what the ``EMU_atomic`` bench prices.
+        self.read_op_latency = 0.0
+        #: Write-back phases run by atomic reads (0 at the regular level).
+        self.write_backs = 0
+        #: Completed-operation interval records (empty unless
+        #: ``config.record_history``); see :meth:`recorded_history`.
+        self.op_history: List[EmuOpRecord] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -367,6 +461,54 @@ class EmulatedMemory(SharedMemory):
     def live_replicas(self) -> int:
         """Replicas that have not crashed yet."""
         return sum(1 for r in self.replicas if not r.crashed)
+
+    # ------------------------------------------------------------------
+    # Operation-history recorder
+    # ------------------------------------------------------------------
+    def _record(self, op: _PendingOp, kind: str, ts: Tuple[int, int], value: Any) -> None:
+        """Append one completed-operation interval record (if recording)."""
+        if self.config.record_history:
+            self.op_history.append(
+                EmuOpRecord(
+                    op_id=op.op_id,
+                    kind=kind,
+                    pid=op.pid,
+                    register=op.register.name,
+                    ts=ts,
+                    value=value,
+                    inv=op.started_at,
+                    resp=self._clock(),
+                )
+            )
+
+    def recorded_history(self) -> List[EmuOpRecord]:
+        """The auditable interval history of this run.
+
+        Completed operations in completion order, plus every write
+        still in its write phase when the run ended (reported with
+        ``resp = math.inf``): a concurrent read may legitimately have
+        returned such a write's timestamp, so the checkers must see the
+        write exist.  Reads and query-phase writes that never completed
+        returned nothing and are omitted.  Empty unless the config set
+        ``record_history``.
+        """
+        records = list(self.op_history)
+        if self.config.record_history:
+            for op in self._ops.values():
+                if op.kind != "read" and op.phase == "write":
+                    records.append(
+                        EmuOpRecord(
+                            op_id=op.op_id,
+                            kind="write",
+                            pid=op.pid,
+                            register=op.register.name,
+                            ts=op.ts,
+                            value=op.value,
+                            inv=op.started_at,
+                            resp=math.inf,
+                        )
+                    )
+        return records
 
     # ------------------------------------------------------------------
     # Asynchronous operation API (driven by the process runtime)
@@ -514,7 +656,15 @@ class EmulatedMemory(SharedMemory):
         if len(op.replies) < self.config.majority:
             return
         if op.kind == "read":
-            self._complete_read(op)
+            if self.config.consistency == "atomic":
+                # ABD write-back: propagate the (timestamp, value) this
+                # read is about to return to a majority first, so no
+                # later read can see an older value (atomicity).
+                self.write_backs += 1
+                op.value = op.best_value
+                self._enter_write(op, op.best_ts)
+            else:
+                self._complete_read(op)
         elif op.kind == "mwmr-write":
             self._enter_write(op, (op.best_ts[0] + 1, op.pid))
         else:  # fetch-add: write value + amount, return the old value
@@ -529,7 +679,10 @@ class EmulatedMemory(SharedMemory):
         op.replies.add(replica_index)
         if len(op.replies) < self.config.majority:
             return
-        self._complete_write(op)
+        if op.kind == "read":  # an atomic read's write-back completed
+            self._complete_read(op)
+        else:
+            self._complete_write(op)
 
     # ------------------------------------------------------------------
     # Completions (the linearization points of the emulated history)
@@ -540,6 +693,8 @@ class EmulatedMemory(SharedMemory):
         if isinstance(register, AtomicRegister):
             register._reads += 1  # keep the per-register counter exact
         self.reads_completed += 1
+        self.read_op_latency += self._clock() - op.started_at
+        self._record(op, "read", op.best_ts, op.best_value)
         self._finish(op, op.best_value)
 
     def _complete_write(self, op: _PendingOp) -> None:
@@ -551,10 +706,20 @@ class EmulatedMemory(SharedMemory):
             self._note_read(register.name, op.pid)
             register.poke(op.value)
             self._note_write(register.name, op.pid, op.value, critical=register.critical)
+            self._record(op, "read", op.best_ts, op.best_value)
+            self._record(op, "write", op.ts, op.value)
             self._finish(op, op.value - op.amount)
         else:
             register.write(op.pid, op.value)  # mirror + accounting + owner check
+            self._record(op, "write", op.ts, op.value)
             self._finish(op, None)
 
 
-__all__ = ["EmulatedMemory", "EmulationConfig", "LINK_MODELS", "ReplicaNode"]
+__all__ = [
+    "CONSISTENCY_LEVELS",
+    "EmuOpRecord",
+    "EmulatedMemory",
+    "EmulationConfig",
+    "LINK_MODELS",
+    "ReplicaNode",
+]

@@ -1,28 +1,48 @@
-"""Linearizability checking for single-writer register histories.
+"""Consistency checking for interval register histories.
 
-The disk model produces *interval* histories: each operation has an
-invocation and a response, and reads report the write *version* they
-returned.  For a single-writer register whose writes are issued in
-program order, Lamport's classical characterization says such a history
-is atomic iff three conditions hold:
+Two substrates produce *interval* histories -- each operation has an
+invocation and a response, and reads report the identity of the value
+they returned:
 
-1. **No read from the future** -- a read may not return a version whose
+* the SAN disk model (:mod:`repro.memory.disk`), whose
+  :class:`~repro.memory.disk.DiskOpRecord` identifies values by a
+  per-register write *version*;
+* the ABD register emulation (:mod:`repro.memory.emulated`), whose
+  :class:`~repro.memory.emulated.EmuOpRecord` identifies values by the
+  protocol's ``(counter, pid)`` *timestamp* (history recording must be
+  enabled via ``EmulationConfig.record_history``).
+
+For a single-writer register whose writes are issued in program order,
+Lamport's classical characterization says such a history is atomic iff
+three conditions hold:
+
+1. **No read from the future** -- a read may not return a value whose
    write was invoked after the read responded.
-2. **No stale read** -- a read may not return a version that was
-   already overwritten before the read was invoked (i.e. the *next*
-   write responded before the read began).
+2. **No stale read** -- a read may not return a value that was already
+   overwritten before the read was invoked (a strictly newer write
+   responded before the read began).
 3. **No new/old inversion** -- if one read responds before another is
-   invoked, the later read must not return an older version.
+   invoked, the later read must not return an older value.
 
-These are checked purely from ``(inv, resp, version)``; the recorded
-linearization witness is deliberately ignored (tests use it to validate
-the checker itself).
+Conditions 1-2 alone characterize Lamport's *regular* level: every read
+returns the last completed write or one concurrent with it, but
+non-overlapping reads may still see new-then-old.  That split is
+exactly the emulation's consistency axis: regular-level runs are
+audited by :func:`check_regular_history` (conditions 1-2), atomic-level
+runs by :func:`check_atomic_history` (all three) -- and
+:mod:`repro.memory.anomaly` pins a deterministic history that passes
+the former and fails the latter.
+
+Everything is checked purely from the ``(inv, resp, identity)``
+triples; recorded linearization witnesses are deliberately ignored
+(tests use them to validate the checkers themselves).
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.memory.disk import DiskOpRecord
 
@@ -46,14 +66,23 @@ class LinearizabilityReport:
     ops_checked: int = 0
 
     def summary(self) -> str:
-        """One-paragraph human-readable verdict (first 10 violations)."""
+        """One-paragraph human-readable verdict (first 10 violations).
+
+        An empty history is reported as vacuous -- "0 ops consistent"
+        must not read like evidence -- and a long violation list states
+        how many entries were elided instead of truncating silently.
+        """
+        if self.ops_checked == 0:
+            return "empty history: no operations to check (vacuously consistent)"
         if self.ok:
             return (
-                f"linearizable: {self.ops_checked} ops over "
+                f"consistent: {self.ops_checked} ops over "
                 f"{self.registers_checked} registers"
             )
-        lines = [f"NOT linearizable ({len(self.violations)} violations):"]
+        lines = [f"NOT consistent ({len(self.violations)} violations):"]
         lines += [f"  [{v.register}] {v.rule}: {v.detail}" for v in self.violations[:10]]
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
         return "\n".join(lines)
 
 
@@ -75,18 +104,42 @@ def check_single_writer_history(history: Sequence[DiskOpRecord]) -> Linearizabil
         reads = [o for o in ops if o.kind == "read"]
         write_by_version = {w.version: w for w in writes}
 
-        # Single-writer sanity: versions are consecutive and program-ordered.
-        for i, w in enumerate(writes):
-            if w.version != i:
+        # Single-writer sanity: versions are distinct, consecutive and
+        # program-ordered.  Duplicates get one clean violation each
+        # (equal-version "concurrent" writes cannot come from a single
+        # writer) instead of a cascade of version-gap noise, and the
+        # gap check then runs over the distinct versions only.
+        seen_versions: set = set()
+        for w in writes:
+            if w.version in seen_versions:
                 report.violations.append(
-                    Violation(register, "version-gap", f"write versions not consecutive at {w}")
+                    Violation(
+                        register,
+                        "duplicate-version",
+                        f"two writes claim version {w.version} "
+                        f"(second spans [{w.inv}, {w.resp}]); a single "
+                        "writer cannot issue concurrent writes",
+                    )
                 )
-            if i > 0 and writes[i - 1].inv > w.inv:
+            seen_versions.add(w.version)
+        for i, version in enumerate(sorted(seen_versions)):
+            if version != i:
+                report.violations.append(
+                    Violation(
+                        register,
+                        "version-gap",
+                        f"write versions not consecutive: expected {i}, found {version}",
+                    )
+                )
+        distinct = [write_by_version[v] for v in sorted(seen_versions)]
+        for i in range(1, len(distinct)):
+            if distinct[i - 1].inv > distinct[i].inv:
                 report.violations.append(
                     Violation(
                         register,
                         "program-order",
-                        f"writes {i - 1} and {i} out of invocation order",
+                        f"writes {distinct[i - 1].version} and {distinct[i].version} "
+                        "out of invocation order",
                     )
                 )
 
@@ -138,4 +191,160 @@ def check_single_writer_history(history: Sequence[DiskOpRecord]) -> Linearizabil
     return report
 
 
-__all__ = ["LinearizabilityReport", "Violation", "check_single_writer_history"]
+# ----------------------------------------------------------------------
+# Timestamped interval histories (the ABD emulation's recorder)
+# ----------------------------------------------------------------------
+#: The timestamp every pre-run initial value carries
+#: (= ``repro.memory.emulated._INITIAL_TS``; duplicated here to keep
+#: the checker import-free of the emulation).
+_INITIAL_TS: Tuple[int, int] = (0, -1)
+
+
+def _check_interval_history(
+    history: Sequence[Any], *, require_atomic: bool
+) -> LinearizabilityReport:
+    """Shared engine of the regular/atomic interval-order checks.
+
+    ``history`` is any sequence of records with ``register``, ``kind``
+    (``"read"``/``"write"``), ``ts`` (totally ordered value identity;
+    :data:`_INITIAL_TS` marks the initial value), ``inv`` and ``resp``
+    fields -- :class:`~repro.memory.emulated.EmuOpRecord` in practice.
+    Writes pending at the end of a run carry ``resp = inf`` and can
+    never trigger the stale-read rule.  ``require_atomic`` adds the
+    new/old-inversion rule (condition 3) on top of the regularity rules
+    (conditions 1-2).
+    """
+    by_register: Dict[str, List[Any]] = {}
+    for rec in history:
+        by_register.setdefault(rec.register, []).append(rec)
+
+    report = LinearizabilityReport(ok=True)
+    for register, ops in sorted(by_register.items()):
+        report.registers_checked += 1
+        report.ops_checked += len(ops)
+        writes = [o for o in ops if o.kind == "write"]
+        reads = [o for o in ops if o.kind == "read"]
+
+        # Distinct timestamps: two completed writes claiming the same
+        # (counter, pid) stamp would make "the value a read returned"
+        # ambiguous; report it cleanly and keep the last per stamp.
+        write_by_ts: Dict[Tuple[int, int], Any] = {}
+        for w in writes:
+            if w.ts in write_by_ts:
+                report.violations.append(
+                    Violation(
+                        register,
+                        "duplicate-timestamp",
+                        f"two writes claim timestamp {w.ts} "
+                        f"(second spans [{w.inv}, {w.resp}])",
+                    )
+                )
+            write_by_ts[w.ts] = w
+
+        # Prefix maxima of completed-write timestamps by response time:
+        # completed_max_ts_before(t) in O(log W) per read.
+        completed = sorted((w for w in writes if w.resp != float("inf")), key=lambda w: w.resp)
+        resp_times: List[float] = []
+        prefix_max: List[Tuple[Tuple[int, int], Any]] = []
+        best: Tuple[Tuple[int, int], Any] = (_INITIAL_TS, None)
+        for w in completed:
+            if w.ts > best[0]:
+                best = (w.ts, w)
+            resp_times.append(w.resp)
+            prefix_max.append(best)
+
+        for r in reads:
+            w = write_by_ts.get(r.ts)
+            if r.ts != _INITIAL_TS and w is None:
+                report.violations.append(
+                    Violation(
+                        register,
+                        "phantom-read",
+                        f"read [{r.inv}, {r.resp}] returned unknown timestamp {r.ts}",
+                    )
+                )
+                continue
+            # Rule 1: no read from the future.
+            if w is not None and w.inv > r.resp:
+                report.violations.append(
+                    Violation(
+                        register,
+                        "read-from-future",
+                        f"read [{r.inv}, {r.resp}] returned timestamp {r.ts} "
+                        f"whose write was invoked at {w.inv}",
+                    )
+                )
+            # Rule 2: no stale read -- a strictly newer write must not
+            # have completed before the read was invoked.
+            idx = bisect.bisect_left(resp_times, r.inv)
+            if idx > 0:
+                newest_ts, newest = prefix_max[idx - 1]
+                if newest_ts > r.ts:
+                    report.violations.append(
+                        Violation(
+                            register,
+                            "stale-read",
+                            f"read [{r.inv}, {r.resp}] returned timestamp {r.ts} "
+                            f"but write {newest_ts} responded at {newest.resp}",
+                        )
+                    )
+
+        # Rule 3 (atomic only): no new/old inversion between
+        # non-overlapping reads.  Sweep reads by invocation, keeping the
+        # max timestamp among reads already responded.
+        if require_atomic:
+            by_inv = sorted(reads, key=lambda r: r.inv)
+            by_resp = sorted(reads, key=lambda r: r.resp)
+            max_done: Tuple[Tuple[int, int], Any] = (_INITIAL_TS, None)
+            done_idx = 0
+            for r in by_inv:
+                while done_idx < len(by_resp) and by_resp[done_idx].resp < r.inv:
+                    prev = by_resp[done_idx]
+                    if prev.ts > max_done[0]:
+                        max_done = (prev.ts, prev)
+                    done_idx += 1
+                if max_done[1] is not None and max_done[0] > r.ts:
+                    witness = max_done[1]
+                    report.violations.append(
+                        Violation(
+                            register,
+                            "new-old-inversion",
+                            f"read ending {witness.resp} saw timestamp {witness.ts}; "
+                            f"later read starting {r.inv} saw older timestamp {r.ts}",
+                        )
+                    )
+
+    report.ok = not report.violations
+    return report
+
+
+def check_regular_history(history: Sequence[Any]) -> LinearizabilityReport:
+    """Regularity audit of a timestamped interval history.
+
+    Every read must return the last completed write's value or one
+    concurrent with the read (conditions 1-2 of the module docstring).
+    This is the level the paper requires and what the emulation's
+    default ``"regular"`` consistency provides, so regular-level runs
+    must pass this check -- while possibly failing
+    :func:`check_atomic_history` (new/old inversions are regular-legal).
+    """
+    return _check_interval_history(history, require_atomic=False)
+
+
+def check_atomic_history(history: Sequence[Any]) -> LinearizabilityReport:
+    """Atomicity (linearizability) audit of a timestamped interval history.
+
+    All three conditions of the module docstring; the emulation's
+    ``"atomic"`` consistency level (reads with the ABD write-back
+    phase) must produce zero violations here.
+    """
+    return _check_interval_history(history, require_atomic=True)
+
+
+__all__ = [
+    "LinearizabilityReport",
+    "Violation",
+    "check_atomic_history",
+    "check_regular_history",
+    "check_single_writer_history",
+]

@@ -18,14 +18,21 @@ assumptions the related work uses:
   designated source set** are delivered within a bound; everything else
   stays fair-lossy.
 
+Beyond timing and loss, a behaviour may implement the optional
+``delivery_plan(message)`` hook to *mutate* traffic -- returning any
+number of ``(delay, message)`` deliveries per send.  That is how the
+mutating-fault adversaries work: :class:`CorruptingLinks` flips payload
+values in flight and :class:`DuplicatingLinks` delivers some messages
+twice (the ROADMAP's "Byzantine / mutating link faults" axis).
+
 This mirrors how :mod:`repro.sim.schedulers` realizes AWB1: the
 assumption lives in the environment model, not in the algorithm.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Protocol
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, List, Optional, Protocol, Tuple
 
 from repro.sim.rng import RngRegistry
 
@@ -246,6 +253,103 @@ class SourceChurnLinks:
         return self.base.delivery_delay(message)
 
 
+def _corrupt_value(value: Any, stream: Any) -> Any:
+    """A *different* value of the same shape (bool flip, int jitter)."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + stream.randrange(1, 6)
+    return value
+
+
+class CorruptingLinks:
+    """Mutating-fault adversary: values are occasionally corrupted in flight.
+
+    Timing delegates to ``base``; with probability ``rate`` the trailing
+    payload field is replaced by a *different* value of the same type
+    (bools flip, ints jitter upward) before delivery.  Only messages
+    whose payload is a tuple ending in an int/bool are eligible -- for
+    the ABD register emulation that is exactly the value-carrying
+    ``abd.write`` and ``abd.read-reply`` traffic, while op-ids, register
+    names and timestamps stay intact.  This is the fault class a correct
+    crash-stop emulation does **not** tolerate: the Theorem 1 audit is
+    expected to *fail* under it (the negative-scenario family), unlike
+    under :class:`DuplicatingLinks`.
+    """
+
+    def __init__(self, base: ChannelBehavior, rng: RngRegistry, rate: float = 0.1) -> None:
+        if not 0 <= rate <= 1:
+            raise ValueError("rate must be in [0, 1]")
+        self.base = base
+        self.rate = rate
+        self._rng = rng
+        self.corrupted = 0
+
+    def delivery_delay(self, message: Message) -> Optional[float]:
+        """Timing is the base model's; corruption never drops."""
+        return self.base.delivery_delay(message)
+
+    def delivery_plan(self, message: Message) -> List[Tuple[Optional[float], Message]]:
+        """One delivery, payload possibly corrupted."""
+        delay = self.base.delivery_delay(message)
+        payload = message.payload
+        if (
+            delay is not None
+            and isinstance(payload, tuple)
+            and payload
+            and isinstance(payload[-1], (bool, int))
+        ):
+            stream = self._rng.stream(f"corrupt:{message.sender}->{message.receiver}")
+            if stream.random() < self.rate:
+                self.corrupted += 1
+                mutated = payload[:-1] + (_corrupt_value(payload[-1], stream),)
+                message = replace(message, payload=mutated)
+        return [(delay, message)]
+
+
+class DuplicatingLinks:
+    """Mutating-fault adversary: some messages are delivered twice.
+
+    Timing delegates to ``base``; with probability ``rate`` a second,
+    later copy of the message is delivered as well.  Quorum protocols
+    built on idempotent, timestamp-monotone application (the ABD
+    emulation) must absorb duplicates without any effect -- the positive
+    twin of :class:`CorruptingLinks` in the mutating-fault family.
+    """
+
+    def __init__(
+        self,
+        base: ChannelBehavior,
+        rng: RngRegistry,
+        rate: float = 0.2,
+        lag: float = 1.0,
+    ) -> None:
+        if not 0 <= rate <= 1:
+            raise ValueError("rate must be in [0, 1]")
+        if lag <= 0:
+            raise ValueError("lag must be positive")
+        self.base = base
+        self.rate = rate
+        self.lag = lag
+        self._rng = rng
+        self.duplicated = 0
+
+    def delivery_delay(self, message: Message) -> Optional[float]:
+        """Timing is the base model's; duplication never drops."""
+        return self.base.delivery_delay(message)
+
+    def delivery_plan(self, message: Message) -> List[Tuple[Optional[float], Message]]:
+        """The base delivery, plus an occasional delayed duplicate."""
+        delay = self.base.delivery_delay(message)
+        fates: List[Tuple[Optional[float], Message]] = [(delay, message)]
+        if delay is not None:
+            stream = self._rng.stream(f"dup:{message.sender}->{message.receiver}")
+            if stream.random() < self.rate:
+                self.duplicated += 1
+                fates.append((delay + self.lag, message))
+        return fates
+
+
 class Network:
     """The message fabric: send, count, deliver through the kernel.
 
@@ -267,22 +371,33 @@ class Network:
         self._deliver_cb = callback
 
     def send(self, sender: int, receiver: int, kind: str, payload: Any) -> None:
-        """Send one message; the channel decides its fate."""
+        """Send one message; the channel decides its fate.
+
+        A behaviour with the optional ``delivery_plan`` hook may return
+        any number of ``(delay, message)`` deliveries per send (mutated
+        payloads, duplicates); plain behaviours yield exactly one fate
+        via ``delivery_delay``.
+        """
         message = Message(sender, receiver, kind, payload, self._sim.now)
         self.sent_by_pid[sender] = self.sent_by_pid.get(sender, 0) + 1
-        delay = self.behavior.delivery_delay(message)
-        if delay is None:
-            self.dropped += 1
-            return
-        if delay <= 0:
-            raise ValueError("channel behaviour produced non-positive delay")
+        plan = getattr(self.behavior, "delivery_plan", None)
+        if plan is not None:
+            fates = plan(message)
+        else:
+            fates = [(self.behavior.delivery_delay(message), message)]
+        for delay, fated in fates:
+            if delay is None:
+                self.dropped += 1
+                continue
+            if delay <= 0:
+                raise ValueError("channel behaviour produced non-positive delay")
 
-        def deliver() -> None:
-            self.delivered += 1
-            assert self._deliver_cb is not None
-            self._deliver_cb(message)
+            def deliver(msg: Message = fated) -> None:
+                self.delivered += 1
+                assert self._deliver_cb is not None
+                self._deliver_cb(msg)
 
-        self._sim.schedule_after(delay, deliver, kind="message", pid=receiver)
+            self._sim.schedule_after(delay, deliver, kind="message", pid=receiver)
 
     def broadcast(self, sender: int, n: int, kind: str, payload: Any) -> None:
         """Send to every process except the sender."""
@@ -298,6 +413,8 @@ class Network:
 
 __all__ = [
     "ChannelBehavior",
+    "CorruptingLinks",
+    "DuplicatingLinks",
     "EventuallyTimelyLinks",
     "FairLossyLinks",
     "Message",

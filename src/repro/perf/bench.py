@@ -46,6 +46,7 @@ class BenchResult:
     meta: Dict[str, Any] = field(default_factory=dict)
 
     def to_jsonable(self) -> Dict[str, Any]:
+        """The JSON form stored in BENCH_perf.json (name is the key)."""
         return {
             "value": self.value,
             "unit": self.unit,

@@ -73,9 +73,11 @@ class StabilizationMonitor:
         self._values_seen: Dict[int, Set[int]] = {}
 
     def observe_crash(self, time: float, pid: int) -> None:
+        """Note a crash: the pid's samples stop counting for the verdict."""
         self._crashed.add(pid)
 
     def observe_sample(self, time: float, pid: int, leader: int) -> None:
+        """Feed one sampled ``leader()`` output; tracks streaks and churn."""
         if pid not in self._last:
             self._last[pid] = leader
             self._streak_start[pid] = time
@@ -89,6 +91,7 @@ class StabilizationMonitor:
             self._changes[pid] += 1
 
     def finish(self) -> LeadershipVerdict:
+        """Fold the samples into the Theorem 1 verdict."""
         correct = [pid for pid in self._last if pid not in self._crashed]
         churn_all = sum(self._changes.values())
         if not correct:
@@ -181,6 +184,7 @@ class BoundednessMonitor:
         self._tail_record_times: Dict[str, List[float]] = {}
 
     def observe_write(self, time: float, pid: int, register: str, value: object) -> None:
+        """Feed one write; records when a register sets a new numeric max."""
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             return
         v = float(value)
@@ -206,6 +210,7 @@ class BoundednessMonitor:
         leader: Optional[int] = None,
         settle_time: Optional[float] = None,
     ) -> BoundednessVerdict:
+        """Fold the record-setting writes into the Theorem 2 verdict."""
         growing = self.growing_registers(since=settle_time)
         allowed = {progress_register(leader)} if leader is not None else set()
         offending = tuple(name for name in growing if name not in allowed)
@@ -252,12 +257,14 @@ class SingleWriterMonitor:
         self._last_by_register: Dict[str, float] = {}
 
     def observe_write(self, time: float, pid: int, register: str, value: object) -> None:
+        """Feed one write; keeps last-write times per pid and register."""
         self._last_by_pid[pid] = max(time, self._last_by_pid.get(pid, time))
         self._last_by_register[register] = max(
             time, self._last_by_register.get(register, time)
         )
 
     def finish(self, leader: Optional[int] = None) -> SingleWriterVerdict:
+        """Fold the tail writers/registers into the Theorem 3 verdict."""
         writers = tuple(
             sorted(p for p, t in self._last_by_pid.items() if t >= self.tail_start)
         )
@@ -326,6 +333,7 @@ class WriteOptimalityMonitor:
         self._writes_by_pid: Dict[int, int] = {}
 
     def observe_write(self, time: float, pid: int, register: str, value: object) -> None:
+        """Feed one write into its O(1)-indexed census window."""
         writes = self._writes_by_pid
         writes[pid] = writes.get(pid, 0) + 1
         if time < self._start:
@@ -350,12 +358,14 @@ class WriteOptimalityMonitor:
                 self._writers[idx].add(pid)
 
     def forever_writers(self) -> Tuple[int, ...]:
+        """Pids that wrote in every census window."""
         result = set(self._writers[0])
         for writers in self._writers[1:]:
             result &= writers
         return tuple(sorted(result))
 
     def finish(self, leader: Optional[int] = None) -> WriteOptimalityVerdict:
+        """Fold the windowed census into the Theorem 4 verdict."""
         forever = self.forever_writers()
         if leader is not None:
             holds = forever == (leader,)

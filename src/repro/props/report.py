@@ -43,6 +43,7 @@ class TheoremVerdict:
         return self.expected and not self.holds
 
     def to_jsonable(self) -> Dict[str, Any]:
+        """The plain-JSON form (RunSummary embedding)."""
         return {
             "theorem": self.theorem,
             "name": self.name,
@@ -53,6 +54,7 @@ class TheoremVerdict:
 
     @classmethod
     def from_jsonable(cls, payload: Mapping[str, Any]) -> "TheoremVerdict":
+        """Rebuild a verdict from its JSON form."""
         return cls(
             theorem=int(payload["theorem"]),
             name=str(payload["name"]),
@@ -78,6 +80,7 @@ class PropertyReport:
 
     @property
     def ok(self) -> bool:
+        """True when no claimed theorem was violated."""
         return not self.violations()
 
     def violations(self) -> List[TheoremVerdict]:
@@ -85,6 +88,7 @@ class PropertyReport:
         return [v for v in self.verdicts if v.violated]
 
     def verdict(self, theorem: int) -> TheoremVerdict:
+        """The verdict for one theorem number (KeyError if unchecked)."""
         for v in self.verdicts:
             if v.theorem == theorem:
                 return v
@@ -92,6 +96,7 @@ class PropertyReport:
 
     # ------------------------------------------------------------------
     def to_jsonable(self) -> Dict[str, Any]:
+        """The plain-JSON form (RunSummary embedding)."""
         return {
             "algorithm": self.algorithm,
             "assumption": self.assumption,
@@ -102,6 +107,7 @@ class PropertyReport:
 
     @classmethod
     def from_jsonable(cls, payload: Mapping[str, Any]) -> "PropertyReport":
+        """Rebuild a report from its JSON form."""
         return cls(
             algorithm=str(payload["algorithm"]),
             assumption=str(payload["assumption"]),

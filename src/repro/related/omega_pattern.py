@@ -91,6 +91,7 @@ class PatternOmega(MpProcess):
 
     # ------------------------------------------------------------------
     def on_start(self) -> None:
+        """Open the first query round at process start."""
         self._open_round()
 
     def _open_round(self) -> None:
@@ -108,6 +109,8 @@ class PatternOmega(MpProcess):
         self._open_round()
 
     def on_message(self, message: Message) -> None:
+        """Merge gossiped miss counters; answer queries; close the round
+        once the first ``n - t`` responders are in."""
         if message.kind == "QUERY":
             seq, counters = message.payload
             self._merge(counters)
@@ -128,6 +131,7 @@ class PatternOmega(MpProcess):
 
     # ------------------------------------------------------------------
     def peek_leader(self) -> int:
+        """The lexicographically minimal ``(miss count, pid)`` process."""
         return lexmin_pair((self.misses[j], j) for j in range(self.n))[1]
 
 

@@ -61,12 +61,14 @@ class TSourceOmega(MpProcess):
 
     # ------------------------------------------------------------------
     def on_start(self) -> None:
+        """Arm the heartbeat and one watchdog timer per peer."""
         self.set_timer("heartbeat", self.period)
         for j in range(self.n):
             if j != self.pid:
                 self.set_timer(f"watch:{j}", self.timeout[j])
 
     def on_timer(self, tag: str) -> None:
+        """Heartbeat: broadcast ALIVE; watchdog: accuse the silent peer."""
         if tag == "heartbeat":
             self.broadcast("ALIVE", list(self.accusations))
             self.set_timer("heartbeat", self.period)
@@ -81,6 +83,8 @@ class TSourceOmega(MpProcess):
         self.set_timer(tag, self.timeout[j])
 
     def on_message(self, message: Message) -> None:
+        """Note the sender alive, undo false accusations (doubling its
+        timeout), and merge the gossiped accusation counters."""
         if message.kind != "ALIVE":
             return
         j = message.sender
@@ -95,6 +99,7 @@ class TSourceOmega(MpProcess):
 
     # ------------------------------------------------------------------
     def peek_leader(self) -> int:
+        """The lexicographically minimal ``(accusations, pid)`` process."""
         return lexmin_pair((self.accusations[j], j) for j in range(self.n))[1]
 
 

@@ -45,6 +45,7 @@ class FixedDelay:
     step: float = 1.0
 
     def delay(self, pid: int, now: float) -> float:
+        """The fixed step duration (rejects a non-positive config)."""
         if self.step <= 0:
             raise ValueError("step delay must be positive")
         return self.step
@@ -65,6 +66,7 @@ class UniformDelay:
         self._rng = rng
 
     def delay(self, pid: int, now: float) -> float:
+        """A uniform draw in ``[lo, hi]`` from the pid's stream."""
         return self._rng.stream(f"delay:{pid}").uniform(self.lo, self.hi)
 
 
@@ -93,6 +95,7 @@ class HeavyTailDelay:
         self._rng = rng
 
     def delay(self, pid: int, now: float) -> float:
+        """A capped Pareto draw: mostly fast, occasionally very slow."""
         u = self._rng.stream(f"delay:{pid}").random()
         # Inverse-CDF sample of a Pareto(shape) scaled by `scale`.
         raw = self.scale / max(1e-12, (1.0 - u)) ** (1.0 / self.shape)
@@ -141,6 +144,7 @@ class PartiallySynchronousDelay:
         self._rng = rng
 
     def delay(self, pid: int, now: float) -> float:
+        """Timely band for designated pids after gst; ``base`` otherwise."""
         if pid in self.timely_pids and now >= self.gst:
             return self._rng.stream(f"timely:{pid}").uniform(self.timely_lo, self.timely_hi)
         return self.base.delay(pid, now)
@@ -173,6 +177,7 @@ class AdversarialStallDelay:
         self.stalls = sorted(stalls, key=lambda s: (s.pid, s.start))
 
     def delay(self, pid: int, now: float) -> float:
+        """The base delay, pushed past any stall window it lands in."""
         d = self.base.delay(pid, now)
         wake = now + d
         for stall in self.stalls:
@@ -193,6 +198,7 @@ class CompositeDelay:
         self.per_pid = dict(per_pid or {})
 
     def delay(self, pid: int, now: float) -> float:
+        """Delegate to the pid's own model, or the default."""
         model = self.per_pid.get(pid, self.default)
         return model.delay(pid, now)
 
@@ -231,6 +237,7 @@ class GstRampDelay:
         self._rng = rng
 
     def delay(self, pid: int, now: float) -> float:
+        """A timely draw scaled by the linearly decaying ramp factor."""
         base = self._rng.stream(f"delay:{pid}").uniform(self.lo, self.hi)
         if self.timely_pids is not None and pid not in self.timely_pids:
             # Non-designated processes stay at the ramp's start forever
@@ -281,6 +288,7 @@ class AlternatingBurstDelay:
         self._rng = rng
 
     def delay(self, pid: int, now: float) -> float:
+        """Calm- or burst-band draw by cycle phase (timely pids exit at gst)."""
         stream = self._rng.stream(f"delay:{pid}")
         if pid in self.timely_pids and now >= self.gst:
             return stream.uniform(self.calm_lo, self.calm_hi)
@@ -335,6 +343,7 @@ class ChurningTimelyDelay:
         return self.candidates[int(now // self.epoch) % len(self.candidates)]
 
     def delay(self, pid: int, now: float) -> float:
+        """Timely band for the epoch's rotating witness; ``base`` otherwise."""
         if pid == self.timely_at(now):
             return self._rng.stream(f"timely:{pid}").uniform(self.timely_lo, self.timely_hi)
         return self.base.delay(pid, now)
@@ -353,6 +362,7 @@ class RampDelay:
     rate: float = 0.01
 
     def delay(self, pid: int, now: float) -> float:
+        """``base * (1 + rate * now)`` -- grows without bound (violates AWB1)."""
         if self.base <= 0 or self.rate < 0:
             raise ValueError("base must be positive and rate non-negative")
         return self.base * (1.0 + self.rate * now)

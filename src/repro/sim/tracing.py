@@ -42,6 +42,7 @@ class TraceRecord:
         return self.fields[key]
 
     def get(self, key: str, default: Any = None) -> Any:
+        """Field lookup with a default, dict-style."""
         return self.fields.get(key, default)
 
 

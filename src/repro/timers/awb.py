@@ -48,6 +48,7 @@ class AccurateTimer(_HistoryMixin):
     """
 
     def duration(self, pid: int, tau: float, x: float) -> float:
+        """Exactly the requested timeout ``x``."""
         return self._remember(tau, x, max(x, 1e-9))
 
 
@@ -95,6 +96,7 @@ class AsymptoticallyWellBehavedTimer(_HistoryMixin):
         self._rng = rng
 
     def duration(self, pid: int, tau: float, x: float) -> float:
+        """Arbitrary during the chaos era; ``f(tau, x)`` plus jitter after."""
         stream = self._rng.stream(f"timer:{pid}")
         if tau < self.chaos_until:
             d = stream.uniform(self.chaos_lo, self.chaos_hi)
@@ -130,6 +132,7 @@ class EventuallyMonotoneTimer(_HistoryMixin):
         self._rng = rng
 
     def duration(self, pid: int, tau: float, x: float) -> float:
+        """Arbitrary before ``accurate_after``; exactly ``alpha * x`` after."""
         stream = self._rng.stream(f"timer:{pid}")
         if tau < self.accurate_after:
             d = stream.uniform(self.chaos_lo, self.chaos_hi)
@@ -157,6 +160,7 @@ class CappedTimer(_HistoryMixin):
         self._rng = rng
 
     def duration(self, pid: int, tau: float, x: float) -> float:
+        """Never exceeds ``cap``, whatever ``x`` asks (violates AWB2)."""
         stream = self._rng.stream(f"timer:{pid}")
         d = min(max(x, self.lo), self.cap) * stream.uniform(0.5, 1.0)
         return self._remember(tau, x, max(d, self.lo))

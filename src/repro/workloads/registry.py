@@ -58,6 +58,10 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "replica-crash": scen_mod.replica_crash,
     "emulated-lossy": scen_mod.emulated_lossy,
     "emulated-gst-ramp": scen_mod.emulated_gst_ramp,
+    # The atomic consistency level: write-back reads with the recorded
+    # history audited by the interval-order checkers.
+    "nominal-emulated-atomic": scen_mod.nominal_emulated_atomic,
+    "replica-crash-atomic": scen_mod.replica_crash_atomic,
 }
 
 

@@ -115,6 +115,15 @@ class Scenario:
     #: (replica count, link model, replica crashes); empty means the
     #: emulation defaults, and it is ignored by the shared backend.
     emulation: Dict[str, Any] = field(default_factory=dict)
+    #: Consistency level of the emulated registers
+    #: (:data:`repro.memory.emulated.CONSISTENCY_LEVELS`): ``"regular"``
+    #: single-phase reads (all the paper needs) or ``"atomic"``
+    #: write-back reads.  ``None`` -- the default -- defers to the
+    #: ``consistency`` key of :attr:`emulation` (itself defaulting to
+    #: regular); a set value overrides that key.  Ignored by the shared
+    #: backend, whose instantaneous registers are atomic by
+    #: construction.
+    consistency: Optional[str] = None
     #: ``(factory_name, kwargs)`` attached by :func:`scenario_factory`;
     #: lets the parallel engine rebuild this scenario in a worker
     #: process.  ``None`` for hand-built instances (in-process only).
@@ -140,13 +149,16 @@ class Scenario:
             trace_events=self.trace_events,
             memory=self.memory,
             emulation=dict(self.emulation) or None,
+            consistency=self.consistency if self.memory == "emulated" else None,
         )
         kwargs.update(overrides)
         if kwargs.get("memory") == "shared":
             # Forcing an emulated scenario back onto the shared backend
             # (e.g. ``repro run --memory shared``) drops the emulation
-            # knobs instead of tripping the dead-configuration guard.
+            # knobs (consistency included) instead of tripping the
+            # dead-configuration guards.
             kwargs["emulation"] = None
+            kwargs["consistency"] = None
         return Run(algorithm_cls, self.n, **kwargs)
 
     def run(self, algorithm_cls: Type[OmegaAlgorithm], seed: int = 0, **overrides: Any) -> RunResult:
@@ -778,6 +790,59 @@ def replica_crash(
 
 
 @scenario_factory
+def nominal_emulated_atomic(
+    n: int = 4,
+    horizon: float = 9000.0,
+    replicas: int = 3,
+    delta: float = 0.25,
+) -> Scenario:
+    """:func:`nominal_emulated` at the atomic consistency level.
+
+    Every read runs the ABD write-back phase, and the per-operation
+    history recorder is on: the run's interval history is audited by
+    :func:`repro.memory.linearizability.check_atomic_history` and must
+    be linearizable -- turning "the emulation is correct" from an
+    assumption into a checked property (``repro check`` includes this
+    cell).  The horizon scales up again over :func:`nominal_emulated`
+    because the write-back doubles every read's quorum cost
+    (Algorithm 2's hand-shake feels it most).
+    """
+    base = nominal_emulated(n, horizon, replicas, "sync", delta)
+    base.name = f"nominal-emulated-atomic-n{n}"
+    base.description += ", atomic (write-back) reads, history audited"
+    base.consistency = "atomic"
+    base.emulation = {**base.emulation, "record_history": True}
+    return base
+
+
+@scenario_factory
+def replica_crash_atomic(
+    n: int = 4,
+    horizon: float = 14000.0,
+    replicas: int = 5,
+    crash_replicas: int = 2,
+    crash_at_fraction: float = 0.25,
+    crash_spacing: float = 50.0,
+    delta: float = 0.25,
+) -> Scenario:
+    """:func:`replica_crash` at the atomic consistency level.
+
+    The harder audit cell: write-back phases must keep assembling
+    majorities while a minority of replicas crash-stops under them, and
+    the recorded history must *still* be linearizable -- quorum
+    intersection among the survivors is exactly what ABD promises.
+    """
+    base = replica_crash(
+        n, horizon, replicas, crash_replicas, crash_at_fraction, crash_spacing, delta
+    )
+    base.name = f"replica-crash-atomic-n{n}"
+    base.description += "; atomic (write-back) reads, history audited"
+    base.consistency = "atomic"
+    base.emulation = {**base.emulation, "record_history": True}
+    return base
+
+
+@scenario_factory
 def emulated_lossy(
     n: int = 3,
     horizon: float = 9000.0,
@@ -985,8 +1050,10 @@ __all__ = [
     "near_all_cascade",
     "nominal",
     "nominal_emulated",
+    "nominal_emulated_atomic",
     "random_faults",
     "replica_crash",
+    "replica_crash_atomic",
     "san",
     "scenario_factory",
     "scramble_registers",

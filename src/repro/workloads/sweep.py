@@ -47,6 +47,7 @@ class SweepRow:
 
     @staticmethod
     def headers() -> List[str]:
+        """Column names of the printed sweep table."""
         return [
             "algorithm",
             "scenario",
@@ -62,6 +63,7 @@ class SweepRow:
         ]
 
     def cells(self) -> List[object]:
+        """This row's printable cell values, in header order."""
         return [
             self.algorithm,
             self.scenario,
@@ -130,6 +132,7 @@ def _ref_is_faithful(scenario: Scenario) -> bool:
         "assumption",
         "memory",
         "emulation",
+        "consistency",
     )
     callables = ("make_delay", "make_timers", "make_crash_plan", "make_disk", "scramble")
     return all(

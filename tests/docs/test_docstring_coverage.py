@@ -44,11 +44,13 @@ def test_documented_packages_at_full_coverage():
 
 
 def test_whole_tree_above_floor():
-    """Floor for the whole tree (many misses are interface-method
-    overrides documented on their base class, so the floor is below the
-    per-package 100% pins)."""
+    """Floor for the whole tree, ratcheted 80% -> 95% once the
+    interface-method overrides (``repro.apps``, ``repro.related``, the
+    algorithm/timer/scheduler families) got their own one-liners; the
+    remaining slack is headroom for work-in-progress code, not a
+    license to land undocumented surface."""
     report = tool.scan_paths([REPO_ROOT / "src" / "repro"])
-    assert report.percent >= 80.0, (
+    assert report.percent >= 95.0, (
         f"src/repro docstring coverage fell to {report.percent:.1f}%:\n"
         + "\n".join(report.missing)
     )

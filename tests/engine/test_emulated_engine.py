@@ -1,4 +1,4 @@
-"""The memory-backend axis through the parallel experiment engine."""
+"""The memory-backend and consistency axes through the parallel engine."""
 
 from __future__ import annotations
 
@@ -9,7 +9,11 @@ from repro.engine.spec import ExperimentSpec
 from repro.engine.summary import RunSummary
 from repro.engine.worker import run_cell
 from repro.workloads.registry import ALGORITHMS
-from repro.workloads.scenarios import nominal, nominal_emulated
+from repro.workloads.scenarios import (
+    nominal,
+    nominal_emulated,
+    nominal_emulated_atomic,
+)
 
 
 def small_spec(**kwargs) -> ExperimentSpec:
@@ -96,3 +100,102 @@ def test_summary_backend_fields_round_trip_jsonl():
     assert restored.memory_backend == "emulated"
     assert restored.messages_sent == summary.messages_sent
     assert restored == summary
+
+
+# ----------------------------------------------------------------------
+# The consistency axis
+# ----------------------------------------------------------------------
+def emu_spec(**kwargs) -> ExperimentSpec:
+    return ExperimentSpec.from_objects(
+        "emu-test",
+        {"alg1": ALGORITHMS["alg1"]},
+        [nominal_emulated(n=3, horizon=1500.0)],
+        [0],
+        **kwargs,
+    )
+
+
+def test_spec_consistency_default_and_payload():
+    spec = emu_spec()
+    assert spec.consistency is None  # None = leave each scenario's level in force
+    assert spec.to_payload()["consistency"] is None
+    assert emu_spec(consistency="atomic").to_payload()["consistency"] == "atomic"
+
+
+def test_spec_rejects_unknown_consistency():
+    with pytest.raises(ValueError, match="unknown consistency level"):
+        emu_spec(consistency="sequential")
+
+
+def test_consistency_axis_changes_content_hash():
+    assert emu_spec().content_hash() != emu_spec(consistency="atomic").content_hash()
+
+
+def test_worker_forces_consistency_onto_emulated_cell():
+    spec = emu_spec(consistency="atomic")
+    summary = run_cell(spec.cells()[0], consistency=spec.consistency)
+    assert summary.memory_backend == "emulated"
+    assert summary.consistency == "atomic"
+    assert summary.stabilized
+
+
+def test_worker_consistency_ignored_on_shared_cells():
+    """Forcing a level onto a shared-backend cell is a no-op, not an
+    error: the override only ever applies to emulated cells."""
+    spec = small_spec(consistency="atomic")
+    summary = run_cell(spec.cells()[0], consistency=spec.consistency)
+    assert summary.memory_backend == "shared"
+    assert summary.audit_ok is None
+
+
+def test_worker_default_keeps_scenario_consistency():
+    spec = ExperimentSpec.from_objects(
+        "emu-test",
+        {"alg1": ALGORITHMS["alg1"]},
+        [nominal_emulated_atomic(n=3, horizon=1500.0)],
+        [0],
+    )
+    summary = run_cell(spec.cells()[0], consistency=spec.consistency)
+    assert summary.consistency == "atomic"
+    assert summary.audit_ok is True and summary.audit_ops > 0
+
+
+def test_summary_audit_fields_round_trip_jsonl():
+    spec = ExperimentSpec.from_objects(
+        "emu-test",
+        {"alg1": ALGORITHMS["alg1"]},
+        [nominal_emulated_atomic(n=3, horizon=1500.0)],
+        [0],
+    )
+    summary = run_cell(spec.cells()[0])
+    restored = RunSummary.from_jsonable(summary.to_jsonable())
+    assert restored.consistency == "atomic"
+    assert restored.audit_ok is True
+    assert restored.audit_ops == summary.audit_ops
+    assert restored == summary
+
+
+def test_fast_path_byte_stable_with_recorder_off():
+    """Guards the PR 3 fast path: with the recorder off (the default),
+    fast and traced emulated cells produce byte-identical summaries --
+    audit fields stay at their None/0 rest state in both."""
+    cell = emu_spec().cells()[0]
+    fast = run_cell(cell, fast=True)
+    traced = run_cell(cell, fast=False)
+    assert fast.audit_ok is None and traced.audit_ok is None
+    assert fast.canonical_json() == traced.canonical_json()
+
+
+def test_fast_path_byte_stable_with_recorder_on():
+    """The recorder is orthogonal to the fast path: atomic+recorded
+    cells are byte-identical fast vs traced too."""
+    cell = ExperimentSpec.from_objects(
+        "emu-test",
+        {"alg1": ALGORITHMS["alg1"]},
+        [nominal_emulated_atomic(n=3, horizon=1500.0)],
+        [0],
+    ).cells()[0]
+    fast = run_cell(cell, fast=True)
+    traced = run_cell(cell, fast=False)
+    assert fast.audit_ok is True
+    assert fast.canonical_json() == traced.canonical_json()

@@ -1,0 +1,65 @@
+"""The pinned regular-vs-atomic anomaly (the positive/negative pair).
+
+The acceptance pair of the consistency-level subsystem: one
+deterministic schedule whose regular-level history is genuinely
+non-atomic (flagged by the atomic checker, passed by the regularity
+checker) and whose atomic-level twin -- same timing, write-back reads --
+is linearizable.  If either side ever flips, either the emulation or a
+checker broke.
+"""
+
+from __future__ import annotations
+
+from repro.memory.anomaly import FAST, FAST_PAIRS, SLOW, PartitionedLinks, anomaly_history
+from repro.memory.linearizability import check_atomic_history, check_regular_history
+from repro.netsim.network import Message
+
+
+class TestPinnedPair:
+    def test_regular_history_is_regular_but_not_atomic(self):
+        history = anomaly_history("regular")
+        assert check_regular_history(history).ok
+        report = check_atomic_history(history)
+        assert not report.ok
+        assert [v.rule for v in report.violations] == ["new-old-inversion"]
+
+    def test_atomic_history_is_linearizable(self):
+        history = anomaly_history("atomic")
+        assert check_atomic_history(history).ok
+        assert check_regular_history(history).ok
+
+    def test_inversion_shape(self):
+        """The anomaly is the textbook one: reader 1 sees the in-flight
+        write, reader 2 (strictly later) sees the initial value."""
+        by_pid = {rec.pid: rec for rec in anomaly_history("regular") if rec.kind == "read"}
+        assert by_pid[1].value == 1 and by_pid[2].value == 0
+        assert by_pid[1].resp < by_pid[2].inv  # non-overlapping reads
+
+    def test_write_back_carries_the_value_to_the_shared_replica(self):
+        """At the atomic level reader 2 must see the new value (the
+        write-back's majority intersects its own in replica 2)."""
+        by_pid = {rec.pid: rec for rec in anomaly_history("atomic") if rec.kind == "read"}
+        assert by_pid[1].value == 1 and by_pid[2].value == 1
+
+    def test_deterministic(self):
+        assert anomaly_history("regular") == anomaly_history("regular")
+        assert anomaly_history("atomic") == anomaly_history("atomic")
+
+
+class TestPartitionedLinks:
+    def _delay(self, links, sender, receiver):
+        return links.delivery_delay(
+            Message(sender=sender, receiver=receiver, kind="k", payload=(), sent_at=0.0)
+        )
+
+    def test_fast_pairs_are_fast_both_directions(self):
+        links = PartitionedLinks()
+        for client, replica in FAST_PAIRS:
+            node = -(replica + 1)
+            assert self._delay(links, client, node) == FAST
+            assert self._delay(links, node, client) == FAST
+
+    def test_other_pairs_are_slow(self):
+        links = PartitionedLinks()
+        assert self._delay(links, 0, -5) == SLOW  # writer to replica 4
+        assert self._delay(links, 2, -1) == SLOW  # reader 2 to replica 0

@@ -56,6 +56,29 @@ def test_link_model_registry_covers_adversaries():
     assert {"sync", "timely", "lossy", "gst-ramp"} <= set(LINK_MODELS)
 
 
+def test_link_model_registry_covers_mutating_faults():
+    assert {"corruption", "duplication"} <= set(LINK_MODELS)
+
+
+def test_config_rejects_unknown_consistency():
+    with pytest.raises(ValueError, match="unknown consistency level"):
+        EmulationConfig(consistency="sequential")
+
+
+def test_config_consistency_round_trip():
+    config = EmulationConfig(consistency="atomic", record_history=True)
+    assert EmulationConfig.from_dict(config.to_dict()) == config
+    assert config.to_dict()["consistency"] == "atomic"
+    assert config.to_dict()["record_history"] is True
+
+
+def test_recorder_and_regular_reads_are_the_defaults():
+    """Perf profiles must not silently pay for write-backs or history."""
+    config = EmulationConfig()
+    assert config.consistency == "regular"
+    assert config.record_history is False
+
+
 # ----------------------------------------------------------------------
 # Quorum operations
 # ----------------------------------------------------------------------
@@ -170,6 +193,118 @@ def test_operations_before_start_rejected():
         mem.emu_read(0, reg, lambda _: None)
     with pytest.raises(RuntimeError, match="not started"):
         mem.emu_write(0, reg, 1, lambda _: None)
+
+
+# ----------------------------------------------------------------------
+# Atomic consistency level (write-back reads) and the history recorder
+# ----------------------------------------------------------------------
+def test_atomic_read_runs_a_write_back_phase():
+    """An atomic read costs a second round trip and counts a write-back."""
+    _, mem_r, reg_r = make_memory()
+    _, mem_a, reg_a = make_memory(consistency="atomic")
+    for mem, reg in ((mem_r, reg_r), (mem_a, reg_a)):
+        mem.emu_write(0, reg, 5, lambda _: None)
+        mem._sim.run(until=5.0)
+        mem.emu_read(1, reg, lambda _: None)
+        mem._sim.run(until=10.0)
+    assert mem_r.write_backs == 0
+    assert mem_a.write_backs == 1
+    # sync links, delta 0.25: one round trip vs two.
+    assert mem_r.read_op_latency == pytest.approx(0.5)
+    assert mem_a.read_op_latency == pytest.approx(1.0)
+
+
+def test_atomic_write_back_propagates_to_lagging_replicas():
+    """The write-back applies the read value at replicas the original
+    write has not reached yet (here: simulated by a fresh value poke on
+    a majority only -- the anomaly module pins the full scenario)."""
+    sim, mem, reg = make_memory(consistency="atomic", replicas=3)
+    mem.emu_write(0, reg, 7, lambda _: None)
+    sim.run(until=5.0)
+    # Regress one replica by hand: a write-back must repair it.
+    mem.replicas[2].store["PROG"] = ((0, -1), 0)
+    got = []
+    mem.emu_read(1, reg, got.append)
+    sim.run(until=10.0)
+    assert got == [7]
+    assert mem.replicas[2].store["PROG"] == ((1, 0), 7)
+
+
+def test_atomic_mwmr_read_write_back():
+    """The (counter, pid)-stamped multi-writer path write-backs too."""
+    sim = Simulator()
+    mem = EmulatedMemory(
+        clock=lambda: sim.now, sim=sim, rng=RngRegistry(3),
+        config=EmulationConfig(consistency="atomic"),
+    )
+    counter = mem.create_mwmr("SUSP", initial=0)
+    mem.start(horizon=1000.0)
+    mem.emu_fetch_add(1, counter, 1, lambda _: None)
+    sim.run(until=10.0)
+    got = []
+    mem.emu_read(2, counter, got.append)
+    sim.run(until=20.0)
+    assert got == [1]
+    assert mem.write_backs == 1  # the fetch&add's own write is not one
+
+
+def test_history_recorder_off_by_default():
+    sim, mem, reg = make_memory()
+    mem.emu_write(0, reg, 1, lambda _: None)
+    sim.run(until=5.0)
+    assert mem.op_history == []
+    assert mem.recorded_history() == []
+
+
+def test_history_recorder_records_completed_intervals():
+    sim, mem, reg = make_memory(record_history=True)
+    mem.emu_write(0, reg, 1, lambda _: None)
+    sim.run(until=5.0)
+    mem.emu_read(1, reg, lambda _: None)
+    sim.run(until=10.0)
+    kinds = [(rec.kind, rec.ts, rec.value) for rec in mem.recorded_history()]
+    assert kinds == [("write", (1, 0), 1), ("read", (1, 0), 1)]
+    write, read = mem.recorded_history()
+    assert write.inv == 0.0 and write.resp == pytest.approx(0.5)
+    assert read.inv == 5.0 and read.resp == pytest.approx(5.5)
+
+
+def test_history_recorder_reports_pending_write_as_unresponded():
+    """A write still in flight at the end carries resp = inf, so a
+    concurrent read returning its timestamp is not a phantom."""
+    import math
+
+    sim, mem, reg = make_memory(record_history=True)
+    mem.emu_write(0, reg, 1, lambda _: None)  # no sim.run: stays pending
+    (pending,) = mem.recorded_history()
+    assert pending.kind == "write" and pending.resp == math.inf
+    assert mem.op_history == []  # nothing completed
+
+
+def test_duplication_links_are_absorbed():
+    """Duplicate deliveries must not disturb the protocol (idempotent
+    timestamped application; completed ops drop late acks)."""
+    sim, mem, reg = make_memory(links="duplication", link_params={"rate": 1.0})
+    done, got = [], []
+    mem.emu_write(0, reg, 9, done.append)
+    sim.run(until=10.0)
+    mem.emu_read(1, reg, got.append)
+    sim.run(until=20.0)
+    assert done == [None] and got == [9]
+    assert mem.network.behavior.duplicated > 0
+    assert reg.peek() == 9 and mem.writes_completed == 1
+
+
+def test_corruption_links_mutate_values_but_not_timestamps():
+    sim, mem, reg = make_memory(links="corruption", link_params={"rate": 1.0})
+    done = []
+    mem.emu_write(0, reg, 100, done.append)
+    sim.run(until=10.0)
+    assert done == [None]
+    assert mem.network.behavior.corrupted > 0
+    ts, value = mem.replicas[0].store["PROG"]
+    assert ts == (1, 0)  # the stamp survives; only the value mutates
+    assert value != 100
 
 
 def test_scrambled_initial_values_seed_replicas():

@@ -1,18 +1,28 @@
-"""The single-writer linearizability checker.
+"""The history checkers: single-writer versions and timestamped intervals.
 
-The checker must accept every history the disk model can actually
-produce (validated end-to-end by the SAN tests) and reject each of the
-three classical violations; hypothesis generates random *legal*
-schedules to probe for false positives.
+The single-writer checker must accept every history the disk model can
+actually produce (validated end-to-end by the SAN tests) and reject
+each of the three classical violations; hypothesis generates random
+*legal* schedules to probe for false positives.  The timestamped
+interval checkers (the ABD emulation's auditors) must split Lamport's
+hierarchy correctly: regularity = conditions 1-2, atomicity adds the
+new/old-inversion rule.
 """
 
 from __future__ import annotations
+
+import math
 
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.memory.disk import DiskOpRecord
-from repro.memory.linearizability import check_single_writer_history
+from repro.memory.emulated import EmuOpRecord
+from repro.memory.linearizability import (
+    check_atomic_history,
+    check_regular_history,
+    check_single_writer_history,
+)
 
 
 def write(version: int, inv: float, resp: float, pid: int = 0, reg: str = "R") -> DiskOpRecord:
@@ -108,6 +118,137 @@ class TestRejects:
         history = [write(0, 5.0, 6.0), write(1, 0.0, 1.0)]
         report = check_single_writer_history(history)
         assert not report.ok
+
+
+class TestReportEdgeCases:
+    def test_empty_history_summary_is_explicitly_vacuous(self):
+        """An empty history must not read like checked evidence."""
+        report = check_single_writer_history([])
+        assert report.ok
+        assert "empty history" in report.summary()
+        assert "no operations" in report.summary()
+
+    def test_long_violation_list_states_elision(self):
+        history = [write(0, 0.0, 1.0)] + [
+            read(7, 2.0 + i, 3.0 + i) for i in range(15)
+        ]
+        report = check_single_writer_history(history)
+        assert not report.ok
+        assert "... and 5 more" in report.summary()
+
+    def test_equal_version_writes_report_cleanly(self):
+        """Two writes claiming one version: one clean duplicate-version
+        violation each extra claimant, no version-gap cascade, no raw
+        record reprs in the detail text."""
+        history = [write(0, 0.0, 1.0), write(0, 2.0, 3.0), write(1, 4.0, 5.0)]
+        report = check_single_writer_history(history)
+        assert not report.ok
+        rules = [v.rule for v in report.violations]
+        assert rules.count("duplicate-version") == 1
+        assert "version-gap" not in rules and "program-order" not in rules
+        assert all("DiskOpRecord" not in v.detail for v in report.violations)
+
+    def test_version_gap_detail_names_expected_and_found(self):
+        report = check_single_writer_history([write(0, 0.0, 1.0), write(2, 2.0, 3.0)])
+        gap = next(v for v in report.violations if v.rule == "version-gap")
+        assert "expected 1" in gap.detail and "found 2" in gap.detail
+
+
+# ----------------------------------------------------------------------
+# Timestamped interval histories (the emulation's recorder shape)
+# ----------------------------------------------------------------------
+def ewrite(ts, inv, resp, pid=0, reg="R", value=1):
+    return EmuOpRecord(
+        op_id=int(inv * 10), kind="write", pid=pid, register=reg,
+        ts=ts, value=value, inv=inv, resp=resp,
+    )
+
+
+def eread(ts, inv, resp, pid=1, reg="R", value=1):
+    return EmuOpRecord(
+        op_id=1000 + int(inv * 10), kind="read", pid=pid, register=reg,
+        ts=ts, value=value, inv=inv, resp=resp,
+    )
+
+
+INITIAL = (0, -1)
+
+
+class TestIntervalCheckersAccept:
+    def test_empty_history(self):
+        assert check_atomic_history([]).ok
+        assert check_regular_history([]).ok
+
+    def test_sequential_history(self):
+        history = [
+            ewrite((1, 0), 0.0, 1.0),
+            eread((1, 0), 2.0, 3.0),
+            ewrite((2, 0), 4.0, 5.0),
+            eread((2, 0), 6.0, 7.0),
+        ]
+        assert check_atomic_history(history).ok
+
+    def test_initial_value_read(self):
+        assert check_atomic_history([eread(INITIAL, 0.0, 1.0), ewrite((1, 0), 2.0, 3.0)]).ok
+
+    def test_read_overlapping_write_may_see_either(self):
+        base = [ewrite((1, 0), 0.0, 1.0), ewrite((2, 0), 2.0, 6.0)]
+        assert check_atomic_history(base + [eread((1, 0), 3.0, 4.0)]).ok
+        assert check_atomic_history(base + [eread((2, 0), 3.0, 4.0)]).ok
+
+    def test_pending_write_never_counts_as_completed(self):
+        """A write with resp = inf (in flight at the horizon) can be
+        read concurrently but never triggers the stale-read rule."""
+        history = [ewrite((1, 0), 0.0, math.inf), eread((1, 0), 2.0, 3.0),
+                   eread(INITIAL, 4.0, 5.0)]
+        assert check_regular_history(history).ok
+
+    def test_multi_writer_timestamps(self):
+        """(counter, pid) stamps from different writers are ordered
+        lexicographically, like the mwmr emulation produces them."""
+        history = [
+            ewrite((1, 1), 0.0, 1.0, pid=1),
+            ewrite((1, 2), 0.5, 1.5, pid=2),
+            eread((1, 2), 2.0, 3.0),
+        ]
+        assert check_atomic_history(history).ok
+
+
+class TestIntervalCheckersReject:
+    def test_read_from_future_fails_both_levels(self):
+        history = [eread((1, 0), 0.0, 1.0), ewrite((1, 0), 2.0, 3.0)]
+        for checker in (check_atomic_history, check_regular_history):
+            report = checker(history)
+            assert any(v.rule == "read-from-future" for v in report.violations)
+
+    def test_stale_read_fails_both_levels(self):
+        history = [ewrite((1, 0), 0.0, 1.0), ewrite((2, 0), 2.0, 3.0),
+                   eread((1, 0), 4.0, 5.0)]
+        for checker in (check_atomic_history, check_regular_history):
+            assert not checker(history).ok
+
+    def test_new_old_inversion_splits_the_levels(self):
+        """The defining difference: regular permits it, atomic forbids it."""
+        history = [
+            ewrite((2, 0), 0.0, 10.0),  # slow write, concurrent with both reads
+            ewrite((1, 0), -2.0, -1.0),
+            eread((2, 0), 1.0, 2.0),
+            eread((1, 0), 3.0, 4.0, pid=2),
+        ]
+        assert check_regular_history(history).ok
+        report = check_atomic_history(history)
+        assert not report.ok
+        assert any(v.rule == "new-old-inversion" for v in report.violations)
+
+    def test_phantom_timestamp(self):
+        report = check_atomic_history([eread((9, 9), 0.0, 1.0)])
+        assert any(v.rule == "phantom-read" for v in report.violations)
+
+    def test_duplicate_timestamp_reported_cleanly(self):
+        history = [ewrite((1, 0), 0.0, 1.0), ewrite((1, 0), 2.0, 3.0)]
+        report = check_atomic_history(history)
+        assert [v.rule for v in report.violations] == ["duplicate-timestamp"]
+        assert "EmuOpRecord" not in report.violations[0].detail
 
 
 class TestNoFalsePositivesOnLegalSchedules:

@@ -100,6 +100,24 @@ class TestParser:
         for name in CHECK_SCENARIOS:
             assert name in SCENARIOS
 
+    def test_check_suite_includes_atomic_audit_cells(self):
+        assert "nominal-emulated-atomic" in CHECK_SCENARIOS
+        assert "replica-crash-atomic" in CHECK_SCENARIOS
+
+    def test_consistency_flags(self):
+        assert build_parser().parse_args(["run"]).consistency is None
+        assert build_parser().parse_args(["sweep"]).consistency is None
+        assert (
+            build_parser().parse_args(["run", "--consistency", "atomic"]).consistency
+            == "atomic"
+        )
+        assert (
+            build_parser().parse_args(["sweep", "--consistency", "regular"]).consistency
+            == "regular"
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--consistency", "sequential"])
+
 
 class TestCommands:
     def test_list_output(self, capsys):
@@ -182,6 +200,60 @@ class TestCommands:
         captured = capsys.readouterr()
         assert code == 2
         assert "repro run: error:" in captured.err and "pick one" in captured.err
+
+    def test_run_atomic_scenario_prints_audit(self, capsys):
+        assert main(
+            ["run", "--algorithm", "alg1", "--scenario", "nominal-emulated-atomic",
+             "--seed", "0", "--n", "3", "--horizon", "1500"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "atomic reads" in out
+        assert "consistency audit: consistent:" in out
+
+    def test_run_consistency_override_on_emulated(self, capsys):
+        assert main(
+            ["run", "--algorithm", "alg1", "--scenario", "nominal", "--seed", "0",
+             "--n", "3", "--horizon", "1000", "--memory", "emulated",
+             "--consistency", "atomic"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "emulated memory, atomic reads" in out
+
+    def test_run_consistency_on_shared_is_friendly(self, capsys):
+        code = main(["run", "--scenario", "nominal", "--consistency", "atomic"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "emulated-backend axis" in captured.err
+
+    def test_sweep_consistency_on_shared_grid_is_friendly(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "alg1", "--scenarios", "nominal",
+             "--seeds", "0", "--consistency", "atomic"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "emulated-backend axis" in captured.err
+
+    def test_sweep_consistency_on_emulated_grid(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--algorithms", "alg1", "--scenarios", "nominal-emulated",
+             "--seeds", "0", "--n", "3", "--horizon", "1000",
+             "--consistency", "atomic", "--jobs", "1",
+             "--results-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out
+
+    def test_check_counts_consistency_audited_cells(self, capsys, tmp_path):
+        code = main(
+            ["check", "--algorithms", "alg1",
+             "--scenarios", "nominal-emulated-atomic",
+             "--seeds", "0", "--jobs", "1", "--results-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 violation(s)" in out
+        assert "1 consistency-audited cell(s)" in out
 
     def test_sweep_reports_cell_failures(self, capsys, tmp_path):
         code = main(

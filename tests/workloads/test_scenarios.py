@@ -129,6 +129,63 @@ class TestAdversarialSuite:
                 assert getattr(rebuilt, field) == getattr(scen, field), factory.__name__
 
 
+class TestConsistencyFamily:
+    def test_recorder_off_in_the_factories_perf_profiles_consume(self):
+        """The perf profiles run `nominal-emulated`; its factory must
+        keep both the write-back phase and the history recorder off so
+        the benchmarked protocol stays the regular single-phase one."""
+        from repro.memory.emulated import EmulationConfig
+        from repro.workloads.registry import build_scenario
+
+        scen = build_scenario("nominal-emulated", {"n": 8})
+        config = EmulationConfig.from_dict(scen.emulation)
+        assert scen.consistency is None  # defer to the emulation dict
+        assert config.record_history is False and config.consistency == "regular"
+
+    def test_emulation_dict_consistency_key_is_honoured(self):
+        """A hand-built scenario may set the level through the emulation
+        dict alone; the field default must defer, not clobber it."""
+        from repro.core.algorithm1 import WriteEfficientOmega
+        from repro.workloads.scenarios import Scenario
+
+        scen = Scenario(
+            name="hand",
+            n=3,
+            horizon=100.0,
+            memory="emulated",
+            emulation={"consistency": "atomic"},
+        )
+        run = scen.build(WriteEfficientOmega, seed=0)
+        assert run.memory.config.consistency == "atomic"
+
+    def test_recorder_on_in_the_atomic_check_scenarios(self):
+        """`repro check`'s atomic cells must actually record, or the
+        audit would be vacuous."""
+        from repro.cli import CHECK_SCENARIOS
+        from repro.memory.emulated import EmulationConfig
+        from repro.workloads.registry import build_scenario
+
+        for name in ("nominal-emulated-atomic", "replica-crash-atomic"):
+            assert name in CHECK_SCENARIOS
+            scen = build_scenario(name, {})
+            assert scen.consistency == "atomic"
+            assert EmulationConfig.from_dict(scen.emulation).record_history is True
+
+    def test_atomic_factories_are_engine_rebuildable(self):
+        from repro.workloads.registry import build_scenario
+        from repro.workloads.scenarios import (
+            nominal_emulated_atomic,
+            replica_crash_atomic,
+        )
+
+        for factory in (nominal_emulated_atomic, replica_crash_atomic):
+            scen = factory()
+            name, kwargs = scen.ref
+            rebuilt = build_scenario(name, kwargs)
+            for field in ("name", "n", "horizon", "consistency", "emulation", "memory"):
+                assert getattr(rebuilt, field) == getattr(scen, field), factory.__name__
+
+
 class TestDeterminism:
     def test_same_seed_same_outcome(self):
         scen = nominal(n=3, horizon=1500.0)
