@@ -82,6 +82,10 @@ CHECK_SCENARIOS = [
     # verdict counts toward this command's violation total).
     "nominal-emulated-atomic",
     "replica-crash-atomic",
+    # The lossy-link audit cell: retransmission races (duplicate REQ/ACK
+    # deliveries) with the recorded history checked against the
+    # regular-register condition.
+    "emulated-lossy-audit",
 ]
 
 
@@ -215,7 +219,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run an (algorithm x scenario x seed) grid through the engine."""
-    from repro.engine.driver import run_experiment
+    from repro.engine.driver import parse_shard, run_experiment, shard_bounds
     from repro.engine.spec import ExperimentSpec
 
     algorithms = {name: ALGORITHMS[name] for name in (args.algorithms or list(ALGORITHMS))}
@@ -246,12 +250,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"repro sweep: error: {exc}", file=sys.stderr)
         return 2
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = parse_shard(args.shard)
+            if args.shards != 1:
+                raise ValueError("--shard and --shards are mutually exclusive")
+        except ValueError as exc:
+            print(f"repro sweep: error: {exc}", file=sys.stderr)
+            return 2
     report = run_experiment(
         spec,
         jobs=args.jobs,  # None/0 -> one worker per CPU (driver default)
         cache=not args.no_cache,
         results_dir=args.results_dir,
         strict=False,
+        shard=shard,
+        shards=args.shards,
     )
     print(format_table(SweepRow.headers(), [row.cells() for row in report.rows]))
     cache_note = (
@@ -259,8 +274,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if not args.no_cache
         else "cache: disabled"
     )
+    if shard is not None:
+        lo, hi = shard_bounds(report.total_cells, *shard)
+        print(
+            f"\nshard {shard[0]}/{shard[1]}: cells {lo + 1}..{hi} "
+            f"of {report.total_cells}"
+        )
+    elif args.shards != 1:
+        print(f"\nin-process shards: {args.shards}")
     print(
-        f"\n{spec.size()} cell(s): {report.executed} executed on {report.jobs} job(s), "
+        f"\n{len(report.rows) + len(report.failures)} cell(s): "
+        f"{report.executed} executed on {report.jobs} job(s), "
         f"{report.cache_hits} from cache; wall {report.wall_time_s:.2f}s"
     )
     print(f"spec hash: {spec.content_hash()}; {cache_note}")
@@ -523,6 +547,26 @@ def build_parser() -> argparse.ArgumentParser:
             "force a consistency level onto every emulated cell ('atomic' = "
             "ABD write-back reads); requires --memory emulated or an "
             "emulated-native scenario list"
+        ),
+    )
+    sweep_p.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help=(
+            "run only the K-th of N contiguous balanced shards of the grid "
+            "(1-based); shards share the result cache, so N invocations -- "
+            "concurrent or not -- assemble the full sweep, and a killed "
+            "shard resumes without recomputing finished cells"
+        ),
+    )
+    sweep_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "run the whole grid as N in-process shards (one process pool "
+            "per shard, sequentially); mutually exclusive with --shard"
         ),
     )
     sweep_p.add_argument(

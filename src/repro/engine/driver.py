@@ -10,14 +10,30 @@
    :class:`~concurrent.futures.ProcessPoolExecutor` otherwise (every
    run is a pure function of its configuration and seed, so the grid is
    embarrassingly parallel);
-3. append the new summaries to the cache and return the rows in the
-   spec's deterministic scenario-major order, regardless of which
-   worker finished first.
+3. append each completed summary to the cache *as it finishes* and
+   return the rows in the spec's deterministic scenario-major order,
+   regardless of which worker finished first.
 
 Per-cell failures are captured as tracebacks, not exceptions: in strict
 mode (the default) the driver raises :class:`EngineError` *after* all
 cells have been attempted and the good ones cached, so a 10k-cell sweep
 never loses finished work to one poisoned cell.
+
+**Sharding.**  Giant grids scale past one machine (or one process pool)
+by splitting the deterministic cell list into ``N`` contiguous,
+balanced shards:
+
+* ``run_experiment(spec, shard=(k, n))`` executes only shard ``k`` of
+  ``n`` (1-based) -- the distributed mode behind
+  ``repro sweep --shard K/N``, with every shard appending to the same
+  content-hashed JSONL cache (the store's exclusive-create header +
+  ``O_APPEND`` writes make concurrent shard appends safe);
+* ``run_experiment(spec, shards=n)`` runs all ``n`` shards in-process,
+  one process pool after another -- same cell partition, one command.
+
+Because results are flushed incrementally, a killed shard leaves every
+cell it finished in the cache: re-running it (or the unsharded sweep)
+skips the completed cells and recomputes nothing.
 """
 
 from __future__ import annotations
@@ -27,7 +43,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.spec import Cell, ExperimentSpec
 from repro.engine.store import ResultStore
@@ -72,6 +88,12 @@ class EngineReport:
     jobs: int = 1
     wall_time_s: float = 0.0
     store_path: Optional[Path] = None
+    #: ``(k, n)`` when this invocation ran one shard of a larger grid.
+    shard: Optional[Tuple[int, int]] = None
+    #: In-process shard count (1 = the classic single-pool sweep).
+    shards: int = 1
+    #: Size of the *full* grid (== ``len(rows)`` unless sharded).
+    total_cells: int = 0
 
     @property
     def ok(self) -> bool:
@@ -92,20 +114,62 @@ def default_jobs() -> int:
 
 
 # ----------------------------------------------------------------------
-def _execute_serial(cells: List[Cell], spec: ExperimentSpec) -> List[CellOutcome]:
-    return [
-        execute_cell(
+#: Called with each batch of completed outcomes (partial-run hygiene:
+#: the driver flushes them to the cache immediately).
+Flush = Optional[Callable[[List[CellOutcome]], None]]
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``"K/N"`` shard selector into ``(k, n)`` (1-based).
+
+    >>> parse_shard("2/4")
+    (2, 4)
+    """
+    head, sep, tail = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        index, count = int(head), int(tail)
+    except ValueError:
+        raise ValueError(f"shard must look like 'K/N', got {text!r}") from None
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard {text!r} out of range (need 1 <= K <= N)")
+    return index, count
+
+
+def shard_bounds(total: int, index: int, count: int) -> Tuple[int, int]:
+    """Slice bounds ``(start, stop)`` of shard ``index`` of ``count``.
+
+    Shards are contiguous and balanced: sizes differ by at most one,
+    with the remainder going to the lowest-numbered shards, and the
+    ``count`` slices tile ``range(total)`` exactly.
+    """
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard {index}/{count} out of range (need 1 <= K <= N)")
+    base, extra = divmod(total, count)
+    start = (index - 1) * base + min(index - 1, extra)
+    return start, start + base + (1 if index <= extra else 0)
+
+
+def _execute_serial(cells: List[Cell], spec: ExperimentSpec, flush: Flush = None) -> List[CellOutcome]:
+    outcomes: List[CellOutcome] = []
+    for cell in cells:
+        outcome = execute_cell(
             cell,
             window=spec.window,
             fast=spec.fast,
             memory=spec.memory,
             consistency=spec.consistency,
         )
-        for cell in cells
-    ]
+        outcomes.append(outcome)
+        if flush is not None:
+            flush([outcome])
+    return outcomes
 
 
-def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> List[CellOutcome]:
+def _execute_parallel(
+    cells: List[Cell], spec: ExperimentSpec, jobs: int, flush: Flush = None
+) -> List[CellOutcome]:
     outcomes: Dict[int, CellOutcome] = {}
     orphaned: List[int] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -117,6 +181,7 @@ def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> Lis
         }
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            batch: List[CellOutcome] = []
             for future in done:
                 idx = pending.pop(future)
                 exc = future.exception()
@@ -128,6 +193,9 @@ def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> Lis
                     orphaned.append(idx)
                 else:
                     outcomes[idx] = future.result()
+                    batch.append(outcomes[idx])
+            if batch and flush is not None:
+                flush(batch)
     # Retry each orphaned cell in its own single-worker pool: healthy
     # cells that were merely queued behind the crash complete normally,
     # while a genuinely poisonous cell kills only its private pool and
@@ -147,6 +215,9 @@ def _execute_parallel(cells: List[Cell], spec: ExperimentSpec, jobs: int) -> Lis
             outcomes[idx] = CellOutcome(
                 key=cells[idx].key, error=f"worker failure: {exc!r}"
             )
+        else:
+            if flush is not None:
+                flush([outcomes[idx]])
     return [outcomes[idx] for idx in range(len(cells))]
 
 
@@ -158,6 +229,8 @@ def run_experiment(
     cache: bool = True,
     results_dir: Path | str | None = None,
     strict: bool = True,
+    shard: Optional[Tuple[int, int]] = None,
+    shards: int = 1,
 ) -> EngineReport:
     """Execute (or load) every cell of ``spec`` and return the report.
 
@@ -169,6 +242,8 @@ def run_experiment(
         in-process (no pool, no pickling).
     cache:
         Serve cells from / append them to the spec's JSONL file.
+        Completed cells are appended *incrementally*, so an interrupted
+        sweep (or a killed shard) keeps everything it finished.
     results_dir:
         Cache root; ``None`` resolves via ``REPRO_RESULTS_DIR`` or the
         repo-anchored ``results/engine`` default (see
@@ -177,24 +252,57 @@ def run_experiment(
         Raise :class:`EngineError` when any cell failed (after caching
         the successful ones).  ``False`` returns the failures in the
         report and fills their rows' positions by skipping them.
+    shard:
+        ``(k, n)``, 1-based: execute only the ``k``-th of ``n``
+        contiguous balanced shards of the grid (see
+        :func:`shard_bounds`) and return only that shard's rows.  For
+        distributing one sweep across machines or invocations; every
+        shard shares the spec's cache file.
+    shards:
+        Run the whole grid as this many in-process shards, one process
+        pool per shard, sequentially.  Mutually exclusive with
+        ``shard``.
     """
     started = time.perf_counter()
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shard is not None and shards != 1:
+        raise ValueError("pass either shard=(k, n) or shards=N, not both")
     if jobs is None or jobs <= 0:
         jobs = default_jobs()
-    cells = spec.cells()
+    grid = spec.cells()
+    if shard is not None:
+        lo, hi = shard_bounds(len(grid), *shard)
+        cells = grid[lo:hi]
+    else:
+        cells = grid
     store = ResultStore(results_dir)  # None -> REPRO_RESULTS_DIR / anchored default
 
     cached: Dict[Tuple[str, str, int], RunSummary] = store.load(spec) if cache else {}
     pending = [cell for cell in cells if cell.key not in cached]
 
+    flush: Flush = (lambda batch: store.append(spec, batch)) if cache else None
     fresh: List[CellOutcome] = []
     if pending:
-        if jobs <= 1 or len(pending) == 1:
-            fresh = _execute_serial(pending, spec)
+        if shards > 1:
+            # In-process multi-shard: partition the *grid* (not the
+            # pending list) so the shard boundaries match a distributed
+            # --shard K/N run of the same spec, then give each shard's
+            # pending cells their own pool.
+            for index in range(1, shards + 1):
+                lo, hi = shard_bounds(len(grid), index, shards)
+                keys = {cell.key for cell in grid[lo:hi]}
+                part = [cell for cell in pending if cell.key in keys]
+                if not part:
+                    continue
+                if jobs <= 1 or len(part) == 1:
+                    fresh.extend(_execute_serial(part, spec, flush))
+                else:
+                    fresh.extend(_execute_parallel(part, spec, min(jobs, len(part)), flush))
+        elif jobs <= 1 or len(pending) == 1:
+            fresh = _execute_serial(pending, spec, flush)
         else:
-            fresh = _execute_parallel(pending, spec, min(jobs, len(pending)))
-        if cache:
-            store.append(spec, fresh)
+            fresh = _execute_parallel(pending, spec, min(jobs, len(pending)), flush)
 
     by_key: Dict[Tuple[str, str, int], RunSummary] = dict(cached)
     failures: List[CellOutcome] = []
@@ -216,7 +324,17 @@ def run_experiment(
         jobs=jobs,
         wall_time_s=time.perf_counter() - started,
         store_path=store.path_for(spec) if cache else None,
+        shard=shard,
+        shards=shards,
+        total_cells=len(grid),
     )
 
 
-__all__ = ["EngineError", "EngineReport", "default_jobs", "run_experiment"]
+__all__ = [
+    "EngineError",
+    "EngineReport",
+    "default_jobs",
+    "parse_shard",
+    "run_experiment",
+    "shard_bounds",
+]

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, List, Optional, Protocol, Tuple
 
+from repro.sim.events import EventLane
 from repro.sim.rng import RngRegistry
 
 
@@ -365,10 +366,20 @@ class Network:
         self.delivered: int = 0
         self.dropped: int = 0
         self._deliver_cb = None  # type: ignore[assignment]
+        # Message deliveries are the highest-volume event kind, so they
+        # ride a columnar kernel lane: the in-flight Message *is* the
+        # lane payload -- no per-delivery closure allocation.
+        self._lane = EventLane("message", self._fire_delivery)
 
     def install_delivery(self, callback) -> None:
         """Set the ``callback(message)`` invoked at each delivery."""
         self._deliver_cb = callback
+
+    def _fire_delivery(self, message: Message) -> None:
+        """Lane consumer: count and hand the message to the runtime."""
+        self.delivered += 1
+        assert self._deliver_cb is not None
+        self._deliver_cb(message)
 
     def send(self, sender: int, receiver: int, kind: str, payload: Any) -> None:
         """Send one message; the channel decides its fate.
@@ -391,13 +402,7 @@ class Network:
                 continue
             if delay <= 0:
                 raise ValueError("channel behaviour produced non-positive delay")
-
-            def deliver(msg: Message = fated) -> None:
-                self.delivered += 1
-                assert self._deliver_cb is not None
-                self._deliver_cb(msg)
-
-            self._sim.schedule_after(delay, deliver, kind="message", pid=receiver)
+            self._sim.schedule_lane_after(self._lane, delay, fated, pid=receiver)
 
     def broadcast(self, sender: int, n: int, kind: str, payload: Any) -> None:
         """Send to every process except the sender."""

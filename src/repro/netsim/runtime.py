@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Optional, Type
 
 from repro.netsim.network import ChannelBehavior, Message, Network, TimelyLinks
 from repro.sim.crash import CrashPlan
-from repro.sim.events import EventHandle
+from repro.sim.events import EventLane
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import RunTrace
@@ -125,7 +125,11 @@ class MpRun:
         for proc in self.processes:
             proc._run = self
         self._crashed = [False] * n
-        self._timers: Dict[tuple[int, str], EventHandle] = {}
+        self._timers: Dict[tuple[int, str], int] = {}
+        # Named timers share one columnar lane; the payload is the
+        # ``(pid, tag)`` key and the token in ``_timers`` both probes
+        # and cancels (see EventLane).
+        self._timer_lane = EventLane("mp-timer", self._fire_timer)
         self.network.install_delivery(self._deliver)
 
     # ------------------------------------------------------------------
@@ -134,15 +138,16 @@ class MpRun:
         if delay <= 0:
             raise ValueError("timer delay must be positive")
         key = (pid, tag)
+        lane = self._timer_lane
         previous = self._timers.get(key)
         if previous is not None:
-            previous.cancel()
+            lane.cancel(previous)
+        self._timers[key] = self.sim.schedule_lane_after(lane, delay, key, pid=pid)
 
-        def fire() -> None:
-            if not self._crashed[pid]:
-                self.processes[pid].on_timer(tag)
-
-        self._timers[key] = self.sim.schedule_after_cancellable(delay, fire, kind="mp-timer", pid=pid)
+    def _fire_timer(self, key: tuple[int, str]) -> None:
+        pid, tag = key
+        if not self._crashed[pid]:
+            self.processes[pid].on_timer(tag)
 
     def _deliver(self, message: Message) -> None:
         if not self._crashed[message.receiver]:

@@ -7,6 +7,9 @@ repo root::
       "format": 1,
       "kind": "repro-perf",
       "created": "2026-07-27T12:00:00Z",
+      "meta": {"python": ..., "implementation": ..., "platform": ...,
+               "cpu_count": ..., "kernel_variant": "python|compiled",
+               "kernel_variant_reason": ...},
       "profiles": {
         "full":  {"benchmarks": {"<name>": {"value": ..., "unit": ...,
                                             "higher_is_better": ...,
@@ -32,6 +35,9 @@ the benchmark machine changes (see EXPERIMENTS.md).
 from __future__ import annotations
 
 import json
+import os
+import platform
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -62,6 +68,27 @@ PRE_OVERHAUL_DESCRIPTION = (
     "pairs, isinstance operation dispatch, dict-backed trace records), "
     "full-profile workloads, development container"
 )
+
+
+def environment_meta() -> Dict[str, Any]:
+    """The measurement environment recorded in the payload's ``meta``
+    block: interpreter, CPU budget and which kernel variant ran.
+
+    Documentation only (never compared), but essential for judging
+    whether two baselines are comparable at all -- a ``compiled``-kernel
+    number against a pure-Python one is apples to oranges.
+    """
+    from repro.sim.variant import kernel_variant
+
+    variant, reason = kernel_variant()
+    return {
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "kernel_variant": variant,
+        "kernel_variant_reason": reason,
+    }
 
 
 def default_baseline_path() -> Path:
@@ -116,6 +143,7 @@ def make_payload(
         "format": SCHEMA_FORMAT,
         "kind": "repro-perf",
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "meta": environment_meta(),
         "profiles": profiles,
         "reference": {
             "description": PRE_OVERHAUL_DESCRIPTION,
@@ -279,6 +307,7 @@ __all__ = [
     "SCHEMA_FORMAT",
     "compare_payloads",
     "default_baseline_path",
+    "environment_meta",
     "load_payload",
     "make_payload",
     "merge_best",

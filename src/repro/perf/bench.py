@@ -3,7 +3,9 @@
 Three families, mirroring the layers of the simulation core:
 
 * **kernel throughput** -- events/second through the tuple-heap event
-  queue and the fused run loop, with and without cancellation handles;
+  queue and the fused run loop: staggered (unique timestamps), aligned
+  (equal-timestamp batches through the collision buckets), cancellable
+  (handle-allocating) and lane (columnar integer-token) variants;
 * **per-scenario run time** -- wall seconds (and derived events/second)
   of a nominal ``alg1`` election at a fixed seed, in both the traced and
   the low-overhead run mode, plus the same election with the registers
@@ -11,7 +13,7 @@ Three families, mirroring the layers of the simulation core:
   event count multiplies with replica messages, so it tracks the
   netsim/emulation hot path rather than the register fast path);
 * **sweep throughput** -- cells/second through the parallel experiment
-  engine on a small uncached grid.
+  engine on a small uncached grid, single-pool and in-process sharded.
 
 Each benchmark repeats its measured section and keeps the *best* repeat
 (minimum wall time), which is the standard way to damp scheduler and
@@ -63,6 +65,7 @@ def bench_kernel_throughput(
     chains: int = 4,
     repeats: int = 3,
     cancellable: bool = False,
+    aligned: bool = False,
     name: str = "kernel_events_per_sec",
 ) -> BenchResult:
     """Events/second through the kernel's schedule-and-fire cycle.
@@ -70,6 +73,13 @@ def bench_kernel_throughput(
     ``chains`` self-rescheduling callbacks ping through the heap until
     ``events`` events fired; with ``cancellable`` every reschedule takes
     the handle-allocating path (the timer service's pattern).
+
+    With ``aligned`` all chains start at the *same* instant and stay in
+    lock-step, so every virtual tick is one equal-timestamp batch of
+    ``chains`` events -- the workload the batched run loop drains from
+    its collision buckets without re-heaping (processes that share timer
+    periods, synchronized retransmissions).  Staggered (the default)
+    keeps every timestamp unique, exercising the heap/singleton path.
     """
     best = float("inf")
     for _ in range(max(1, repeats)):
@@ -85,7 +95,8 @@ def bench_kernel_throughput(
                     sim.schedule_after(1.0, cb, kind="bench", pid=ch)
                 return cb
         for ch in range(chains):
-            sim.schedule_at(float(ch) / chains, make(ch), kind="bench", pid=ch)
+            start = 1.0 if aligned else float(ch) / chains
+            sim.schedule_at(start, make(ch), kind="bench", pid=ch)
         started = time.perf_counter()
         sim.run(max_events=events)
         best = min(best, time.perf_counter() - started)
@@ -99,6 +110,51 @@ def bench_kernel_throughput(
             "chains": chains,
             "repeats": repeats,
             "cancellable": cancellable,
+            "aligned": aligned,
+            "best_wall_s": best,
+        },
+    )
+
+
+def bench_lane_throughput(
+    events: int = 100_000,
+    chains: int = 4,
+    repeats: int = 3,
+    name: str = "kernel_lane_events_per_sec",
+) -> BenchResult:
+    """Events/second through the columnar :class:`EventLane` path.
+
+    The cancellable counterpart of :func:`bench_kernel_throughput`:
+    every reschedule acquires a lane slot and returns an integer token
+    instead of allocating an :class:`EventHandle` -- the pattern the
+    timer service and netsim deliveries run on.
+    """
+    from repro.sim.events import EventLane
+
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        sim = Simulator(trace_events=False)
+        lane = EventLane("bench-lane", None)  # consume=None: payload is the callback
+
+        def make(ch: int) -> Callable[[], None]:
+            def cb() -> None:
+                sim.schedule_lane_after(lane, 1.0, cb, pid=ch)
+            return cb
+
+        for ch in range(chains):
+            sim.schedule_at(float(ch) / chains, make(ch), kind="bench", pid=ch)
+        started = time.perf_counter()
+        sim.run(max_events=events)
+        best = min(best, time.perf_counter() - started)
+    return BenchResult(
+        name=name,
+        value=events / best,
+        unit="events/s",
+        higher_is_better=True,
+        meta={
+            "events": events,
+            "chains": chains,
+            "repeats": repeats,
             "best_wall_s": best,
         },
     )
@@ -199,6 +255,49 @@ def bench_sweep_throughput(
     )
 
 
+def bench_sweep_sharded(
+    n: int = 6,
+    horizon: float = 800.0,
+    seeds: Tuple[int, ...] = (0, 1, 2, 3),
+    algorithms: Tuple[str, ...] = ("alg1", "alg2"),
+    jobs: int = 2,
+    shards: int = 2,
+    name: str = "sweep_sharded_cells_per_sec",
+) -> BenchResult:
+    """Cells/second through the in-process sharded sweep path.
+
+    Same grid as :func:`bench_sweep_throughput` but partitioned into
+    ``shards`` sequential process pools (``run_experiment(shards=N)``),
+    measuring the per-shard pool spin-up/teardown overhead that a
+    ``repro sweep --shard K/N`` deployment pays on each machine.
+    """
+    from repro.engine.driver import run_experiment
+    from repro.engine.spec import ExperimentSpec
+    from repro.workloads.registry import ALGORITHMS, SCENARIO_FACTORIES
+
+    algos = {label: ALGORITHMS[label] for label in algorithms}
+    scen = SCENARIO_FACTORIES["nominal"](n=n, horizon=horizon)
+    spec = ExperimentSpec.from_objects("perf-sweep-sharded", algos, [scen], seeds)
+    report = run_experiment(spec, jobs=jobs, cache=False, strict=True, shards=shards)
+    cells = spec.size()
+    return BenchResult(
+        name=name,
+        value=cells / report.wall_time_s,
+        unit="cells/s",
+        higher_is_better=True,
+        meta={
+            "cells": cells,
+            "jobs": jobs,
+            "shards": shards,
+            "n": n,
+            "horizon": horizon,
+            "seeds": list(seeds),
+            "algorithms": list(algorithms),
+            "wall_s": report.wall_time_s,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # Profiles
 # ----------------------------------------------------------------------
@@ -206,12 +305,20 @@ def _collect_full() -> List[BenchResult]:
     out: List[BenchResult] = [
         bench_kernel_throughput(events=200_000, chains=4, repeats=5),
         bench_kernel_throughput(
+            events=200_000,
+            chains=32,
+            repeats=5,
+            aligned=True,
+            name="kernel_batched_events_per_sec",
+        ),
+        bench_kernel_throughput(
             events=100_000,
             chains=4,
             repeats=5,
             cancellable=True,
             name="kernel_cancellable_events_per_sec",
         ),
+        bench_lane_throughput(events=100_000, chains=4, repeats=5),
     ]
     out.extend(
         bench_scenario(
@@ -233,6 +340,7 @@ def _collect_full() -> List[BenchResult]:
         )
     )
     out.append(bench_sweep_throughput())
+    out.append(bench_sweep_sharded())
     return out
 
 
@@ -240,12 +348,20 @@ def _collect_quick() -> List[BenchResult]:
     out: List[BenchResult] = [
         bench_kernel_throughput(events=50_000, chains=4, repeats=5),
         bench_kernel_throughput(
+            events=50_000,
+            chains=32,
+            repeats=5,
+            aligned=True,
+            name="kernel_batched_events_per_sec",
+        ),
+        bench_kernel_throughput(
             events=25_000,
             chains=4,
             repeats=5,
             cancellable=True,
             name="kernel_cancellable_events_per_sec",
         ),
+        bench_lane_throughput(events=25_000, chains=4, repeats=5),
     ]
     out.extend(
         bench_scenario(
@@ -278,6 +394,9 @@ def _collect_quick() -> List[BenchResult]:
     out.append(
         bench_sweep_throughput(n=4, horizon=400.0, seeds=(0, 1), jobs=2)
     )
+    out.append(
+        bench_sweep_sharded(n=4, horizon=400.0, seeds=(0, 1), jobs=2, shards=2)
+    )
     return out
 
 
@@ -302,7 +421,9 @@ __all__ = [
     "BenchResult",
     "PROFILES",
     "bench_kernel_throughput",
+    "bench_lane_throughput",
     "bench_scenario",
+    "bench_sweep_sharded",
     "bench_sweep_throughput",
     "collect_profile",
 ]

@@ -6,6 +6,13 @@ time is decided by the process's :class:`~repro.timers.awb.TimerBehavior`
 -- the component assumption AWB2 constrains.  The timeout *value* ``x``
 is a pure number (the algorithms use ``max_k SUSPICIONS[i][k] + 1``);
 only the behaviour model converts it into virtual-time duration.
+
+Timers are one of the two dominant cancellable event kinds, so they ride
+the kernel's columnar fast lane (:class:`~repro.sim.events.EventLane`):
+arming a timer stores its callback in the lane's preallocated payload
+column and gets back an integer token -- no per-event
+:class:`~repro.sim.events.EventHandle` allocation, O(1) cancellation via
+the lane's generation counters.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.sim.events import EventHandle
+from repro.sim.events import EventLane
 from repro.sim.kernel import Simulator
 from repro.timers.awb import TimerBehavior
 
@@ -26,11 +33,12 @@ class TimerHandle:
     timeout: float
     set_at: float
     fires_at: float
-    _event: EventHandle
+    _lane: EventLane
+    _token: int
 
     def cancel(self) -> None:
         """Disarm the timer (its callback will not run)."""
-        self._event.cancel()
+        self._lane.cancel(self._token)
 
 
 class TimerService:
@@ -52,6 +60,9 @@ class TimerService:
         #: realized (set_at, timeout, duration) per pid -- Figure 1 data.
         self.history_by_pid: Dict[int, List[Tuple[float, float, float]]] = {}
         self._active: Dict[int, TimerHandle] = {}
+        # Lane payloads are the timer callbacks themselves (consume=None
+        # means "payload is a zero-arg callable; invoke it").
+        self._lane = EventLane("timer", None)
 
     def behavior(self, pid: int) -> TimerBehavior:
         """The behaviour model of ``pid`` (KeyError if none configured)."""
@@ -72,11 +83,16 @@ class TimerService:
         if duration <= 0:
             raise ValueError(f"behaviour produced non-positive duration {duration}")
         self.history_by_pid.setdefault(pid, []).append((now, timeout, duration))
-        # Re-arming must disarm the previous event, so timers take the
-        # handle-allocating path (the only kernel consumer that does).
-        event = self._sim.schedule_after_cancellable(duration, callback, kind="timer", pid=pid)
+        # Re-arming must disarm the previous event, so timers go through
+        # the columnar lane: cancellable, but allocation-free.
+        token = self._sim.schedule_lane_after(self._lane, duration, callback, pid=pid)
         handle = TimerHandle(
-            pid=pid, timeout=timeout, set_at=now, fires_at=now + duration, _event=event
+            pid=pid,
+            timeout=timeout,
+            set_at=now,
+            fires_at=now + duration,
+            _lane=self._lane,
+            _token=token,
         )
         self._active[pid] = handle
         return handle

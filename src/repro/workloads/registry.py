@@ -57,6 +57,7 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "leader-crash-emulated": scen_mod.leader_crash_emulated,
     "replica-crash": scen_mod.replica_crash,
     "emulated-lossy": scen_mod.emulated_lossy,
+    "emulated-lossy-audit": scen_mod.emulated_lossy_audit,
     "emulated-gst-ramp": scen_mod.emulated_gst_ramp,
     # The atomic consistency level: write-back reads with the recorded
     # history audited by the interval-order checkers.

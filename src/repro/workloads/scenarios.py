@@ -878,6 +878,28 @@ def emulated_lossy(
 
 
 @scenario_factory
+def emulated_lossy_audit(
+    n: int = 3,
+    horizon: float = 9000.0,
+    replicas: int = 3,
+    loss: float = 0.1,
+    retry_interval: float = 10.0,
+) -> Scenario:
+    """:func:`emulated_lossy` with the operation recorder armed.
+
+    The retransmission-stress audit cell: dropped quorum messages force
+    duplicate REQ/ACK traffic, and the audit asserts that no replay or
+    re-ack ever manufactures a stale read -- every recorded read must
+    still satisfy the regular-register condition.
+    """
+    base = emulated_lossy(n, horizon, replicas, loss, retry_interval)
+    base.name = f"emulated-lossy-audit-n{n}"
+    base.description += "; operation history recorded and audited (regular)"
+    base.emulation = {**base.emulation, "record_history": True}
+    return base
+
+
+@scenario_factory
 def emulated_gst_ramp(
     n: int = 4,
     horizon: float = 10000.0,
@@ -1042,6 +1064,7 @@ __all__ = [
     "chaotic_timers",
     "emulated_gst_ramp",
     "emulated_lossy",
+    "emulated_lossy_audit",
     "ev_sync",
     "gst_ramp",
     "leader_crash",

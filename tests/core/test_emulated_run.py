@@ -138,6 +138,23 @@ def test_replica_crash_atomic_audits_clean():
     assert audit is not None and audit.ok and audit.ops_checked > 0
 
 
+def test_emulated_lossy_audit_clean_under_retransmission_races():
+    """The `repro check` lossy audit cell: dropped quorum messages force
+    duplicate REQ/ACK traffic, and no replay or re-ack may manufacture a
+    stale read -- the recorded history must stay regular."""
+    from repro.workloads.scenarios import emulated_lossy_audit
+
+    scen = emulated_lossy_audit(n=3, horizon=4000.0)
+    result = scen.run(ALGORITHMS["alg1"], seed=0)
+    assert result.memory.config.record_history is True
+    assert result.memory.config.consistency == "regular"
+    # The stress is real: the fabric dropped messages and phases retried.
+    assert result.memory.network.dropped > 0
+    assert result.memory.retransmissions > 0
+    audit = result.audit_consistency()
+    assert audit is not None and audit.ok and audit.ops_checked > 0
+
+
 def test_regular_run_passes_the_regularity_audit():
     """The default level really is regular: its history passes the
     regularity check (the atomic check is not promised -- the pinned

@@ -1,0 +1,127 @@
+"""Sweep sharding: bounds, distributed shards, in-process shards, resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm1 import WriteEfficientOmega
+from repro.core.variants import StepCounterOmega
+from repro.engine import ExperimentSpec, run_experiment
+from repro.engine.driver import parse_shard, shard_bounds
+from repro.workloads.scenarios import nominal
+
+
+@pytest.fixture()
+def spec():
+    return ExperimentSpec.from_objects(
+        "shard-test",
+        {"alg1": WriteEfficientOmega, "step": StepCounterOmega},
+        [nominal(n=3, horizon=1500.0)],
+        [0, 1, 2],
+    )
+
+
+class TestParseShard:
+    def test_parses_valid_selector(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("2/4") == (2, 4)
+
+    @pytest.mark.parametrize("text", ["", "2", "a/b", "1/", "/2", "1/2/3"])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError, match="shard must look like"):
+            parse_shard(text)
+
+    @pytest.mark.parametrize("text", ["0/2", "3/2", "1/0", "-1/2"])
+    def test_rejects_out_of_range(self, text):
+        with pytest.raises(ValueError, match="out of range"):
+            parse_shard(text)
+
+
+class TestShardBounds:
+    @pytest.mark.parametrize("total", [0, 1, 5, 7, 16])
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_shards_tile_the_range_exactly(self, total, count):
+        covered = []
+        for index in range(1, count + 1):
+            lo, hi = shard_bounds(total, index, count)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(total))
+
+    def test_shards_are_balanced(self):
+        sizes = [hi - lo for lo, hi in
+                 (shard_bounds(10, k, 3) for k in (1, 2, 3))]
+        assert sizes == [4, 3, 3]  # remainder goes to the lowest shards
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0, 3)
+        with pytest.raises(ValueError):
+            shard_bounds(10, 4, 3)
+
+
+class TestDistributedShards:
+    def test_shard_rows_concatenate_to_unsharded_rows(self, spec):
+        whole = run_experiment(spec, jobs=1, cache=False)
+        pieces = []
+        for k in (1, 2, 3):
+            report = run_experiment(spec, jobs=1, cache=False, shard=(k, 3))
+            assert report.shard == (k, 3)
+            assert report.total_cells == spec.size()
+            pieces.extend(report.rows)
+        assert pieces == whole.rows
+
+    def test_shards_share_one_cache_and_resume(self, spec, tmp_path):
+        first = run_experiment(spec, jobs=1, results_dir=tmp_path, shard=(1, 2))
+        assert first.executed == len(first.rows) > 0
+        # The second shard and a final unsharded pass both reuse the
+        # same content-hashed JSONL file.
+        second = run_experiment(spec, jobs=1, results_dir=tmp_path, shard=(2, 2))
+        assert second.executed == len(second.rows)
+        merged = run_experiment(spec, jobs=1, results_dir=tmp_path)
+        assert merged.executed == 0
+        assert merged.cache_hits == spec.size()
+        assert merged.rows == first.rows + second.rows
+
+    def test_interrupted_shard_keeps_finished_cells(self, spec, tmp_path, monkeypatch):
+        # Simulate a shard killed mid-run: execute_cell raises after the
+        # first cell.  The completed cell must already be in the cache.
+        import repro.engine.driver as driver_mod
+
+        real = driver_mod.execute_cell
+        calls = {"n": 0}
+
+        def flaky(cell, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise KeyboardInterrupt
+            return real(cell, **kwargs)
+
+        monkeypatch.setattr(driver_mod, "execute_cell", flaky)
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(spec, jobs=1, results_dir=tmp_path, shard=(1, 2))
+        monkeypatch.setattr(driver_mod, "execute_cell", real)
+        resumed = run_experiment(spec, jobs=1, results_dir=tmp_path, shard=(1, 2))
+        assert resumed.cache_hits == 1
+        assert resumed.executed == len(resumed.rows) - 1
+
+
+class TestInProcessShards:
+    def test_rows_identical_to_unsharded(self, spec):
+        whole = run_experiment(spec, jobs=1, cache=False)
+        sharded = run_experiment(spec, jobs=1, cache=False, shards=3)
+        assert sharded.rows == whole.rows
+        assert sharded.shards == 3
+        assert sharded.total_cells == spec.size()
+
+    def test_more_shards_than_cells(self, spec):
+        whole = run_experiment(spec, jobs=1, cache=False)
+        sharded = run_experiment(spec, jobs=1, cache=False, shards=spec.size() + 3)
+        assert sharded.rows == whole.rows
+
+    def test_shard_and_shards_are_mutually_exclusive(self, spec):
+        with pytest.raises(ValueError, match="not both"):
+            run_experiment(spec, cache=False, shard=(1, 2), shards=2)
+
+    def test_shards_must_be_positive(self, spec):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            run_experiment(spec, cache=False, shards=0)

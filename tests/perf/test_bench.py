@@ -20,7 +20,9 @@ from repro.perf.bench import (
     PROFILES,
     BenchResult,
     bench_kernel_throughput,
+    bench_lane_throughput,
     bench_scenario,
+    bench_sweep_sharded,
 )
 
 
@@ -42,6 +44,24 @@ class TestKernelBench:
         assert result.meta["cancellable"] is True
         assert result.value > 0
 
+    def test_aligned_variant(self):
+        result = bench_kernel_throughput(
+            events=2_000,
+            chains=8,
+            repeats=1,
+            aligned=True,
+            name="kernel_batched_events_per_sec",
+        )
+        assert result.name == "kernel_batched_events_per_sec"
+        assert result.meta["aligned"] is True
+        assert result.value > 0
+
+    def test_lane_variant(self):
+        result = bench_lane_throughput(events=2_000, chains=2, repeats=1)
+        assert result.name == "kernel_lane_events_per_sec"
+        assert result.unit == "events/s"
+        assert result.value > 0
+
 
 class TestScenarioBench:
     def test_emits_wall_and_throughput_pair(self):
@@ -56,6 +76,17 @@ class TestScenarioBench:
         assert throughput.meta["events_fired"] > 0
 
 
+class TestSweepShardedBench:
+    def test_measures_positive_throughput(self):
+        result = bench_sweep_sharded(
+            n=3, horizon=400.0, seeds=(0,), algorithms=("alg1",), jobs=1, shards=2
+        )
+        assert result.name == "sweep_sharded_cells_per_sec"
+        assert result.unit == "cells/s"
+        assert result.meta["shards"] == 2
+        assert result.value > 0
+
+
 class TestPayloadSchema:
     def _payload(self):
         results = {"quick": {"kernel_events_per_sec": tiny_kernel_result()}}
@@ -68,6 +99,18 @@ class TestPayloadSchema:
         bench = payload["profiles"]["quick"]["benchmarks"]["kernel_events_per_sec"]
         assert set(bench) == {"value", "unit", "higher_is_better", "meta"}
         assert payload["reference"]["benchmarks"] == PRE_OVERHAUL_REFERENCE
+
+    def test_environment_meta_block(self):
+        import os
+        import platform
+
+        payload = self._payload()
+        meta = payload["meta"]
+        assert meta["python"] == platform.python_version()
+        assert meta["implementation"] == __import__("sys").implementation.name
+        assert meta["cpu_count"] == os.cpu_count()
+        assert meta["kernel_variant"] in ("python", "compiled")
+        assert isinstance(meta["kernel_variant_reason"], str)
 
     def test_speedup_vs_reference_computed(self):
         payload = self._payload()

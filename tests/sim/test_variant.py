@@ -1,0 +1,125 @@
+"""Kernel variant selection (REPRO_KERNEL) and the extension build tool."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim import variant
+
+REPO = Path(__file__).resolve().parent.parent.parent
+BUILD_TOOL = REPO / "tools" / "build_kernel_ext.py"
+CKERNEL = REPO / "src" / "repro" / "sim" / "_ckernel.py"
+
+
+@pytest.fixture(autouse=True)
+def restore_variant_state():
+    saved = dict(variant._state)
+    yield
+    variant._state.clear()
+    variant._state.update(saved)
+
+
+class TestRequested:
+    def test_defaults_to_auto(self, monkeypatch):
+        monkeypatch.delenv(variant.ENV_KERNEL, raising=False)
+        assert variant.requested() == "auto"
+        assert variant.want_compiled()
+
+    @pytest.mark.parametrize("value", ["python", "PYTHON", " python "])
+    def test_python_normalized(self, monkeypatch, value):
+        monkeypatch.setenv(variant.ENV_KERNEL, value)
+        assert variant.requested() == "python"
+        assert not variant.want_compiled()
+
+    def test_compiled(self, monkeypatch):
+        monkeypatch.setenv(variant.ENV_KERNEL, "compiled")
+        assert variant.requested() == "compiled"
+        assert variant.want_compiled()
+
+    def test_unknown_value_falls_back_to_python(self, monkeypatch):
+        monkeypatch.setenv(variant.ENV_KERNEL, "turbo")
+        assert variant.requested() == "python"
+        assert "turbo" in variant.kernel_variant()[1]
+
+
+class TestState:
+    def test_marks_round_trip(self):
+        variant.mark_compiled()
+        assert variant.kernel_variant()[0] == "compiled"
+        variant.mark_python("back to safety")
+        assert variant.kernel_variant() == ("python", "back to safety")
+
+
+def _run(cmd, **env):
+    merged = {**os.environ, "PYTHONPATH": str(REPO / "src"), **env}
+    return subprocess.run(
+        cmd, cwd=REPO, env=merged, capture_output=True, text=True, timeout=120
+    )
+
+
+class TestBuildTool:
+    """The concatenate-and-compile tool, exercised in ``--pure`` mode
+    (no compiler backends are required in the test environment)."""
+
+    @pytest.fixture()
+    def pure_build(self):
+        assert not CKERNEL.exists(), "_ckernel.py left over from a previous run"
+        proc = _run([sys.executable, str(BUILD_TOOL), "--pure"])
+        assert proc.returncode == 0, proc.stderr
+        try:
+            yield
+        finally:
+            _run([sys.executable, str(BUILD_TOOL), "--clean"])
+        assert not CKERNEL.exists()
+
+    def test_graceful_skip_without_compiler_backends(self):
+        # Neither Cython nor mypyc is installed here: the default build
+        # must skip with exit 0, and --require must turn that into 3.
+        proc = _run([sys.executable, str(BUILD_TOOL)])
+        assert proc.returncode == 0, proc.stderr
+        if "built repro.sim._ckernel" not in proc.stdout:
+            assert "pure-Python kernel remains" in proc.stdout
+            required = _run([sys.executable, str(BUILD_TOOL), "--require"])
+            assert required.returncode == 3
+
+    def test_pure_build_selected_under_repro_kernel_compiled(self, pure_build):
+        probe = (
+            "from repro.sim.kernel import Simulator\n"
+            "from repro.sim.variant import kernel_variant\n"
+            "s = Simulator()\n"
+            "s.schedule_after(1.0, lambda: None)\n"
+            "s.run()\n"
+            "print(kernel_variant()[0], Simulator.__module__, s.events_fired)\n"
+        )
+        proc = _run([sys.executable, "-c", probe], REPRO_KERNEL="compiled")
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.split() == ["compiled", "repro.sim._ckernel", "1"]
+
+    def test_repro_kernel_python_ignores_built_extension(self, pure_build):
+        probe = (
+            "from repro.sim.kernel import Simulator\n"
+            "from repro.sim.variant import kernel_variant\n"
+            "print(kernel_variant()[0], Simulator.__module__)\n"
+        )
+        proc = _run([sys.executable, "-c", probe], REPRO_KERNEL="python")
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.split() == ["python", "repro.sim.kernel"]
+
+    def test_missing_extension_with_compiled_request_falls_back(self):
+        assert not CKERNEL.exists()
+        probe = (
+            "from repro.sim.kernel import Simulator\n"
+            "from repro.sim.variant import kernel_variant\n"
+            "v, reason = kernel_variant()\n"
+            "print(v); print(reason)\n"
+        )
+        proc = _run([sys.executable, "-c", probe], REPRO_KERNEL="compiled")
+        assert proc.returncode == 0, proc.stderr
+        lines = proc.stdout.splitlines()
+        assert lines[0] == "python"
+        assert "fallback" in lines[1]

@@ -51,6 +51,14 @@ class TestParser:
         assert build_parser().parse_args(["sweep"]).traced is False
         assert build_parser().parse_args(["sweep", "--traced"]).traced is True
 
+    def test_sweep_shard_flags(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.shard is None and args.shards == 1
+        args = build_parser().parse_args(["sweep", "--shard", "2/4"])
+        assert args.shard == "2/4"
+        args = build_parser().parse_args(["sweep", "--shards", "3"])
+        assert args.shards == 3
+
     def test_memory_flags(self):
         assert build_parser().parse_args(["sweep"]).memory is None
         assert (
@@ -103,6 +111,9 @@ class TestParser:
     def test_check_suite_includes_atomic_audit_cells(self):
         assert "nominal-emulated-atomic" in CHECK_SCENARIOS
         assert "replica-crash-atomic" in CHECK_SCENARIOS
+
+    def test_check_suite_includes_lossy_audit_cell(self):
+        assert "emulated-lossy-audit" in CHECK_SCENARIOS
 
     def test_consistency_flags(self):
         assert build_parser().parse_args(["run"]).consistency is None
@@ -175,6 +186,47 @@ class TestCommands:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "0 executed" in out and "2 from cache" in out
+
+    def test_sweep_shard_splits_and_resumes(self, capsys, tmp_path):
+        base = ["sweep", "--algorithms", "alg1", "--scenarios", "nominal",
+                "--seeds", "0", "1", "2", "--n", "3", "--horizon", "1000",
+                "--jobs", "1", "--results-dir", str(tmp_path)]
+        assert main(base + ["--shard", "1/2"]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2: cells 1..2 of 3" in out
+        assert "2 executed" in out
+        assert main(base + ["--shard", "2/2"]) == 0
+        out = capsys.readouterr().out
+        assert "shard 2/2: cells 3..3 of 3" in out
+        # The unsharded sweep is now fully served from the shared cache.
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "3 from cache" in out
+
+    def test_sweep_in_process_shards(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--algorithms", "alg1", "--scenarios", "nominal",
+             "--seeds", "0", "1", "--n", "3", "--horizon", "1000",
+             "--jobs", "1", "--shards", "2", "--results-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "in-process shards: 2" in out
+        assert "2 executed" in out
+
+    def test_sweep_shard_malformed_is_friendly(self, capsys):
+        assert main(["sweep", "--shard", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "shard must look like 'K/N'" in err
+
+    def test_sweep_shard_out_of_range_is_friendly(self, capsys):
+        assert main(["sweep", "--shard", "3/2"]) == 2
+        err = capsys.readouterr().err
+        assert "out of range" in err
+
+    def test_sweep_shard_conflicts_with_shards(self, capsys):
+        assert main(["sweep", "--shard", "1/2", "--shards", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err
 
     def test_sweep_memory_emulated(self, capsys, tmp_path):
         assert main(
