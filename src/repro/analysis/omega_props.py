@@ -92,7 +92,7 @@ def check_eventual_leadership(
         settle_time[pid] = settle
 
     common = set(final_by_pid.values())
-    leader = common.pop() if len(common) == 1 else None
+    leader = min(common) if len(common) == 1 else None
     leader_correct = leader is not None and crash_plan.is_correct(leader)
     stabilized = leader is not None and leader_correct
     time = max(settle_time.values()) if stabilized else None

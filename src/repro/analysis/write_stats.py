@@ -92,7 +92,7 @@ def single_writer_point(memory: SharedMemory, horizon: float, tail: float = 100.
     tail_writers = memory.writers_in(horizon - tail, horizon)
     if len(tail_writers) != 1:
         return SingleWriterPoint(False, None, None)
-    writer = next(iter(tail_writers))
+    writer = min(tail_writers)
     others_last = [
         t for pid, t in memory.last_write_time_by_pid.items() if pid != writer
     ]

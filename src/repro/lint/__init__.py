@@ -1,0 +1,49 @@
+"""``repro lint``: AST-based invariant linter for the reproduction.
+
+The repo's core value is *deterministic, byte-identical* simulation, and
+several of its subsystems rely on structural invariants nothing used to
+enforce: the compiled-kernel build only accepts a subset of Python, the
+scenario registries must stay covered by the ``repro check`` audit, and
+no handler module may reach into the event queue's internals.  This
+package checks those invariants **statically**, the way the docstring
+gate ratchets documentation:
+
+* :mod:`repro.lint.determinism` -- no wall-clock reads, no ambient
+  entropy, no module-level ``random``, no order-dependent set iteration
+  in the simulation/summary packages;
+* :mod:`repro.lint.purity` -- ``repro/sim/events.py`` +
+  ``repro/sim/kernel.py`` stay inside the subset that
+  ``tools/build_kernel_ext.py`` can concatenate and compile;
+* :mod:`repro.lint.registry_rules` -- every scenario factory is audited
+  by ``repro check`` or explicitly exempted; every memory backend and
+  link model has a CLI surface and a test referencing it;
+* :mod:`repro.lint.dispatch` -- no module outside the kernel touches
+  ``EventQueue`` internals, and no handler package re-enters
+  ``Simulator.run()`` from inside a dispatch callback;
+* :mod:`repro.lint.typing_rules` -- the strict-typed module ratchet:
+  every function in :data:`repro.lint.config.STRICT_TYPED_MODULES` is
+  fully annotated (the AST half of the ``mypy --strict`` gate that
+  ``tools/typecheck.py`` runs when mypy is installed).
+
+Findings are suppressible per line (``# repro-lint: disable=<rule>``)
+and grandfathered findings live in a committed baseline whose count may
+only shrink (:mod:`repro.lint.baseline`).  The CLI surface is
+``repro lint`` (:func:`repro.cli.cmd_lint`); the programmatic entry
+point is :func:`repro.lint.runner.run_lint`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.findings import Finding, SourceFile
+from repro.lint.runner import LintReport, run_lint
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "SourceFile",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]

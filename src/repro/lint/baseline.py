@@ -1,0 +1,90 @@
+"""The lint baseline ratchet: grandfathered findings may only shrink.
+
+A baseline is a committed JSON multiset of finding keys
+(:attr:`~repro.lint.findings.Finding.baseline_key` -- path, rule, and
+message, deliberately line-number free).  The contract mirrors the
+docstring-coverage ratchet:
+
+* a finding whose key is in the baseline (within its count) is
+  *grandfathered* -- reported but not fatal;
+* a finding outside the baseline is *new* and fails the run;
+* a baseline entry with no matching finding is *stale* and also fails
+  the run -- the fix must be banked by shrinking the baseline
+  (``repro lint --update-baseline``), so the count monotonically
+  decreases.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+#: Schema version written into baseline files.
+_BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A committed multiset of grandfathered finding keys."""
+
+    #: Finding key -> allowed occurrence count.
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: Where the baseline was loaded from (``None`` for in-memory ones).
+    path: Path | None = None
+
+    @property
+    def total(self) -> int:
+        """Total grandfathered findings (the number being ratcheted)."""
+        return sum(self.counts.values())
+
+    def partition(self, findings: List[Finding]) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split ``findings`` against the baseline.
+
+        Returns ``(new, grandfathered, stale_keys)``: findings not
+        covered by the baseline, findings absorbed by it, and baseline
+        keys left unmatched (fixed findings that must be banked).
+        """
+        remaining = Counter(self.counts)
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(key for key, count in remaining.items() if count > 0 for _ in range(count))
+        return new, grandfathered, stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not path.is_file():
+        return Baseline(counts={}, path=path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    raw = payload.get("findings", {})
+    counts = {str(key): int(count) for key, count in raw.items() if int(count) > 0}
+    return Baseline(counts=counts, path=path)
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> Baseline:
+    """Write ``findings`` as the new baseline and return it."""
+    counts = Counter(finding.baseline_key for finding in findings)
+    payload = {
+        "version": _BASELINE_VERSION,
+        "comment": (
+            "Grandfathered `repro lint` findings. Ratchet: this count may "
+            "only go down; regenerate with `repro lint --update-baseline` "
+            "after fixing a finding."
+        ),
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+    return Baseline(counts=dict(counts), path=path)

@@ -1,0 +1,155 @@
+"""Determinism rule family: no wall-clock, no entropy, no set-order.
+
+Byte-identical summaries are the repo's core acceptance property, so
+modules in the simulation/summary packages must draw *all* time from
+the kernel clock and *all* randomness from seeded
+:class:`~repro.sim.rng.RngRegistry` streams.  Rules:
+
+``determinism-wall-clock``
+    Calls into :data:`~repro.lint.config.FORBIDDEN_CALLS` whose message
+    mentions clocks (``time.*``, ``datetime.*``).
+``determinism-entropy``
+    Calls into ambient entropy (``os.urandom``, ``secrets.*``,
+    ``uuid.uuid1/4``).
+``determinism-global-random``
+    Module-level ``random.*`` functions -- the process-global PRNG whose
+    state leaks between runs.  Seeded ``random.Random`` instances stay
+    allowed (that *is* the sanctioned mechanism).
+``determinism-set-pop``
+    ``s.pop()`` on a value bound to a set display/comprehension/
+    ``set()``-``frozenset()`` call: which element pops is hash-order
+    dependent.
+``determinism-next-iter``
+    ``next(iter(x))``: extracts an order-dependent representative;
+    use ``min``/``max``/``sorted(...)[0]`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.lint.config import (
+    FORBIDDEN_CALLS,
+    GLOBAL_RANDOM_FUNCTIONS,
+    in_determinism_scope,
+)
+from repro.lint.findings import Finding, SourceFile, import_aliases, resolve_call_target
+
+#: Canonical targets classified as entropy rather than wall-clock.
+_ENTROPY_PREFIXES = ("os.", "secrets.", "uuid.")
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """True for expressions that statically produce a ``set``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """Collects determinism findings for one module."""
+
+    def __init__(self, source: SourceFile, aliases: Dict[str, str]) -> None:
+        """Bind the source under scan and its import-alias map."""
+        self.source = source
+        self.aliases = aliases
+        self.findings: List[Finding] = []
+        #: Names currently known to be set-bound, per enclosing scope.
+        self._set_names: List[Set[str]] = [set()]
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        """Record one finding at ``node``'s location."""
+        self.findings.append(
+            Finding(rule=rule, path=self.source.path, line=getattr(node, "lineno", 1), message=message)
+        )
+
+    # -- scope tracking for set-bound names ----------------------------
+    def _enter_scope(self, node: ast.AST) -> None:
+        """Visit a function body with a fresh set-binding scope."""
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Functions open a new set-binding scope."""
+        self._enter_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Async functions open a new set-binding scope."""
+        self._enter_scope(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Track ``name = {…} / set(…)`` bindings; untrack reassignments."""
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if _is_set_expression(node.value):
+                    self._set_names[-1].add(target.id)
+                else:
+                    self._set_names[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def _is_set_bound(self, name: str) -> bool:
+        """True when any enclosing scope bound ``name`` to a set."""
+        return any(name in scope for scope in self._set_names)
+
+    # -- the checks ----------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag forbidden calls, global random, set-pop, next-iter."""
+        target = resolve_call_target(node, self.aliases)
+        if target in FORBIDDEN_CALLS:
+            rule = (
+                "determinism-entropy"
+                if target.startswith(_ENTROPY_PREFIXES)
+                else "determinism-wall-clock"
+            )
+            self._emit(rule, node, f"{target}: {FORBIDDEN_CALLS[target]}")
+        elif target in GLOBAL_RANDOM_FUNCTIONS:
+            self._emit(
+                "determinism-global-random",
+                node,
+                f"{target}: module-level random shares global PRNG state; "
+                "use a seeded RngRegistry stream",
+            )
+        # s.pop() on a set-bound name: hash-order dependent extraction.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            and not node.args
+            and not node.keywords
+            and isinstance(node.func.value, ast.Name)
+            and self._is_set_bound(node.func.value.id)
+        ):
+            self._emit(
+                "determinism-set-pop",
+                node,
+                f"{node.func.value.id}.pop() on a set extracts a hash-order-"
+                "dependent element; use min()/max() or sorted()",
+            )
+        # next(iter(x)): order-dependent representative extraction.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "next"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+            and isinstance(node.args[0].func, ast.Name)
+            and node.args[0].func.id == "iter"
+        ):
+            self._emit(
+                "determinism-next-iter",
+                node,
+                "next(iter(...)) extracts an order-dependent representative; "
+                "use min()/max() or sorted()",
+            )
+        self.generic_visit(node)
+
+
+def check(source: SourceFile) -> List[Finding]:
+    """Run the determinism family on one parsed source file."""
+    if source.tree is None or not in_determinism_scope(source.path):
+        return []
+    visitor = _DeterminismVisitor(source, import_aliases(source.tree))
+    visitor.visit(source.tree)
+    return visitor.findings

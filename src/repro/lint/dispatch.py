@@ -1,0 +1,84 @@
+"""Batch-dispatch safety rule family: handlers stay out of the kernel.
+
+PR 6's batched event core drains equal-timestamp collision buckets with
+a locals-only loop: ``Simulator.run`` snapshots ``EventQueue`` state
+into locals before dispatching a batch.  A handler that mutates queue
+internals mid-batch desynchronises those locals from the queue, and a
+handler that re-enters ``Simulator.run`` corrupts the drain outright.
+Both are friend-only operations of the kernel module pair.  Rules
+(scoped to the handler packages,
+:data:`~repro.lint.config.HANDLER_PACKAGES`):
+
+``dispatch-queue-internals``
+    Reads or writes of ``EventQueue`` private slots
+    (:data:`~repro.lint.config.QUEUE_PRIVATE_ATTRS`) on anything other
+    than ``self`` -- handler modules must go through the public
+    ``schedule``/``cancel``/``pop`` surface.
+``dispatch-reentrant-run``
+    ``<...>.sim.run(...)`` / ``sim.run(...)`` / ``simulator.run(...)``
+    calls: a handler executes *inside* ``Simulator.run`` and must
+    schedule follow-up events instead of recursing into the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.config import QUEUE_PRIVATE_ATTRS, in_handler_scope
+from repro.lint.findings import Finding, SourceFile
+
+#: Receiver identifiers treated as "the simulator" for the reentrancy
+#: check (``sim.run()``, ``self.sim.run()``, ``simulator.run()``...).
+_SIM_NAMES = frozenset({"sim", "simulator", "kernel"})
+
+
+def _receiver_identifier(node: ast.expr) -> str | None:
+    """Final identifier of a call receiver (``self.sim`` -> ``sim``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def check(source: SourceFile) -> List[Finding]:
+    """Run the dispatch-safety family on one parsed handler module."""
+    if source.tree is None or not in_handler_scope(source.path):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Attribute) and node.attr in QUEUE_PRIVATE_ATTRS:
+            receiver = node.value
+            if not (isinstance(receiver, ast.Name) and receiver.id == "self"):
+                findings.append(
+                    Finding(
+                        rule="dispatch-queue-internals",
+                        path=source.path,
+                        line=node.lineno,
+                        message=(
+                            f"access to EventQueue internal {node.attr!r}: "
+                            "handler modules must use the public "
+                            "schedule/cancel/pop surface"
+                        ),
+                    )
+                )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "run"
+            and _receiver_identifier(node.func.value) in _SIM_NAMES
+        ):
+            findings.append(
+                Finding(
+                    rule="dispatch-reentrant-run",
+                    path=source.path,
+                    line=node.lineno,
+                    message=(
+                        "Simulator.run() called from a handler module: "
+                        "dispatch callbacks already execute inside the run "
+                        "loop; schedule an event instead"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,144 @@
+"""Kernel-purity rule family: the compiled subset stays compilable.
+
+``tools/build_kernel_ext.py`` concatenates ``repro/sim/events.py`` and
+``repro/sim/kernel.py`` into one ``_ckernel`` compilation unit.  That
+build has hard structural preconditions, and violating them is not a
+style problem -- ``--pure`` mode literally exits:
+
+``purity-rebind-marker``
+    Each kernel module must contain the rebind marker
+    (:data:`~repro.lint.config.REBIND_MARKER`); ``_strip_tail`` raises
+    ``SystemExit`` when it is missing.  Everything below the marker is
+    the uncompiled variant-selection tail and is exempt from the other
+    purity rules.
+``purity-import``
+    Imports above the marker must stay inside
+    :data:`~repro.lint.config.KERNEL_ALLOWED_IMPORTS` -- anything else
+    survives concatenation into the ``.pyx`` and breaks the closed
+    compilation unit.  Relative imports are always flagged: the
+    concatenator's import stripper only recognises the absolute
+    ``from repro.sim.events import ...`` form.
+``purity-decorator``
+    Decorators outside :data:`~repro.lint.config.KERNEL_ALLOWED_DECORATORS`
+    on any function/class above the marker.
+``purity-dynamic``
+    Dynamic attribute injection or code execution (``setattr``,
+    ``delattr``, ``exec``, ``eval``, ``compile``, ``__import__``,
+    ``globals()``-mutation idioms) -- the kernel classes are
+    ``__slots__``-closed and must stay statically analysable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.config import (
+    KERNEL_ALLOWED_DECORATORS,
+    KERNEL_ALLOWED_IMPORTS,
+    REBIND_MARKER,
+    is_kernel_module,
+)
+from repro.lint.findings import Finding, SourceFile, dotted_name
+
+#: Builtins that inject attributes or execute dynamic code.
+_DYNAMIC_BUILTINS = frozenset(
+    {"setattr", "delattr", "exec", "eval", "compile", "__import__", "globals", "vars"}
+)
+
+
+def _marker_line(text: str) -> int | None:
+    """1-indexed line of the rebind marker, or ``None`` when missing."""
+    for idx, line in enumerate(text.splitlines(), start=1):
+        if line.startswith(REBIND_MARKER):
+            return idx
+    return None
+
+
+def _import_root(module: str) -> str:
+    """Allowlist key for an imported module name.
+
+    ``repro.*`` modules are matched in full (only ``repro.sim.events``
+    is strippable); stdlib modules are matched by their top package.
+    """
+    return module if module.startswith("repro.") else module.split(".", 1)[0]
+
+
+def check(source: SourceFile) -> List[Finding]:
+    """Run the purity family on one parsed kernel module."""
+    if source.tree is None or not is_kernel_module(source.path):
+        return []
+    findings: List[Finding] = []
+
+    def emit(rule: str, node: ast.AST, message: str) -> None:
+        """Record one finding at ``node``'s location."""
+        findings.append(
+            Finding(rule=rule, path=source.path, line=getattr(node, "lineno", 1), message=message)
+        )
+
+    marker = _marker_line(source.text)
+    if marker is None:
+        findings.append(
+            Finding(
+                rule="purity-rebind-marker",
+                path=source.path,
+                line=1,
+                message=(
+                    f"missing {REBIND_MARKER!r} marker: "
+                    "tools/build_kernel_ext.py --pure exits on this module"
+                ),
+            )
+        )
+        marker_cut = float("inf")  # lint the whole file
+    else:
+        marker_cut = float(marker)
+
+    for node in ast.walk(source.tree):
+        line = getattr(node, "lineno", None)
+        if line is None or line >= marker_cut:
+            continue  # the rebind tail is not compiled
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = _import_root(alias.name)
+                if root not in KERNEL_ALLOWED_IMPORTS:
+                    emit(
+                        "purity-import",
+                        node,
+                        f"import {alias.name!r} is outside the compiled-kernel "
+                        f"closure {sorted(KERNEL_ALLOWED_IMPORTS)}",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                emit(
+                    "purity-import",
+                    node,
+                    "relative import in a kernel module: the concatenator only "
+                    "strips absolute 'from repro.sim.events import ...'",
+                )
+            elif node.module and _import_root(node.module) not in KERNEL_ALLOWED_IMPORTS:
+                emit(
+                    "purity-import",
+                    node,
+                    f"from {node.module!r} import ... is outside the "
+                    f"compiled-kernel closure {sorted(KERNEL_ALLOWED_IMPORTS)}",
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            for dec in node.decorator_list:
+                name = dotted_name(dec if not isinstance(dec, ast.Call) else dec.func)
+                if name is None or name.split(".")[-1] not in KERNEL_ALLOWED_DECORATORS:
+                    shown = name or "<dynamic>"
+                    emit(
+                        "purity-decorator",
+                        dec,
+                        f"decorator @{shown} on {node.name!r} is outside the "
+                        "compilable subset",
+                    )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in _DYNAMIC_BUILTINS:
+                emit(
+                    "purity-dynamic",
+                    node,
+                    f"{node.func.id}() in a kernel module: dynamic attribute "
+                    "injection/execution breaks static compilation",
+                )
+    return findings

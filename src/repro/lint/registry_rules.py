@@ -1,0 +1,226 @@
+"""Registry-completeness rule family: every registry entry is reachable.
+
+The repo's registries (scenario factories, memory backends, link
+models) are the join points between the workload layer, the CLI, and
+the test suite.  An entry that exists in a registry but is unreachable
+from ``repro check`` / the CLI / any test is dead configuration that
+silently rots.  Rules (tree-level -- they read several files at once):
+
+``registry-check-coverage``
+    Every ``SCENARIO_FACTORIES`` key appears in ``CHECK_SCENARIOS`` or
+    the explicit ``CHECK_EXEMPT_SCENARIOS`` list in ``cli.py`` -- and
+    neither list names a scenario that no longer exists.
+``registry-cli-surface``
+    Every ``BACKENDS`` backend and every ``LINK_MODELS`` entry is
+    selectable from the CLI (a literal choice, or the dynamic
+    ``sorted(BACKENDS)`` / ``sorted(LINK_MODELS)`` forms that cover all
+    keys by construction).
+``registry-test-coverage``
+    Every ``BACKENDS`` and ``LINK_MODELS`` key appears (quoted) in at
+    least one test module.
+
+The rule reads files by fixed relative names under the package root
+(``cli.py``, ``workloads/registry.py``, ``memory/backend.py``,
+``memory/emulated.py``); a missing file skips its checks so minimal
+fixture trees can exercise each check in isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+#: Registry-file locations relative to the package root.
+_REGISTRY_REL = "workloads/registry.py"
+_CLI_REL = "cli.py"
+_BACKEND_REL = "memory/backend.py"
+_EMULATED_REL = "memory/emulated.py"
+
+
+def _parse(path: Path) -> ast.Module | None:
+    """Parse ``path``, returning ``None`` when absent or unparsable."""
+    if not path.is_file():
+        return None
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError:
+        return None
+
+
+def _dict_keys(tree: ast.Module, name: str) -> Dict[str, int]:
+    """String keys (with line numbers) of a module-level ``name = {...}``.
+
+    Handles both plain and annotated assignments; non-string keys are
+    ignored (the registries key on names only).
+    """
+    for node in tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id == name):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            return {}
+        keys: Dict[str, int] = {}
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys[key.value] = key.lineno
+        return keys
+    return {}
+
+
+def _list_values(tree: ast.Module, name: str) -> Tuple[Dict[str, int], bool]:
+    """String elements of a module-level ``name = [...]`` list.
+
+    Returns ``(values_with_lines, found)`` -- ``found`` distinguishes an
+    empty list from a missing assignment.
+    """
+    for node in tree.body:
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id == name):
+            continue
+        value = node.value
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return {}, True
+        values: Dict[str, int] = {}
+        for elt in value.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                values[elt.value] = elt.lineno
+        return values, True
+    return {}, False
+
+
+def _quoted_in_tree(key: str, tests_dir: Path) -> bool:
+    """True when ``key`` appears quoted in any test module."""
+    needles = (f'"{key}"', f"'{key}'")
+    for test_file in sorted(tests_dir.rglob("*.py")):
+        try:
+            text = test_file.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        if any(needle in text for needle in needles):
+            return True
+    return False
+
+
+def _cli_surface_covers(cli_text: str, registry_name: str, key: str) -> bool:
+    """True when the CLI exposes ``key`` from registry ``registry_name``.
+
+    Coverage is either the dynamic ``sorted(<REGISTRY>)`` choices form
+    (which exposes every key by construction) or the key appearing as a
+    quoted literal anywhere in ``cli.py``.
+    """
+    if f"sorted({registry_name})" in cli_text:
+        return True
+    return f'"{key}"' in cli_text or f"'{key}'" in cli_text
+
+
+def check_tree(root: Path, tests_dir: Path | None) -> List[Finding]:
+    """Run the registry family over a package tree rooted at ``root``."""
+    findings: List[Finding] = []
+    registry_path = root / _REGISTRY_REL
+    cli_path = root / _CLI_REL
+    registry_tree = _parse(registry_path)
+    cli_tree = _parse(cli_path)
+    cli_text = cli_path.read_text(encoding="utf-8") if cli_path.is_file() else ""
+
+    # -- check-suite coverage of the scenario registry -----------------
+    if registry_tree is not None and cli_tree is not None:
+        factories = _dict_keys(registry_tree, "SCENARIO_FACTORIES")
+        checked, _ = _list_values(cli_tree, "CHECK_SCENARIOS")
+        exempt, has_exempt = _list_values(cli_tree, "CHECK_EXEMPT_SCENARIOS")
+        if not has_exempt:
+            findings.append(
+                Finding(
+                    rule="registry-check-coverage",
+                    path=str(cli_path),
+                    line=1,
+                    message=(
+                        "cli.py defines no CHECK_EXEMPT_SCENARIOS list; every "
+                        "scenario factory must be audited or explicitly exempted"
+                    ),
+                )
+            )
+        covered = set(checked) | set(exempt)
+        for key, line in sorted(factories.items()):
+            if key not in covered:
+                findings.append(
+                    Finding(
+                        rule="registry-check-coverage",
+                        path=str(registry_path),
+                        line=line,
+                        message=(
+                            f"scenario factory {key!r} is neither in "
+                            "CHECK_SCENARIOS nor CHECK_EXEMPT_SCENARIOS"
+                        ),
+                    )
+                )
+        for key, line in sorted({**checked, **exempt}.items()):
+            if factories and key not in factories:
+                findings.append(
+                    Finding(
+                        rule="registry-check-coverage",
+                        path=str(cli_path),
+                        line=line,
+                        message=f"check list names unknown scenario {key!r}",
+                    )
+                )
+        overlap = sorted(set(checked) & set(exempt))
+        for key in overlap:
+            findings.append(
+                Finding(
+                    rule="registry-check-coverage",
+                    path=str(cli_path),
+                    line=exempt[key],
+                    message=f"scenario {key!r} is both checked and exempted",
+                )
+            )
+
+    # -- CLI surface + test coverage of backends and link models -------
+    for rel, registry_name in ((_BACKEND_REL, "BACKENDS"), (_EMULATED_REL, "LINK_MODELS")):
+        tree = _parse(root / rel)
+        if tree is None:
+            continue
+        keys = _dict_keys(tree, registry_name)
+        for key, line in sorted(keys.items()):
+            if cli_text and not _cli_surface_covers(cli_text, registry_name, key):
+                findings.append(
+                    Finding(
+                        rule="registry-cli-surface",
+                        path=str(root / rel),
+                        line=line,
+                        message=(
+                            f"{registry_name} entry {key!r} has no CLI choice "
+                            f"(no sorted({registry_name}) choices and no "
+                            "literal mention in cli.py)"
+                        ),
+                    )
+                )
+            if tests_dir is not None and tests_dir.is_dir():
+                if not _quoted_in_tree(key, tests_dir):
+                    findings.append(
+                        Finding(
+                            rule="registry-test-coverage",
+                            path=str(root / rel),
+                            line=line,
+                            message=(
+                                f"{registry_name} entry {key!r} is referenced "
+                                "by no test module"
+                            ),
+                        )
+                    )
+    return findings

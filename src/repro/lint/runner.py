@@ -1,0 +1,174 @@
+"""Lint orchestration: walk the tree, run rules, apply the ratchet.
+
+:func:`run_lint` is the single programmatic entry point; ``repro lint``
+(:func:`repro.cli.cmd_lint`) is a thin argparse shim over it.  The
+pipeline is: discover ``*.py`` files under the package root (skipping
+generated ``_ckernel*`` artifacts), parse each once, run every enabled
+per-file rule plus the tree-level registry rule, drop findings silenced
+by ``# repro-lint: disable=...`` comments, then partition the survivors
+against the committed baseline (:mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.lint import determinism, dispatch, purity, registry_rules, typing_rules
+from repro.lint.baseline import Baseline, load_baseline
+from repro.lint.config import DEFAULT_BASELINE, DEFAULT_ROOT
+from repro.lint.findings import Finding, SourceFile
+
+#: The rule families ``--rules`` may select.
+RULE_FAMILIES: FrozenSet[str] = frozenset(
+    {"determinism", "purity", "registry", "dispatch", "typing"}
+)
+
+#: Per-file rule entry points, keyed by family.
+_FILE_RULES: Dict[str, Callable[[SourceFile], List[Finding]]] = {
+    "determinism": determinism.check,
+    "purity": purity.check,
+    "dispatch": dispatch.check,
+    "typing": typing_rules.check,
+}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, ratchet already applied."""
+
+    #: All findings that survived suppression comments.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings not covered by the baseline (fatal).
+    new: List[Finding] = field(default_factory=list)
+    #: Findings absorbed by the baseline (reported, not fatal).
+    grandfathered: List[Finding] = field(default_factory=list)
+    #: Baseline keys with no matching finding (fatal: bank the fix).
+    stale_keys: List[str] = field(default_factory=list)
+    #: Findings silenced by disable comments.
+    suppressed: int = 0
+    #: Number of source files scanned.
+    files_scanned: int = 0
+    #: The baseline the ratchet ran against.
+    baseline: Baseline = field(default_factory=Baseline)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 on any new finding or stale baseline entry."""
+        return 1 if self.new or self.stale_keys else 0
+
+    def render(self) -> str:
+        """Terminal-ready report text."""
+        lines: List[str] = []
+        for finding in self.new:
+            lines.append(finding.render())
+        for finding in self.grandfathered:
+            lines.append(f"{finding.render()} (baselined)")
+        for key in self.stale_keys:
+            lines.append(
+                f"stale baseline entry (already fixed -- run "
+                f"`repro lint --update-baseline` to bank it): {key}"
+            )
+        lines.append(
+            f"repro lint: {self.files_scanned} file(s), "
+            f"{len(self.new)} new finding(s), "
+            f"{len(self.grandfathered)} baselined, "
+            f"{len(self.stale_keys)} stale baseline entr(ies), "
+            f"{self.suppressed} suppressed"
+        )
+        return "\n".join(lines)
+
+
+def iter_source_files(root: Path) -> List[Path]:
+    """All lintable ``*.py`` files under ``root``, sorted.
+
+    Generated compiled-kernel artifacts (``_ckernel*``) mirror
+    already-linted sources and are skipped, as are caches.
+    """
+    files: List[Path] = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name.startswith("_ckernel"):
+            continue
+        if "__pycache__" in path.parts:
+            continue
+        files.append(path)
+    return files
+
+
+def _display_path(path: Path, root: Path) -> str:
+    """Stable, root-anchored display path (``repro/sim/events.py``)."""
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        return path.as_posix()
+    return (Path(root.name) / rel).as_posix()
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    tests_dir: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    families: Optional[Sequence[str]] = None,
+    use_baseline: bool = True,
+) -> LintReport:
+    """Lint the tree under ``root`` and return the full report.
+
+    ``root`` defaults to the installed ``repro`` package;
+    ``tests_dir`` to the sibling ``tests/`` tree when one exists;
+    ``baseline_path`` to the committed ``tools/lint_baseline.json``.
+    ``families`` restricts the run to a subset of
+    :data:`RULE_FAMILIES`; ``use_baseline=False`` treats every finding
+    as new (the CI mode for fixture trees).
+    """
+    root = (root or DEFAULT_ROOT).resolve()
+    if tests_dir is None:
+        candidate = root.parent.parent / "tests"
+        tests_dir = candidate if candidate.is_dir() else None
+    selected = frozenset(families) if families else RULE_FAMILIES
+    unknown = selected - RULE_FAMILIES
+    if unknown:
+        raise ValueError(f"unknown rule families: {sorted(unknown)}")
+
+    report = LintReport()
+    raw: List[Finding] = []
+    sources: Dict[str, SourceFile] = {}
+    for path in iter_source_files(root):
+        shown = _display_path(path, root)
+        source = SourceFile.load(path, display_path=shown)
+        sources[shown] = source
+        report.files_scanned += 1
+        if source.tree is None:
+            raw.append(
+                Finding(
+                    rule="lint-parse-error",
+                    path=shown,
+                    line=1,
+                    message="file does not parse; no rules were applied",
+                )
+            )
+            continue
+        for family, rule in _FILE_RULES.items():
+            if family in selected:
+                raw.extend(rule(source))
+
+    if "registry" in selected:
+        for finding in registry_rules.check_tree(root, tests_dir):
+            shown = _display_path(Path(finding.path), root)
+            raw.append(
+                Finding(rule=finding.rule, path=shown, line=finding.line, message=finding.message)
+            )
+
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule, f.message)):
+        source = sources.get(finding.path)
+        if source is not None and source.is_suppressed(finding):
+            report.suppressed += 1
+            continue
+        report.findings.append(finding)
+
+    baseline = (
+        load_baseline(baseline_path or DEFAULT_BASELINE) if use_baseline else Baseline()
+    )
+    report.baseline = baseline
+    report.new, report.grandfathered, report.stale_keys = baseline.partition(report.findings)
+    return report

@@ -1,0 +1,79 @@
+"""Strict-typing ratchet rule: the typed surface only grows.
+
+:data:`~repro.lint.config.STRICT_TYPED_MODULES` names the modules that
+``tools/typecheck.py`` holds to ``mypy --strict``.  mypy is an optional
+dependency, so this rule enforces the AST-checkable half of the
+contract everywhere pytest runs: every function in a strict-typed
+module is *fully annotated* (all parameters and the return type).
+
+``typing-missing-annotation``
+    A function parameter or return type without an annotation in a
+    strict-typed module.  ``self``/``cls`` first parameters and lambdas
+    are exempt, matching mypy's own rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.config import in_strict_typed_surface
+from repro.lint.findings import Finding, SourceFile
+
+
+def _unannotated_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> List[str]:
+    """Names of parameters missing annotations (``self``/``cls`` exempt)."""
+    args = node.args
+    positional = args.posonlyargs + args.args
+    missing: List[str] = []
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in {"self", "cls"} and not args.posonlyargs:
+            continue
+        if index == 0 and args.posonlyargs and arg.arg in {"self", "cls"}:
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for star in (args.vararg, args.kwarg):
+        if star is not None and star.annotation is None:
+            missing.append(star.arg)
+    return missing
+
+
+def check(source: SourceFile) -> List[Finding]:
+    """Run the typing ratchet on one parsed strict-typed module."""
+    if source.tree is None or not in_strict_typed_surface(source.path):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        missing = _unannotated_params(node)
+        if missing:
+            findings.append(
+                Finding(
+                    rule="typing-missing-annotation",
+                    path=source.path,
+                    line=node.lineno,
+                    message=(
+                        f"{node.name}() leaves parameter(s) "
+                        f"{', '.join(repr(m) for m in missing)} unannotated "
+                        "in a strict-typed module"
+                    ),
+                )
+            )
+        if node.returns is None:
+            findings.append(
+                Finding(
+                    rule="typing-missing-annotation",
+                    path=source.path,
+                    line=node.lineno,
+                    message=(
+                        f"{node.name}() has no return annotation in a "
+                        "strict-typed module"
+                    ),
+                )
+            )
+    return findings

@@ -126,7 +126,9 @@ def anomaly_history(consistency: str = "regular") -> List[EmuOpRecord]:
     )
     # Run past 2 * SLOW so the write's slow majority completes too and
     # the history contains only finished intervals.
-    sim.run(until=4.0 * SLOW)
+    # Top-level schedule driver, not a dispatch callback: running the
+    # simulator here IS the point.
+    sim.run(until=4.0 * SLOW)  # repro-lint: disable=dispatch-reentrant-run
     assert returned["r1"] == 1, "reader 1 must see the in-flight write via replica 0"
     return mem.recorded_history()
 

@@ -307,7 +307,14 @@ class ReplicaNode:
             if ts > current[0]:
                 self.store[name] = (ts, value)
                 self.writes_applied += 1
-            network.send(self.node_id, message.sender, "abd.write-ack", (op_id, name, ts))
+            # The ack echoes the value this replica received: it is the
+            # quorum certificate's value entry, letting the writer
+            # cross-check that the payload survived the wire (the
+            # value-integrity detector; timestamps alone cannot see a
+            # corrupted value travelling under a valid timestamp).
+            network.send(
+                self.node_id, message.sender, "abd.write-ack", (op_id, name, ts, value)
+            )
 
 
 class _PendingOp:
@@ -421,6 +428,11 @@ class EmulatedMemory(SharedMemory):
         self.read_op_latency = 0.0
         #: Write-back phases run by atomic reads (0 at the regular level).
         self.write_backs = 0
+        #: Write-acks whose echoed value disagreed with the value the
+        #: write phase sent: on-the-wire value corruption caught by the
+        #: quorum-certificate cross-check (one count per replica per
+        #: phase; 0 on loss-free and corruption-free fabrics).
+        self.integrity_violations = 0
         #: Completed-operation interval records (empty unless
         #: ``config.record_history``); see :meth:`recorded_history`.
         self.op_history: List[EmuOpRecord] = []
@@ -672,10 +684,18 @@ class EmulatedMemory(SharedMemory):
             self._enter_write(op, (op.best_ts[0] + 1, op.pid))
 
     def _on_write_ack(self, op: _PendingOp, message: Message) -> None:
-        _, name, ts = message.payload
+        _, name, ts, value = message.payload
         if op.phase != "write" or ts != op.ts:
             return
         replica_index = -message.sender - 1
+        if replica_index not in op.replies and value != op.value:
+            # The replica echoed back a value other than the one this
+            # write phase is propagating: the payload was corrupted on
+            # the wire (in either direction).  Detection only -- the ack
+            # still counts toward the quorum, mirroring how the paper's
+            # protocol has no integrity defence; the counter and the
+            # history audit make the corruption visible.
+            self.integrity_violations += 1
         op.replies.add(replica_index)
         if len(op.replies) < self.config.majority:
             return

@@ -207,8 +207,10 @@ def _check_interval_history(
 
     ``history`` is any sequence of records with ``register``, ``kind``
     (``"read"``/``"write"``), ``ts`` (totally ordered value identity;
-    :data:`_INITIAL_TS` marks the initial value), ``inv`` and ``resp``
-    fields -- :class:`~repro.memory.emulated.EmuOpRecord` in practice.
+    :data:`_INITIAL_TS` marks the initial value), ``value`` (the
+    payload carried under that timestamp -- reads must return their
+    named write's exact value), ``inv`` and ``resp`` fields --
+    :class:`~repro.memory.emulated.EmuOpRecord` in practice.
     Writes pending at the end of a run carry ``resp = inf`` and can
     never trigger the stale-read rule.  ``require_atomic`` adds the
     new/old-inversion rule (condition 3) on top of the regularity rules
@@ -264,6 +266,21 @@ def _check_interval_history(
                     )
                 )
                 continue
+            # Value integrity: the read's timestamp names a recorded
+            # write, so the read must return that write's exact value.
+            # Timestamps alone pass under value corruption (a mutated
+            # payload travels with a valid stamp); cross-checking the
+            # quorum certificate's value closes that hole.
+            if w is not None and r.value != w.value:
+                report.violations.append(
+                    Violation(
+                        register,
+                        "value-corruption",
+                        f"read [{r.inv}, {r.resp}] returned value {r.value!r} "
+                        f"for timestamp {r.ts} but its write recorded "
+                        f"{w.value!r}",
+                    )
+                )
             # Rule 1: no read from the future.
             if w is not None and w.inv > r.resp:
                 report.violations.append(

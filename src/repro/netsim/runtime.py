@@ -181,7 +181,9 @@ class MpRun:
             if not self.crash_plan.is_crashed(pid, 0.0):
                 proc.on_start()
         self.sim.schedule_at(0.0, self._sample, kind="sample")
-        self.sim.run(until=self.horizon)
+        # Top-level run driver (execute() is called from outside the
+        # simulator), not a dispatch callback.
+        self.sim.run(until=self.horizon)  # repro-lint: disable=dispatch-reentrant-run
         for pid, proc in enumerate(self.processes):
             if not self._crashed[pid]:
                 self.trace.record_leader_sample(self.horizon, pid, proc.peek_leader())

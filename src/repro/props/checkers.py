@@ -107,7 +107,7 @@ class StabilizationMonitor:
                 False, None, None, churn, churn_all, leaders_seen,
                 detail=f"correct processes disagree: final outputs {sorted(finals)}",
             )
-        leader = finals.pop()
+        leader = min(finals)
         settle = max(self._streak_start[pid] for pid in correct)
         if leader in self._crashed:
             return LeadershipVerdict(
