@@ -1,0 +1,157 @@
+"""Experiments EMU_faults -- elections under injected fault timelines.
+
+The fault-injection subsystem (:mod:`repro.faults`) turns the emulated
+substrate hostile on a schedule: replicas crash and rejoin with
+amnesia (state-resync before serving), islands get cut off and healed,
+and congestion storms stretch every link.  These experiments price what
+the paper's algorithms ride out:
+
+* ``EMU_faults_crash_recover`` -- a replica crashes mid-run and rejoins
+  through the quorum state-resync; the election neither stalls nor
+  violates a theorem, and the resilience counters show the recovery
+  actually happened;
+* ``EMU_faults_partition_heal`` -- a minority island is severed and
+  healed (plus a congestion storm); quorums live on the majority side
+  throughout, so elections survive with zero violations;
+* ``EMU_faults_retry_policy`` -- exponential backoff vs the fixed
+  retransmission interval on fair-lossy links: what the backoff buys
+  (fewer duplicate rounds) and what it costs (slower recovery of a
+  stuck phase), priced in retransmissions and stabilization time.
+"""
+
+from __future__ import annotations
+
+from _helpers import emit
+
+from repro.analysis.report import format_table
+from repro.workloads.registry import ALGORITHMS
+from repro.workloads.scenarios import chaos, emulated_lossy
+from repro.workloads.sweep import run_matrix
+
+SEEDS = [0, 1, 2]
+
+CRASH_RECOVER_PLAN = [
+    {"kind": "replica-crash", "at": 1500.0, "replica": 1},
+    {"kind": "replica-recover", "at": 2500.0, "replica": 1},
+]
+
+PARTITION_STORM_PLAN = [
+    {"kind": "partition", "at": 1500.0, "replicas": [2]},
+    {"kind": "heal", "at": 2500.0, "replicas": [2]},
+    {"kind": "message-storm", "at": 3200.0, "until": 3800.0, "factor": 3.0},
+]
+
+
+def test_emu_faults_crash_recover(benchmark):
+    """A replica crash + amnesia recovery is absorbed by the resync."""
+    algos = {name: ALGORITHMS[name] for name in ("alg1", "alg2")}
+    scen = chaos(n=3, horizon=8000.0, plan=CRASH_RECOVER_PLAN)
+
+    rows = benchmark.pedantic(
+        lambda: run_matrix(algos, [scen], SEEDS, jobs=0, cache=False),
+        rounds=1,
+        iterations=1,
+    )
+    table = []
+    for row in rows:
+        assert row.stabilized and row.leader_correct
+        assert row.property_violations == 0 and row.audit_violations == 0
+        assert row.integrity_violations == 0
+        assert row.recoveries == 1 and row.resyncs == 1
+        table.append(
+            [row.algorithm, row.seed, row.leader, row.stabilization_time, row.resyncs]
+        )
+    lines = [
+        "EMU_faults: crash -> amnesia recovery -> quorum state-resync (chaos cell)",
+        format_table(["algorithm", "seed", "leader", "t_stabilize", "resyncs"], table),
+        "",
+        "ABD prediction: a recovering replica that refuses reads until it has",
+        "merged a majority-of-others snapshot can never serve pre-crash state,",
+        "so the monitors and the consistency audit stay clean.  MATCHES.",
+    ]
+    emit("EMU_faults_crash_recover", "\n".join(lines))
+
+
+def test_emu_faults_partition_heal(benchmark):
+    """A severed minority island (plus a storm) never breaks a quorum."""
+
+    def run_cells():
+        cls = ALGORITHMS["alg1"]
+        scen = chaos(n=3, horizon=8000.0, plan=PARTITION_STORM_PLAN)
+        return [(seed, scen.run(cls, seed=seed, log_reads=False)) for seed in SEEDS]
+
+    cells = benchmark.pedantic(run_cells, rounds=1, iterations=1)
+    table = []
+    for seed, run in cells:
+        assert run.stabilization().stabilized
+        audit = run.audit_consistency()
+        assert audit is not None and audit.ok
+        drops = run.memory.network.behavior.partitioned_drops
+        assert drops > 0  # the island was really cut off
+        table.append([seed, drops, run.memory.retransmissions, run.memory.network.total_sent])
+    lines = [
+        "EMU_faults: minority partition + heal + congestion storm (alg1, chaos cell)",
+        format_table(["seed", "partition drops", "retransmissions", "messages"], table),
+        "",
+        "ABD prediction: every quorum lives on the majority side of any",
+        "minority island, so elections ride out the window on retransmission",
+        "and the healed replica catches up through ordinary timestamped",
+        "writes.  Zero violations across the grid.  MATCHES.",
+    ]
+    emit("EMU_faults_partition_heal", "\n".join(lines))
+
+
+def test_emu_faults_retry_policy(benchmark):
+    """Exponential backoff vs the fixed retry interval on lossy links."""
+
+    def run_pairs():
+        cls = ALGORITHMS["alg1"]
+        pairs = []
+        for seed in SEEDS:
+            fixed_scen = emulated_lossy(n=3, horizon=9000.0)
+            backoff_scen = emulated_lossy(n=3, horizon=9000.0)
+            backoff_scen.name = "emulated-lossy-backoff-n3"
+            backoff_scen.emulation = {
+                **backoff_scen.emulation,
+                "retry_policy": "backoff",
+            }
+            fixed = fixed_scen.run(cls, seed=seed, log_reads=False)
+            backoff = backoff_scen.run(cls, seed=seed, log_reads=False)
+            pairs.append((seed, fixed, backoff))
+        return pairs
+
+    pairs = benchmark.pedantic(run_pairs, rounds=1, iterations=1)
+    table = []
+    for seed, fixed, backoff in pairs:
+        assert fixed.stabilization().stabilized
+        assert backoff.stabilization().stabilized
+        assert fixed.memory.retransmissions > 0  # loss really bit
+        table.append(
+            [
+                seed,
+                fixed.memory.retransmissions,
+                backoff.memory.retransmissions,
+                f"{fixed.stabilization().time:.0f}",
+                f"{backoff.stabilization().time:.0f}",
+            ]
+        )
+    lines = [
+        "EMU_faults: fixed vs exponential-backoff retransmission (alg1, emulated-lossy)",
+        format_table(
+            [
+                "seed",
+                "fixed retransmits",
+                "backoff retransmits",
+                "fixed t_stab",
+                "backoff t_stab",
+            ],
+            table,
+        ),
+        "",
+        "The default stays 'fixed' (it draws no randomness, keeping",
+        "default-config runs byte-identical across releases); 'backoff' is the",
+        "opt-in congestion-friendly policy -- note the retransmission counts",
+        "diverge because backoff stretches the retry timers, which is exactly",
+        "why enabling it changes a run's event trace.",
+    ]
+    emit("EMU_faults_retry_policy", "\n".join(lines))

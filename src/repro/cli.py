@@ -16,6 +16,12 @@ Commands
     Audit the paper's Theorems 1-4 over the adversarial scenario suite
     through the parallel engine and print the property-violation table;
     exits non-zero on any violated claim.
+``chaos``
+    Run N seeded fault-injection campaigns (replica crash/recover with
+    state-resync, partitions, message storms) through the ABD emulation
+    under the theorem monitors and the consistency history audit; on a
+    violation, delta-debug the fault plan down to a minimal pinned
+    repro scenario.  Exits non-zero on any violating plan.
 ``compare``
     Run several algorithms on one scenario and print the comparison
     table (the Section 5 trade-off, on demand).
@@ -43,6 +49,8 @@ Examples
         --seeds 0 1 2 --jobs 4
     python -m repro sweep --scenarios nominal --memory emulated --seeds 0 1
     python -m repro check --jobs 4
+    python -m repro chaos --plans 25 --seed 7
+    python -m repro chaos --plans 10 --no-resync --retry-policy backoff
     python -m repro lint
     python -m repro compare --scenario nominal --seeds 0 1 2
     python -m repro perf --quick --compare BENCH_perf.json --max-regress 25%
@@ -59,7 +67,7 @@ from repro.analysis.timeline import build_timeline, render_timeline
 from repro.analysis.write_stats import forever_writers, growing_registers
 from repro.lint.runner import RULE_FAMILIES
 from repro.memory.backend import BACKENDS
-from repro.memory.emulated import CONSISTENCY_LEVELS, LINK_MODELS
+from repro.memory.emulated import CONSISTENCY_LEVELS, LINK_MODELS, RETRY_POLICIES
 from repro.workloads.registry import ALGORITHMS, SCENARIO_FACTORIES
 from repro.workloads.scenarios import Scenario
 from repro.workloads.sweep import SweepRow, summarize_result
@@ -93,6 +101,14 @@ CHECK_SCENARIOS = [
     # deliveries) with the recorded history checked against the
     # regular-register condition.
     "emulated-lossy-audit",
+    # The ramp-stress audit cell: a deliberately tight retransmission
+    # timer floods duplicate replies through slow (but lossless) links;
+    # the audit asserts reply dedup never fakes a quorum.
+    "emulated-gst-ramp-audit",
+    # The fault-injection cell: the default chaos timeline (transient
+    # replica crash with recover-and-resync, partition/heal, a message
+    # storm) with the history audit on -- the theorems must survive it.
+    "chaos",
 ]
 
 #: Scenario factories deliberately NOT in the ``repro check`` default
@@ -394,6 +410,67 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if (violations or report.failures) else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run seeded fault campaigns; shrink any violating plan."""
+    import json
+
+    from repro.faults.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        algorithm=args.algorithm,
+        seed=args.seed,
+        plans=args.plans,
+        n=args.n,
+        horizon=args.horizon,
+        replicas=args.replicas,
+        max_faults=args.max_faults,
+        resync=not args.no_resync,
+        retry_policy=args.retry_policy,
+        shrink=not args.no_shrink,
+    )
+    if not args.json:
+        print(
+            f"chaos campaign: {config.plans} fault plan(s) for "
+            f"{config.algorithm} (seed {config.seed}, n={config.n}, "
+            f"horizon {config.horizon:g}, {config.replicas} replicas, "
+            f"{'resync' if config.resync else 'NO RESYNC'}, "
+            f"{config.retry_policy} retries)"
+        )
+
+    def progress(index: int, summary: "Any", count: int) -> None:
+        verdict = "ok" if count == 0 else f"{count} VIOLATION(S)"
+        print(
+            f"  plan {index:3d}: {verdict}; recoveries={summary.recoveries} "
+            f"resyncs={summary.resyncs} retransmissions={summary.retransmissions}"
+        )
+
+    result = run_campaign(config, progress=progress if args.verbose else None)
+    if args.json:
+        print(json.dumps(result.to_jsonable(), indent=2, sort_keys=True))
+        return 1 if result.violations else 0
+    total = sum(v.violations for v in result.violations)
+    print(
+        f"\n{result.plans_run} plan(s) run: {len(result.violations)} violating "
+        f"plan(s), {total} violation(s); recoveries={result.recoveries}, "
+        f"resyncs={result.resyncs}, retransmissions={result.retransmissions}, "
+        f"integrity_violations={result.integrity_violations}"
+    )
+    for violation in result.violations:
+        shrunk = violation.shrunk or violation.plan
+        print(
+            f"\nVIOLATING PLAN {violation.index} (seed {violation.seed}, "
+            f"{violation.violations} violation(s)): shrunk "
+            f"{len(violation.plan)} -> {len(shrunk)} event(s) in "
+            f"{violation.oracle_runs} oracle run(s)",
+            file=sys.stderr,
+        )
+        print(
+            "pinned repro: " + json.dumps(violation.repro, sort_keys=True),
+            file=sys.stderr,
+        )
+    return 1 if result.violations else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the AST invariant linter; exit non-zero on new findings."""
     from pathlib import Path
@@ -689,6 +766,64 @@ def build_parser() -> argparse.ArgumentParser:
     check_p.add_argument("--seeds", nargs="+", type=int, default=[0])
     _add_engine_options(check_p, default_name="check")
     check_p.set_defaults(func=cmd_check)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help=(
+            "run seeded fault-injection campaigns under the theorem and "
+            "consistency oracles; shrink any violating plan to a pinned repro"
+        ),
+    )
+    chaos_p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="alg1")
+    chaos_p.add_argument(
+        "--plans", type=int, default=20, help="number of generated fault plans to run"
+    )
+    chaos_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed (plan generation and per-plan run seeds derive from it)",
+    )
+    chaos_p.add_argument("--n", type=int, default=3, help="process count per run")
+    chaos_p.add_argument(
+        "--horizon", type=float, default=8000.0, help="simulation horizon per run"
+    )
+    chaos_p.add_argument(
+        "--replicas", type=int, default=3, help="ABD replica count per run"
+    )
+    chaos_p.add_argument(
+        "--max-faults",
+        type=int,
+        default=3,
+        help="maximum disturbance windows per generated plan",
+    )
+    chaos_p.add_argument(
+        "--retry-policy",
+        choices=list(RETRY_POLICIES),
+        default="fixed",
+        help="retransmission policy of pending quorum phases",
+    )
+    chaos_p.add_argument(
+        "--no-resync",
+        action="store_true",
+        help=(
+            "DELIBERATELY BROKEN mode: recovered replicas serve straight out "
+            "of amnesia without the quorum state-resync (the negative oracle "
+            "-- the campaign is expected to catch and shrink this)"
+        ),
+    )
+    chaos_p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violating plans as-is instead of delta-debugging them",
+    )
+    chaos_p.add_argument(
+        "--verbose", action="store_true", help="print a line per plan"
+    )
+    chaos_p.add_argument(
+        "--json", action="store_true", help="emit the full campaign report as JSON"
+    )
+    chaos_p.set_defaults(func=cmd_chaos)
 
     lint_p = sub.add_parser(
         "lint",

@@ -33,7 +33,10 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 #:    and the emulation's message count.
 #: 4: specs carry a consistency axis; RunSummary records the consistency
 #:    level and the history-audit outcome.
-SPEC_FORMAT = 4
+#: 5: scenarios can carry fault-plan timelines (repro.faults) and retry
+#:    policies; RunSummary records the resilience counters
+#:    (retransmissions, recoveries, resyncs, integrity_violations).
+SPEC_FORMAT = 5
 
 
 def _canonical(payload: Any) -> str:

@@ -86,6 +86,16 @@ class RunSummary(SweepRow):
     #: recorded; `repro check` counts these alongside the theorem
     #: violations).
     audit_violations: int = 0
+    #: Resilience counters of the emulated backend (all 0 for shared
+    #: memory): retransmission rounds fired by pending quorum phases,
+    #: transient replica recoveries applied from the fault plan, quorum
+    #: state-resyncs completed by recovering replicas, and write-ack
+    #: value-integrity violations caught by the quorum-certificate
+    #: cross-check.
+    retransmissions: int = 0
+    recoveries: int = 0
+    resyncs: int = 0
+    integrity_violations: int = 0
 
     # ------------------------------------------------------------------
     def to_jsonable(self) -> Dict[str, Any]:
@@ -204,6 +214,10 @@ def summarize_run(
         audit_ok=None if audit is None else audit.ok,
         audit_ops=0 if audit is None else audit.ops_checked,
         audit_violations=0 if audit is None else len(audit.violations),
+        retransmissions=getattr(result.memory, "retransmissions", 0),
+        recoveries=getattr(result.memory, "recoveries", 0),
+        resyncs=getattr(result.memory, "resyncs", 0),
+        integrity_violations=getattr(result.memory, "integrity_violations", 0),
     )
 
 

@@ -1,0 +1,27 @@
+"""Fault injection: typed fault timelines, generation, and shrinking.
+
+The subsystem splits in two layers so the import graph stays acyclic:
+
+* this package root re-exports the *plan language*
+  (:mod:`repro.faults.plan`), the seeded
+  :class:`~repro.faults.generator.FaultScheduleGenerator` and the ddmin
+  :func:`~repro.faults.shrink.shrink_plan` -- pure data and algorithms
+  with no dependency on the workloads/engine stack, safe to import from
+  :mod:`repro.memory.emulated`;
+* :mod:`repro.faults.campaign` (imported explicitly, never from here)
+  runs seeded chaos campaigns through scenarios and the run summarizer
+  and backs the ``repro chaos`` CLI.
+"""
+
+from repro.faults.generator import FaultScheduleGenerator
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.faults.shrink import ShrinkResult, shrink_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultScheduleGenerator",
+    "ShrinkResult",
+    "shrink_plan",
+]

@@ -1,0 +1,116 @@
+"""Seeded, deterministic fault-schedule generation.
+
+:class:`FaultScheduleGenerator` turns ``(seed, index)`` into a
+well-formed :class:`~repro.faults.plan.FaultPlan`: the ``index``-th plan
+of a campaign is a pure function of the generator's knobs, so a
+campaign is reproducible from its seed alone and any plan can be
+regenerated without replaying the ones before it.
+
+Generated plans are deliberately *conservative* so that a correct
+emulation must survive them (the ``repro chaos`` acceptance bar is a
+zero-violation campaign):
+
+* disturbance windows are **serialized** -- at most one replica is
+  crashed/recovering or partitioned at any instant, so quorums stay
+  reachable and a recovering replica can always collect its resync
+  quorum from the others;
+* every window closes with **slack** before the next one opens (time
+  for retransmission and the state-resync round to finish);
+* the final ``quiet_tail`` fraction of the horizon is fault-free, so
+  the eventual-leadership monitors (Theorems 1-4) have a stable suffix
+  to judge.
+
+Anything harsher -- overlapping faults, majority crashes, unhealed
+partitions -- can still be expressed by hand-building a
+:class:`FaultPlan`; the generator is the campaign's workhorse, not the
+plan language's ceiling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+#: Disturbance shapes the generator draws from (uniformly).
+_WINDOW_KINDS = ("crash-recover", "partition-heal", "message-storm")
+
+
+class FaultScheduleGenerator:
+    """Derives the ``index``-th fault plan of a seeded campaign.
+
+    Parameters
+    ----------
+    seed:
+        Campaign seed; ``generate(i)`` draws from a ``Random`` seeded
+        by ``(seed, i)`` so plans are independent of generation order.
+    replicas:
+        Replica count of the target emulation (fault targets are drawn
+        from it, and islands stay a strict minority).
+    horizon:
+        Simulation horizon the plans are built for.
+    max_faults:
+        Upper bound on disturbance windows per plan (at least 1 fires).
+    quiet_tail:
+        Fraction of the horizon kept fault-free at the end.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        replicas: int = 3,
+        horizon: float = 8000.0,
+        max_faults: int = 3,
+        quiet_tail: float = 0.4,
+    ) -> None:
+        if replicas < 2:
+            raise ValueError("need at least two replicas to fault meaningfully")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if max_faults < 1:
+            raise ValueError("max_faults must be at least 1")
+        if not 0 < quiet_tail < 1:
+            raise ValueError("quiet_tail must be in (0, 1)")
+        self.seed = seed
+        self.replicas = replicas
+        self.horizon = horizon
+        self.max_faults = max_faults
+        self.quiet_tail = quiet_tail
+
+    # ------------------------------------------------------------------
+    def generate(self, index: int = 0) -> FaultPlan:
+        """The ``index``-th plan: serialized disturbance windows + slack."""
+        rng = random.Random(f"{self.seed}:{index}")
+        first = 0.05 * self.horizon
+        last = (1.0 - self.quiet_tail) * self.horizon
+        count = rng.randint(1, self.max_faults)
+        slot = (last - first) / count
+        events: List[FaultEvent] = []
+        for k in range(count):
+            # Each disturbance lives inside its own slot with >= 20% of
+            # the slot as trailing slack (resync / retransmission time).
+            slot_start = first + k * slot
+            start = slot_start + rng.uniform(0.0, 0.2) * slot
+            end = start + rng.uniform(0.3, 0.6) * slot
+            kind = rng.choice(_WINDOW_KINDS)
+            if kind == "crash-recover":
+                replica = rng.randrange(self.replicas)
+                events.append(FaultEvent("replica-crash", start, replica=replica))
+                events.append(FaultEvent("replica-recover", end, replica=replica))
+            elif kind == "partition-heal":
+                island = (rng.randrange(self.replicas),)
+                events.append(FaultEvent("partition", start, replicas=island))
+                events.append(FaultEvent("heal", end, replicas=island))
+            else:
+                factor = rng.uniform(2.0, 6.0)
+                events.append(
+                    FaultEvent("message-storm", start, until=end, factor=factor)
+                )
+        plan = FaultPlan(tuple(events))
+        plan.validate(self.replicas)
+        return plan
+
+
+__all__ = ["FaultScheduleGenerator"]

@@ -1,0 +1,274 @@
+"""Typed fault timelines: faults as *events with lifetimes*.
+
+The PR 4 emulation could only degrade one way: replicas crash-stop
+(``EmulationConfig.replica_crash_times``) and never come back, and the
+link model is fixed for the whole run.  A :class:`FaultPlan` instead is
+a timeline of injections *and repairs*:
+
+* ``replica-crash`` / ``replica-recover`` -- a replica node stops, then
+  rejoins **with amnesia** and runs a quorum state-resync before
+  serving reads again (:mod:`repro.memory.emulated`);
+* ``partition`` / ``heal`` -- an island of replica indices is cut off
+  from the rest of the world, then reconnected
+  (:class:`repro.netsim.network.PartitionScheduleLinks`);
+* ``message-storm`` -- a self-contained congestion window during which
+  every link's delay is multiplied by ``factor``.
+
+Plans are plain data: they serialize to a list of dicts
+(:meth:`FaultPlan.to_jsonable`), so they travel inside scenario-factory
+kwargs through the parallel engine's content-hashed specs, and they
+shrink -- :mod:`repro.faults.shrink` delta-debugs a violating plan down
+to a minimal pinned repro over the :meth:`FaultPlan.groups` units
+(a crash shrinks together with its recovery, a partition with its
+heal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: The fault kinds a plan may schedule, in timeline tie-break order
+#: (repairs sort before injections at equal times so a back-to-back
+#: recover/crash of the same replica stays a valid state machine).
+FAULT_KINDS: Tuple[str, ...] = (
+    "replica-recover",
+    "heal",
+    "replica-crash",
+    "partition",
+    "message-storm",
+)
+
+#: Fault kinds that target a single replica index.
+_REPLICA_KINDS = ("replica-crash", "replica-recover")
+
+#: Fault kinds that carry an island of replica indices.
+_ISLAND_KINDS = ("partition", "heal")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timeline entry: a fault injection or its repair.
+
+    Only the fields meaningful for ``kind`` are set: ``replica`` for
+    the crash/recover pair, ``replicas`` (the isolated island) for
+    partition/heal, and ``until``/``factor`` for a message storm.  The
+    unused fields keep inert defaults so events stay hashable value
+    objects.
+    """
+
+    kind: str
+    at: float
+    replica: int = -1
+    replicas: Tuple[int, ...] = ()
+    until: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {list(FAULT_KINDS)}"
+            )
+        if self.at < 0:
+            raise ValueError(f"negative fault time {self.at} for {self.kind}")
+        if self.kind in _REPLICA_KINDS and self.replica < 0:
+            raise ValueError(f"{self.kind} needs a non-negative replica index")
+        if self.kind in _ISLAND_KINDS:
+            if not self.replicas:
+                raise ValueError(f"{self.kind} needs a non-empty replica island")
+            if len(set(self.replicas)) != len(self.replicas):
+                raise ValueError(f"{self.kind} island repeats a replica index")
+        if self.kind == "message-storm":
+            if self.until <= self.at:
+                raise ValueError("message-storm needs until > at")
+            if self.factor < 1.0:
+                raise ValueError("message-storm factor must be >= 1")
+        # Canonicalize the island so JSON round-trips compare equal.
+        object.__setattr__(self, "replicas", tuple(sorted(int(i) for i in self.replicas)))
+
+    # ------------------------------------------------------------------
+    def sort_key(self) -> Tuple[float, int, int, Tuple[int, ...]]:
+        """Deterministic timeline ordering (time, then kind priority)."""
+        return (self.at, FAULT_KINDS.index(self.kind), self.replica, self.replicas)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """The plain-dict form, carrying only the meaningful fields."""
+        out: Dict[str, Any] = {"kind": self.kind, "at": self.at}
+        if self.kind in _REPLICA_KINDS:
+            out["replica"] = self.replica
+        elif self.kind in _ISLAND_KINDS:
+            out["replicas"] = list(self.replicas)
+        else:
+            out["until"] = self.until
+            out["factor"] = self.factor
+        return out
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_jsonable` output."""
+        data = dict(payload)
+        unknown = set(data) - {"kind", "at", "replica", "replicas", "until", "factor"}
+        if unknown:
+            raise ValueError(f"unknown fault-event key(s): {sorted(unknown)}")
+        return cls(
+            kind=str(data.get("kind", "")),
+            at=float(data.get("at", -1.0)),
+            replica=int(data.get("replica", -1)),
+            replicas=tuple(int(i) for i in data.get("replicas") or ()),
+            until=float(data.get("until", 0.0)),
+            factor=float(data.get("factor", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A sorted timeline of :class:`FaultEvent` entries."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=FaultEvent.sort_key))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Any:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    def validate(self, replicas: int) -> None:
+        """Check the timeline is a legal state machine for ``replicas``.
+
+        Every index must be in range, a recover must repair an earlier
+        un-repaired crash of the same replica, and a heal must close an
+        island that is actually open.  Liveness is deliberately *not*
+        checked here (a plan may crash a majority, stalling quorums
+        until a recovery) -- that is what campaigns probe.
+        """
+        crashed: set = set()
+        open_islands: List[Tuple[int, ...]] = []
+        for ev in self.events:
+            if ev.kind in _REPLICA_KINDS and not 0 <= ev.replica < replicas:
+                raise ValueError(
+                    f"replica index {ev.replica} out of range for {replicas}"
+                )
+            if ev.kind in _ISLAND_KINDS:
+                if any(not 0 <= i < replicas for i in ev.replicas):
+                    raise ValueError(
+                        f"island {ev.replicas} out of range for {replicas} replicas"
+                    )
+                if len(ev.replicas) >= replicas:
+                    raise ValueError("a partition island must exclude some replica")
+            if ev.kind == "replica-crash":
+                if ev.replica in crashed:
+                    raise ValueError(f"replica {ev.replica} crashed twice without recovering")
+                crashed.add(ev.replica)
+            elif ev.kind == "replica-recover":
+                if ev.replica not in crashed:
+                    raise ValueError(f"replica {ev.replica} recovers without a crash")
+                crashed.discard(ev.replica)
+            elif ev.kind == "partition":
+                if ev.replicas in open_islands:
+                    raise ValueError(f"island {ev.replicas} partitioned twice without a heal")
+                open_islands.append(ev.replicas)
+            elif ev.kind == "heal":
+                if ev.replicas not in open_islands:
+                    raise ValueError(f"heal of {ev.replicas} without an open partition")
+                open_islands.remove(ev.replicas)
+
+    # ------------------------------------------------------------------
+    def groups(self) -> List[Tuple[FaultEvent, ...]]:
+        """The shrink units: each injection paired with its repair.
+
+        A crash travels with the recover of the same replica that
+        follows it, a partition with the heal of the same island; storms
+        and unrepaired injections are singleton groups.  The delta
+        debugger removes whole groups, so a shrunk plan is always a
+        legal timeline.
+        """
+        out: List[Tuple[FaultEvent, ...]] = []
+        pending_crash: Dict[int, int] = {}
+        pending_part: Dict[Tuple[int, ...], int] = {}
+        for ev in self.events:
+            if ev.kind == "replica-crash":
+                pending_crash[ev.replica] = len(out)
+                out.append((ev,))
+            elif ev.kind == "replica-recover":
+                slot = pending_crash.pop(ev.replica, None)
+                if slot is None:  # unmatched repair: keep it a unit
+                    out.append((ev,))
+                else:
+                    out[slot] = out[slot] + (ev,)
+            elif ev.kind == "partition":
+                pending_part[ev.replicas] = len(out)
+                out.append((ev,))
+            elif ev.kind == "heal":
+                slot = pending_part.pop(ev.replicas, None)
+                if slot is None:
+                    out.append((ev,))
+                else:
+                    out[slot] = out[slot] + (ev,)
+            else:
+                out.append((ev,))
+        return out
+
+    @classmethod
+    def from_groups(cls, groups: Iterable[Tuple[FaultEvent, ...]]) -> "FaultPlan":
+        """Reassemble a plan from a subset of :meth:`groups` units."""
+        return cls(tuple(ev for group in groups for ev in group))
+
+    # ------------------------------------------------------------------
+    def partition_windows(self, horizon: float) -> Tuple[Tuple[float, float, Tuple[int, ...]], ...]:
+        """``(start, end, island)`` windows; an unhealed island ends at
+        ``horizon``."""
+        windows: List[Tuple[float, float, Tuple[int, ...]]] = []
+        opened: Dict[Tuple[int, ...], float] = {}
+        for ev in self.events:
+            if ev.kind == "partition":
+                opened[ev.replicas] = ev.at
+            elif ev.kind == "heal":
+                start = opened.pop(ev.replicas, None)
+                if start is not None:
+                    windows.append((start, ev.at, ev.replicas))
+        for island, start in opened.items():
+            windows.append((start, horizon, island))
+        return tuple(sorted(windows))
+
+    def storm_windows(self, horizon: float) -> Tuple[Tuple[float, float, float], ...]:
+        """``(start, end, factor)`` congestion windows (horizon-clamped)."""
+        return tuple(
+            (ev.at, min(ev.until, horizon), ev.factor)
+            for ev in self.events
+            if ev.kind == "message-storm" and ev.at < horizon
+        )
+
+    def last_event_time(self) -> float:
+        """When the environment is quiet again (0.0 for an empty plan).
+
+        Storm/partition lifetimes count: an unhealed partition never
+        quiets down, reported as ``inf``.
+        """
+        quiet = 0.0
+        opened = 0
+        for ev in self.events:
+            quiet = max(quiet, ev.until if ev.kind == "message-storm" else ev.at)
+            if ev.kind == "partition":
+                opened += 1
+            elif ev.kind == "heal":
+                opened -= 1
+        return float("inf") if opened else quiet
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """The plain list-of-dicts form (scenario kwargs, JSON payloads)."""
+        return [ev.to_jsonable() for ev in self.events]
+
+    @classmethod
+    def from_jsonable(cls, payload: Optional[Sequence[Mapping[str, Any]]]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_jsonable` output (``None`` -> empty)."""
+        return cls(tuple(FaultEvent.from_jsonable(ev) for ev in payload or ()))
+
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan"]

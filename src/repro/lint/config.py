@@ -31,7 +31,19 @@ DEFAULT_BASELINE = DEFAULT_ROOT.parent.parent / "tools" / "lint_baseline.json"
 #: wall-clock time (process-pool timing, benchmark harness), which is
 #: observability, not simulation state.
 DETERMINISM_PACKAGES: FrozenSet[str] = frozenset(
-    {"sim", "netsim", "memory", "core", "props", "analysis", "workloads", "timers", "apps", "lint"}
+    {
+        "sim",
+        "netsim",
+        "memory",
+        "core",
+        "props",
+        "analysis",
+        "workloads",
+        "timers",
+        "apps",
+        "lint",
+        "faults",
+    }
 )
 
 #: Calls that read wall-clock time or ambient entropy.  Any call whose
@@ -133,6 +145,7 @@ STRICT_TYPED_MODULES: Tuple[str, ...] = (
     "repro/sim/kernel.py",
     "repro/memory/backend.py",
     "repro/memory/linearizability.py",
+    "repro/faults/plan.py",
     "repro/lint/findings.py",
     "repro/lint/config.py",
     "repro/lint/baseline.py",

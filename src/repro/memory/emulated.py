@@ -39,9 +39,17 @@ the two levels genuinely diverge.
 
 The emulation tolerates crashes of **up to a minority** of replicas and
 message loss (pending phases retransmit to unacked replicas every
-``retry_interval``).  Link timing/loss is pluggable through the
-:data:`LINK_MODELS` registry over the :mod:`repro.netsim.network`
-behaviours -- including the PR 2 adversaries (GST ramps, fair loss).
+``retry_interval``; the opt-in ``backoff`` retry policy swaps the
+constant timer for jittered exponential backoff).  **Fault injection**
+(``EmulationConfig.fault_plan``, a :mod:`repro.faults` timeline) adds
+*transient* crashes: a recovering replica rejoins with amnesia and runs
+a quorum **state-resync** -- merging ``(timestamp, value)`` snapshots
+from a majority of the other replicas -- before serving reads again,
+while partition/heal windows and message storms from the same plan
+compile into a link-level overlay.  Link timing/loss is pluggable
+through the :data:`LINK_MODELS` registry over the
+:mod:`repro.netsim.network` behaviours -- including the PR 2
+adversaries (GST ramps, fair loss).
 
 :class:`EmulatedMemory` subclasses
 :class:`~repro.memory.memory.SharedMemory`: the namespace, the access
@@ -60,6 +68,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
+from repro.faults.plan import FaultEvent, FaultPlan
 from repro.memory.memory import SharedMemory
 from repro.memory.mwmr import MultiWriterRegister
 from repro.memory.register import AtomicRegister, OwnershipError
@@ -70,6 +79,7 @@ from repro.netsim.network import (
     FairLossyLinks,
     Message,
     Network,
+    PartitionScheduleLinks,
     RampLinks,
     SynchronousLinks,
     TimelyLinks,
@@ -85,6 +95,14 @@ _INITIAL_TS: Tuple[int, int] = (0, -1)
 #: hierarchy): ``regular`` is the single-phase read the paper needs,
 #: ``atomic`` adds the ABD write-back phase to every read.
 CONSISTENCY_LEVELS: Tuple[str, ...] = ("regular", "atomic")
+
+#: Retransmission policies for pending quorum phases: ``fixed`` -- the
+#: original constant ``retry_interval`` timer (draws no randomness, so
+#: default-config runs stay byte-identical across releases) -- and
+#: ``backoff`` -- exponential backoff doubling from ``retry_interval``
+#: up to ``retry_cap``, with multiplicative sim-RNG jitter to break
+#: retransmission synchrony under congestion.
+RETRY_POLICIES: Tuple[str, ...] = ("fixed", "backoff")
 
 
 @dataclass(frozen=True, slots=True)
@@ -144,6 +162,12 @@ LINK_MODELS: Dict[str, Callable[[RngRegistry, Dict[str, Any]], ChannelBehavior]]
     "duplication": lambda rng, p: DuplicatingLinks(
         SynchronousLinks(p.pop("delta", 0.25)), rng, **p
     ),
+    # The fault-injection overlay on synchronous timing: scheduled
+    # partition/heal windows and message storms (repro.faults plans
+    # compile their link-level faults into exactly this model).
+    "partition-schedule": lambda rng, p: PartitionScheduleLinks(
+        SynchronousLinks(p.pop("delta", 0.25)), **p
+    ),
 }
 
 
@@ -169,9 +193,39 @@ class EmulationConfig:
     retry_interval:
         Retransmission period for pending phases (loss tolerance; with
         loss-free link models the retransmit timers arm but never win).
+    retry_policy:
+        Retransmission policy (:data:`RETRY_POLICIES`): ``"fixed"`` --
+        the constant-interval timer, the default, drawing no randomness
+        -- or ``"backoff"`` -- exponential backoff doubling from
+        ``retry_interval`` up to ``retry_cap`` with multiplicative
+        sim-RNG jitter (``retry_jitter``).
+    retry_cap:
+        Upper bound on the backoff delay (pre-jitter); ignored by the
+        fixed policy.
+    retry_jitter:
+        Jitter fraction of the backoff policy: each armed delay is
+        scaled by a uniform draw from ``[1, 1 + retry_jitter]`` out of
+        the run's seeded RNG registry.  The fixed policy draws nothing.
     replica_crash_times:
-        ``{replica index: crash time}`` -- crash-stop for replicas.
-        Must leave a majority alive or quorums become unreachable.
+        ``{replica index: crash time}`` -- *permanent* crash-stop for
+        replicas.  Must leave a majority alive or quorums become
+        unreachable.  Transient crashes belong in ``fault_plan``.
+    fault_plan:
+        A :class:`repro.faults.plan.FaultPlan` timeline (as a tuple of
+        :class:`~repro.faults.plan.FaultEvent`): transient replica
+        crashes with recover-and-resync, partition/heal windows and
+        message storms.  Crash/recover pairs are applied by
+        :meth:`EmulatedMemory.start`; partition and storm windows are
+        compiled into a
+        :class:`~repro.netsim.network.PartitionScheduleLinks` overlay
+        on the configured link model.
+    resync:
+        Whether a recovering replica runs the quorum state-resync
+        before serving reads again (the correct protocol, default).
+        ``False`` is the *deliberately broken* mode for negative tests:
+        a recovered replica serves straight out of amnesia, which the
+        history audit is expected to catch (and ``repro chaos`` to
+        shrink).
     consistency:
         Consistency level of the emulated registers
         (:data:`CONSISTENCY_LEVELS`): ``"regular"`` -- single-phase
@@ -191,7 +245,12 @@ class EmulationConfig:
     links: str = "sync"
     link_params: Tuple[Tuple[str, Any], ...] = ()
     retry_interval: float = 20.0
+    retry_policy: str = "fixed"
+    retry_cap: float = 160.0
+    retry_jitter: float = 0.25
     replica_crash_times: Tuple[Tuple[int, float], ...] = ()
+    fault_plan: Tuple[FaultEvent, ...] = ()
+    resync: bool = True
     consistency: str = "regular"
     record_history: bool = False
 
@@ -209,6 +268,18 @@ class EmulationConfig:
             )
         if self.retry_interval <= 0:
             raise ValueError("retry_interval must be positive")
+        if self.retry_policy not in RETRY_POLICIES:
+            raise ValueError(
+                f"unknown retry policy {self.retry_policy!r}; "
+                f"choose from {list(RETRY_POLICIES)}"
+            )
+        # The cap is inert under "fixed" (no backoff ever reaches it),
+        # so only the backoff policy constrains it against the interval.
+        if self.retry_policy == "backoff" and self.retry_cap < self.retry_interval:
+            raise ValueError("retry_cap must be at least retry_interval")
+        if not 0 <= self.retry_jitter < 1:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        FaultPlan(self.fault_plan).validate(self.replicas)
         crashes = dict(self.replica_crash_times)
         for idx, t in crashes.items():
             if not 0 <= idx < self.replicas:
@@ -234,7 +305,12 @@ class EmulationConfig:
             "links": self.links,
             "link_params": dict(self.link_params),
             "retry_interval": self.retry_interval,
+            "retry_policy": self.retry_policy,
+            "retry_cap": self.retry_cap,
+            "retry_jitter": self.retry_jitter,
             "replica_crash_times": {str(i): t for i, t in self.replica_crash_times},
+            "fault_plan": [ev.to_jsonable() for ev in self.fault_plan],
+            "resync": self.resync,
             "consistency": self.consistency,
             "record_history": self.record_history,
         }
@@ -249,7 +325,12 @@ class EmulationConfig:
             "links",
             "link_params",
             "retry_interval",
+            "retry_policy",
+            "retry_cap",
+            "retry_jitter",
             "replica_crash_times",
+            "fault_plan",
+            "resync",
             "consistency",
             "record_history",
         }
@@ -261,9 +342,16 @@ class EmulationConfig:
             links=str(data.get("links", "sync")),
             link_params=tuple(sorted((data.get("link_params") or {}).items())),
             retry_interval=float(data.get("retry_interval", 20.0)),
+            retry_policy=str(data.get("retry_policy", "fixed")),
+            retry_cap=float(data.get("retry_cap", 160.0)),
+            retry_jitter=float(data.get("retry_jitter", 0.25)),
             replica_crash_times=tuple(
                 sorted((int(i), float(t)) for i, t in dict(crashes).items())
             ),
+            fault_plan=tuple(
+                FaultEvent.from_jsonable(ev) for ev in data.get("fault_plan") or ()
+            ),
+            resync=bool(data.get("resync", True)),
             consistency=str(data.get("consistency", "regular")),
             record_history=bool(data.get("record_history", False)),
         )
@@ -275,13 +363,19 @@ class ReplicaNode:
     Replicas are passive state machines -- they never initiate traffic,
     only answer queries and apply timestamped writes (monotonically:
     an older write arriving late never regresses the stored value).
-    Crash-stop: a crashed replica silently drops everything.
+    A crashed replica silently drops everything; a *recovering* replica
+    (post-crash amnesia, pre-resync) applies and acks writes -- the
+    timestamps make that safe -- but refuses to serve reads or to
+    certify another replica's resync until its own quorum state-resync
+    completes (the ``abd.sync`` round driven by
+    :class:`EmulatedMemory`).
     """
 
     def __init__(self, index: int, initial: Dict[str, Tuple[Tuple[int, int], Any]]) -> None:
         self.index = index
         self.store: Dict[str, Tuple[Tuple[int, int], Any]] = dict(initial)
         self.crashed = False
+        self.recovering = False
         self.writes_applied = 0
         self.reads_served = 0
 
@@ -297,10 +391,22 @@ class ReplicaNode:
         if self.crashed:
             return
         if message.kind == "abd.read":
+            if self.recovering:
+                return  # amnesiac state must not enter any read quorum
             op_id, name = message.payload
             ts, value = self.store.get(name) or initial_of(name)
             self.reads_served += 1
             network.send(self.node_id, message.sender, "abd.read-reply", (op_id, name, ts, value))
+        elif message.kind == "abd.sync":
+            if self.recovering:
+                return  # cannot certify state it does not have itself
+            (sync_id,) = message.payload
+            network.send(
+                self.node_id,
+                message.sender,
+                "abd.sync-reply",
+                (sync_id, tuple(sorted(self.store.items()))),
+            )
         elif message.kind == "abd.write":
             op_id, name, ts, value = message.payload
             current = self.store.get(name) or initial_of(name)
@@ -335,6 +441,7 @@ class _PendingOp:
         "callback",
         "done",
         "retry_handle",
+        "attempts",
         "started_at",
     )
 
@@ -361,7 +468,31 @@ class _PendingOp:
         self.callback = callback
         self.done = False
         self.retry_handle = None
+        self.attempts = 0  # retransmission rounds fired (backoff exponent)
         self.started_at = started_at
+
+
+class _ResyncState:
+    """One in-flight recovery state-resync of one replica.
+
+    The recovering replica broadcasts ``abd.sync`` and merges the
+    ``(timestamp, value)`` snapshots it gets back; it rejoins read
+    service once a majority of the *other* replicas replied.  Counting
+    the recovering node itself toward its own quorum would be unsound
+    (its state is amnesia), and a majority drawn from the others is
+    what guarantees intersection with every completed write's quorum in
+    at least one non-amnesiac replica.
+    """
+
+    __slots__ = ("sync_id", "node", "replies", "merged", "retry_handle", "done")
+
+    def __init__(self, sync_id: int, node: ReplicaNode) -> None:
+        self.sync_id = sync_id
+        self.node = node
+        self.replies: Set[int] = set()
+        self.merged: Dict[str, Tuple[Tuple[int, int], Any]] = {}
+        self.retry_handle = None
+        self.done = False
 
 
 class EmulatedMemory(SharedMemory):
@@ -407,6 +538,7 @@ class EmulatedMemory(SharedMemory):
         super().__init__(clock, log_reads=log_reads)
         self.config = config or EmulationConfig()
         self._sim = sim
+        self._rng = rng
         self.network = Network(
             sim, _make_links(self.config.links, rng, dict(self.config.link_params))
         )
@@ -416,11 +548,17 @@ class EmulatedMemory(SharedMemory):
         self._write_counters: Dict[str, int] = {}
         self._ops: Dict[int, _PendingOp] = {}
         self._op_counter = 0
+        self._sync_counter = 0
+        self._resyncs: Dict[int, _ResyncState] = {}
         self._started = False
         # Protocol statistics (per-run observability; see RunSummary).
         self.reads_completed = 0
         self.writes_completed = 0
         self.retransmissions = 0
+        #: Transient replica recoveries applied from the fault plan.
+        self.recoveries = 0
+        #: Quorum state-resyncs completed by recovering replicas.
+        self.resyncs = 0
         self.total_op_latency = 0.0
         #: Latency accumulated by read operations alone -- at the atomic
         #: consistency level this includes the write-back phase, which
@@ -461,13 +599,146 @@ class EmulatedMemory(SharedMemory):
                 replica = self.replicas[idx]
 
                 def crash(node: ReplicaNode = replica) -> None:
-                    node.crashed = True
+                    self._crash_replica(node)
 
                 self._sim.schedule_at(t, crash, kind="replica-crash")
+        self._apply_fault_plan(horizon)
+
+    def _apply_fault_plan(self, horizon: float) -> None:
+        """Arm the config's fault plan: replica events become scheduled
+        closures; partition and storm windows compile into a
+        :class:`~repro.netsim.network.PartitionScheduleLinks` overlay
+        wrapping the configured link behaviour."""
+        plan = FaultPlan(self.config.fault_plan)
+        if not plan.events:
+            return
+        for ev in plan:
+            if ev.at > horizon:
+                continue
+            if ev.kind == "replica-crash":
+                replica = self.replicas[ev.replica]
+
+                def crash(node: ReplicaNode = replica) -> None:
+                    self._crash_replica(node)
+
+                self._sim.schedule_at(ev.at, crash, kind="replica-crash")
+            elif ev.kind == "replica-recover":
+                replica = self.replicas[ev.replica]
+
+                def recover(node: ReplicaNode = replica) -> None:
+                    self._begin_recovery(node)
+
+                self._sim.schedule_at(ev.at, recover, kind="replica-recover")
+        partitions = plan.partition_windows(horizon)
+        storms = plan.storm_windows(horizon)
+        if partitions or storms:
+            self.network.behavior = PartitionScheduleLinks(
+                self.network.behavior, partitions=partitions, storms=storms
+            )
 
     def _initial_of(self, name: str) -> Tuple[Tuple[int, int], Any]:
         """A register's seeded replica state (for post-start lookups)."""
         return self._initial.get(name, (_INITIAL_TS, 0))
+
+    # ------------------------------------------------------------------
+    # Crash, recovery and state-resync
+    # ------------------------------------------------------------------
+    def _crash_replica(self, node: ReplicaNode) -> None:
+        """Crash ``node`` now, abandoning any resync it was running."""
+        node.crashed = True
+        node.recovering = False
+        for sync_id, state in list(self._resyncs.items()):
+            if state.node is node:
+                state.done = True
+                if state.retry_handle is not None:
+                    state.retry_handle.cancel()
+                del self._resyncs[sync_id]
+
+    def _begin_recovery(self, node: ReplicaNode) -> None:
+        """Recover ``node`` with amnesia; resync before serving reads.
+
+        The crash wiped the replica's volatile store, so it restarts
+        from *nothing* (not even the seeded initial values -- stale
+        initial state is exactly the bug the resync exists to prevent).
+        Under ``config.resync`` it applies and acks writes but refuses
+        reads until :meth:`_on_sync_reply` merges a majority of the
+        other replicas' snapshots; with ``resync=False`` (the broken
+        mode for negative tests) it serves immediately out of amnesia.
+        """
+        if not node.crashed:
+            return  # recover of a live replica is a no-op
+        node.crashed = False
+        node.store.clear()
+        self.recoveries += 1
+        if self.config.resync:
+            node.recovering = True
+            self._start_resync(node)
+
+    def _start_resync(self, node: ReplicaNode) -> None:
+        """Open a sync round for ``node`` (with retransmission)."""
+        self._sync_counter += 1
+        state = _ResyncState(self._sync_counter, node)
+        self._resyncs[state.sync_id] = state
+
+        def retry() -> None:
+            if state.done:
+                return
+            self.retransmissions += 1
+            self._broadcast_sync(state)
+            state.retry_handle = self._sim.schedule_after_cancellable(
+                self.config.retry_interval, retry, kind="abd-resync-retry", pid=node.node_id
+            )
+
+        self._broadcast_sync(state)
+        state.retry_handle = self._sim.schedule_after_cancellable(
+            self.config.retry_interval, retry, kind="abd-resync-retry", pid=node.node_id
+        )
+
+    def _broadcast_sync(self, state: _ResyncState) -> None:
+        """(Re-)request snapshots from the replicas yet to reply."""
+        for replica in self.replicas:
+            if replica.index == state.node.index or replica.index in state.replies:
+                continue
+            self.network.send(
+                state.node.node_id, replica.node_id, "abd.sync", (state.sync_id,)
+            )
+
+    def _on_sync_reply(self, message: Message) -> None:
+        """Merge one snapshot; rejoin service on a majority of others."""
+        sync_id, entries = message.payload
+        state = self._resyncs.get(sync_id)
+        if state is None or state.done:
+            return  # late reply of an abandoned or completed round
+        replica_index = -message.sender - 1
+        if replica_index in state.replies:
+            return
+        state.replies.add(replica_index)
+        for name, (ts, value) in entries:
+            current = state.merged.get(name)
+            if current is None or ts > current[0]:
+                state.merged[name] = (ts, value)
+        # A majority drawn from the OTHER replicas (the recovering
+        # node's own state is amnesia, so counting itself would be
+        # unsound): |replies| + |any completed write's quorum| exceeds
+        # the replica count, so the merge sees every completed write
+        # through at least one non-amnesiac holder.  Capped at the
+        # other-replica count so the two-replica emulation (where the
+        # single other replica holds every completed write) can finish.
+        if len(state.replies) < min(self.config.majority, len(self.replicas) - 1):
+            return
+        state.done = True
+        if state.retry_handle is not None:
+            state.retry_handle.cancel()
+        del self._resyncs[sync_id]
+        node = state.node
+        # Merge without regressing writes the node already applied
+        # while recovering (the timestamps arbitrate, as everywhere).
+        for name, (ts, value) in state.merged.items():
+            current = node.store.get(name)
+            if current is None or ts > current[0]:
+                node.store[name] = (ts, value)
+        node.recovering = False
+        self.resyncs += 1
 
     @property
     def live_replicas(self) -> int:
@@ -616,18 +887,37 @@ class EmulatedMemory(SharedMemory):
                     op.pid, replica.node_id, "abd.write", (op.op_id, name, op.ts, op.value)
                 )
 
+    def _retry_delay(self, op: _PendingOp) -> float:
+        """Delay before ``op``'s next retransmission round.
+
+        ``fixed`` returns the constant interval and draws **no**
+        randomness, so default-config runs stay byte-identical to
+        pre-backoff releases; ``backoff`` doubles per round up to
+        ``retry_cap`` and scales by seeded per-client jitter.
+        """
+        if self.config.retry_policy == "fixed":
+            return self.config.retry_interval
+        delay = min(
+            self.config.retry_interval * (2.0 ** op.attempts), self.config.retry_cap
+        )
+        if self.config.retry_jitter:
+            stream = self._rng.stream(f"abd-retry:{op.pid}")
+            delay *= 1.0 + self.config.retry_jitter * stream.random()
+        return delay
+
     def _arm_retry(self, op: _PendingOp) -> None:
         def retry() -> None:
             if op.done:
                 return
             self.retransmissions += 1
+            op.attempts += 1
             self._broadcast_phase(op)
             op.retry_handle = self._sim.schedule_after_cancellable(
-                self.config.retry_interval, retry, kind="abd-retry", pid=op.pid
+                self._retry_delay(op), retry, kind="abd-retry", pid=op.pid
             )
 
         op.retry_handle = self._sim.schedule_after_cancellable(
-            self.config.retry_interval, retry, kind="abd-retry", pid=op.pid
+            self._retry_delay(op), retry, kind="abd-retry", pid=op.pid
         )
 
     def _finish(self, op: _PendingOp, result: Any) -> None:
@@ -642,6 +932,12 @@ class EmulatedMemory(SharedMemory):
     # Message handling
     # ------------------------------------------------------------------
     def _on_delivery(self, message: Message) -> None:
+        if message.kind == "abd.sync-reply":
+            # Resync replies address the recovering *replica* (negative
+            # receiver), but the round's state machine lives here -- so
+            # route by kind before the replica dispatch.
+            self._on_sync_reply(message)
+            return
         if message.receiver < 0:
             self.replicas[-message.receiver - 1].handle(
                 message, self.network, self._initial_of
@@ -741,5 +1037,6 @@ __all__ = [
     "EmulatedMemory",
     "EmulationConfig",
     "LINK_MODELS",
+    "RETRY_POLICIES",
     "ReplicaNode",
 ]

@@ -16,7 +16,12 @@ assumptions the related work uses:
 * :class:`EventuallyTimelyLinks` -- the *eventual t-source* assumption
   of Aguilera et al. [2]: after an unknown ``gst``, messages **from a
   designated source set** are delivered within a bound; everything else
-  stays fair-lossy.
+  stays fair-lossy;
+* :class:`PartitionScheduleLinks` -- a *dynamic* overlay driven by a
+  fault plan (:mod:`repro.faults`): scheduled partition windows sever
+  an island of replicas from the rest of the world until they heal,
+  and message-storm windows multiply every delay by a congestion
+  factor.
 
 Beyond timing and loss, a behaviour may implement the optional
 ``delivery_plan(message)`` hook to *mutate* traffic -- returning any
@@ -351,6 +356,81 @@ class DuplicatingLinks:
         return fates
 
 
+class PartitionScheduleLinks:
+    """Dynamic partitions and congestion storms over a base model.
+
+    The link-level half of the fault-injection subsystem
+    (:mod:`repro.faults`): ``partitions`` is a schedule of
+    ``(start, end, island)`` windows during which the *island* -- a set
+    of replica indices (wire address ``-(index + 1)``) -- is cut off
+    from everything outside it, and ``storms`` is a schedule of
+    ``(start, end, factor)`` windows during which every delivery delay
+    is multiplied by ``factor`` (congestion, not loss).  Both are
+    judged at the send instant, like :class:`RampLinks` judges its
+    ramp.  Timing outside any window delegates to ``base`` unchanged,
+    so an empty schedule is behaviourally identical to ``base``.
+
+    Client processes (non-negative pids) always sit on the majority
+    side: a message is dropped exactly when one endpoint is inside an
+    active island and the other is not.
+    """
+
+    def __init__(
+        self,
+        base: ChannelBehavior,
+        partitions: Iterable[Tuple[float, float, Iterable[int]]] = (),
+        storms: Iterable[Tuple[float, float, float]] = (),
+    ) -> None:
+        self.base = base
+        self.partitions: Tuple[Tuple[float, float, frozenset], ...] = tuple(
+            (float(start), float(end), frozenset(int(i) for i in island))
+            for start, end, island in partitions
+        )
+        self.storms: Tuple[Tuple[float, float, float], ...] = tuple(
+            (float(start), float(end), float(factor)) for start, end, factor in storms
+        )
+        for start, end, island in self.partitions:
+            if not island or end <= start:
+                raise ValueError("partition windows need end > start and a non-empty island")
+        for start, end, factor in self.storms:
+            if end <= start or factor < 1.0:
+                raise ValueError("storm windows need end > start and factor >= 1")
+        self.partitioned_drops = 0
+
+    @staticmethod
+    def _replica_index(node_id: int) -> Optional[int]:
+        """Wire address -> replica index (clients map to ``None``)."""
+        return -node_id - 1 if node_id < 0 else None
+
+    def severed(self, message: Message) -> bool:
+        """True when an active island separates sender from receiver."""
+        t = message.sent_at
+        s = self._replica_index(message.sender)
+        r = self._replica_index(message.receiver)
+        for start, end, island in self.partitions:
+            if start <= t < end and (s in island) != (r in island):
+                return True
+        return False
+
+    def storm_factor(self, time: float) -> float:
+        """The combined delay multiplier of the storms active at ``time``."""
+        factor = 1.0
+        for start, end, storm in self.storms:
+            if start <= time < end:
+                factor *= storm
+        return factor
+
+    def delivery_delay(self, message: Message) -> Optional[float]:
+        """Drop across an active island; otherwise storm-scaled base delay."""
+        if self.severed(message):
+            self.partitioned_drops += 1
+            return None
+        delay = self.base.delivery_delay(message)
+        if delay is None:
+            return None
+        return delay * self.storm_factor(message.sent_at)
+
+
 class Network:
     """The message fabric: send, count, deliver through the kernel.
 
@@ -424,6 +504,7 @@ __all__ = [
     "FairLossyLinks",
     "Message",
     "Network",
+    "PartitionScheduleLinks",
     "RampLinks",
     "SourceChurnLinks",
     "SynchronousLinks",

@@ -59,10 +59,14 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     "emulated-lossy": scen_mod.emulated_lossy,
     "emulated-lossy-audit": scen_mod.emulated_lossy_audit,
     "emulated-gst-ramp": scen_mod.emulated_gst_ramp,
+    "emulated-gst-ramp-audit": scen_mod.emulated_gst_ramp_audit,
     # The atomic consistency level: write-back reads with the recorded
     # history audited by the interval-order checkers.
     "nominal-emulated-atomic": scen_mod.nominal_emulated_atomic,
     "replica-crash-atomic": scen_mod.replica_crash_atomic,
+    # Fault-injection campaigns: a repro.faults timeline threaded down
+    # to the emulation (the `repro chaos` workhorse cell).
+    "chaos": scen_mod.chaos,
 }
 
 

@@ -940,6 +940,100 @@ def emulated_gst_ramp(
     )
 
 
+@scenario_factory
+def emulated_gst_ramp_audit(
+    n: int = 4,
+    horizon: float = 10000.0,
+    replicas: int = 3,
+    gst_fraction: float = 0.3,
+    start_scale: float = 6.0,
+    retry_interval: float = 4.0,
+) -> Scenario:
+    """:func:`emulated_gst_ramp` with the operation recorder armed.
+
+    The ramp-stress audit cell: before the GST the stretched quorum
+    round trips outlast the (deliberately tight) retransmission timer,
+    so phases re-broadcast into links that deliver *everything* --
+    duplicate replies and acks flood back, and the audit asserts the
+    reply dedup never double-counts a replica into a fake quorum (every
+    recorded read still satisfies the regular-register condition).
+    """
+    base = emulated_gst_ramp(n, horizon, replicas, gst_fraction, start_scale)
+    base.name = f"emulated-gst-ramp-audit-n{n}"
+    base.description += (
+        f"; retry every {retry_interval:g}, history recorded and audited (regular)"
+    )
+    base.emulation = {
+        **base.emulation,
+        "record_history": True,
+        "retry_interval": retry_interval,
+    }
+    return base
+
+
+#: The default ``chaos`` fault timeline: one disturbance of each kind,
+#: serialized with slack between them and a long quiet tail -- harsh
+#: enough to force a recovery-resync, a partition detour and a storm
+#: into one run, mild enough that a *correct* emulation must pass the
+#: theorem monitors and the history audit on every seed.
+DEFAULT_CHAOS_PLAN: Tuple[Dict[str, Any], ...] = (
+    {"kind": "replica-crash", "at": 1200.0, "replica": 1},
+    {"kind": "replica-recover", "at": 2000.0, "replica": 1},
+    {"kind": "partition", "at": 2800.0, "replicas": [2]},
+    {"kind": "heal", "at": 3600.0, "replicas": [2]},
+    {"kind": "message-storm", "at": 4200.0, "until": 4800.0, "factor": 3.0},
+)
+
+
+@scenario_factory
+def chaos(
+    n: int = 3,
+    horizon: float = 8000.0,
+    replicas: int = 3,
+    delta: float = 0.25,
+    plan: Optional[List[Dict[str, Any]]] = None,
+    resync: bool = True,
+    retry_policy: str = "fixed",
+) -> Scenario:
+    """Fault-injection campaign cell: a :mod:`repro.faults` timeline.
+
+    ``plan`` is the fault plan in its JSON list-of-dicts form (the
+    shape :class:`~repro.faults.plan.FaultPlan.to_jsonable` emits and
+    the parallel engine can hash); ``None`` runs
+    :data:`DEFAULT_CHAOS_PLAN`.  The recorder is always on -- a chaos
+    run without the history audit would miss exactly the stale-read
+    bugs fault injection exists to surface.  ``resync=False`` switches
+    the emulation to the deliberately broken recover-without-resync
+    mode (the ``repro chaos`` negative oracle), and ``retry_policy``
+    exposes the backoff knob to campaigns.
+    """
+    events = DEFAULT_CHAOS_PLAN if plan is None else tuple(plan)
+    fault_plan = [dict(ev) for ev in events]
+    return Scenario(
+        name=f"chaos-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"{replicas}-replica ABD emulation under a {len(fault_plan)}-event "
+            f"fault plan ({'resync' if resync else 'NO resync'}, "
+            f"{retry_policy} retries), history audited"
+        ),
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        margin=horizon * 0.05,
+        memory="emulated",
+        emulation=_emulation_knobs(
+            replicas,
+            "sync",
+            delta,
+            fault_plan=fault_plan,
+            resync=resync,
+            retry_policy=retry_policy,
+            record_history=True,
+        ),
+    )
+
+
 #: Backend-equivalence cells: ``(algorithm registry name, shared
 #: factory, emulated factory, seed)``.  On the deterministic ``sync``
 #: link model an emulated run consumes exactly the same random streams
@@ -1054,6 +1148,7 @@ def ablation(
 
 __all__ = [
     "BACKEND_EQUIVALENCE_CELLS",
+    "DEFAULT_CHAOS_PLAN",
     "Scenario",
     "ablation",
     "all_but_one",
@@ -1061,8 +1156,10 @@ __all__ = [
     "awb_only",
     "capped_timers",
     "cascade",
+    "chaos",
     "chaotic_timers",
     "emulated_gst_ramp",
+    "emulated_gst_ramp_audit",
     "emulated_lossy",
     "emulated_lossy_audit",
     "ev_sync",

@@ -1,0 +1,205 @@
+"""The fault-plan language: events, timelines, shrink units, windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+
+# ----------------------------------------------------------------------
+# FaultEvent validation and serialization
+# ----------------------------------------------------------------------
+def test_event_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultEvent("meteor-strike", 1.0)
+
+
+def test_event_rejects_negative_time():
+    with pytest.raises(ValueError, match="negative fault time"):
+        FaultEvent("replica-crash", -1.0, replica=0)
+
+
+def test_crash_needs_replica_index():
+    with pytest.raises(ValueError, match="replica index"):
+        FaultEvent("replica-crash", 1.0)
+
+
+def test_partition_needs_island():
+    with pytest.raises(ValueError, match="island"):
+        FaultEvent("partition", 1.0)
+
+
+def test_partition_rejects_duplicate_island_members():
+    with pytest.raises(ValueError, match="repeats"):
+        FaultEvent("partition", 1.0, replicas=(1, 1))
+
+
+def test_storm_needs_positive_window_and_factor():
+    with pytest.raises(ValueError, match="until > at"):
+        FaultEvent("message-storm", 5.0, until=5.0, factor=2.0)
+    with pytest.raises(ValueError, match="factor"):
+        FaultEvent("message-storm", 5.0, until=6.0, factor=0.5)
+
+
+def test_island_is_canonicalized_sorted():
+    assert FaultEvent("partition", 1.0, replicas=(2, 0)).replicas == (0, 2)
+
+
+@pytest.mark.parametrize(
+    "event",
+    [
+        FaultEvent("replica-crash", 3.0, replica=1),
+        FaultEvent("replica-recover", 9.0, replica=1),
+        FaultEvent("partition", 4.0, replicas=(0, 2)),
+        FaultEvent("heal", 8.0, replicas=(0, 2)),
+        FaultEvent("message-storm", 2.0, until=6.0, factor=3.5),
+    ],
+)
+def test_event_json_round_trip(event):
+    assert FaultEvent.from_jsonable(event.to_jsonable()) == event
+
+
+def test_event_jsonable_carries_only_meaningful_keys():
+    crash = FaultEvent("replica-crash", 3.0, replica=1).to_jsonable()
+    assert set(crash) == {"kind", "at", "replica"}
+    storm = FaultEvent("message-storm", 2.0, until=6.0, factor=3.5).to_jsonable()
+    assert set(storm) == {"kind", "at", "until", "factor"}
+
+
+def test_event_from_jsonable_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown fault-event key"):
+        FaultEvent.from_jsonable({"kind": "replica-crash", "at": 1.0, "pid": 3})
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: ordering, validation, shrink units
+# ----------------------------------------------------------------------
+def test_plan_sorts_events_and_repairs_win_ties():
+    crash = FaultEvent("replica-crash", 5.0, replica=0)
+    recover = FaultEvent("replica-recover", 5.0, replica=0)
+    plan = FaultPlan((crash, recover))
+    # Repairs sort before injections at equal times, so a back-to-back
+    # recover/crash of the same replica stays a legal state machine.
+    assert plan.events == (recover, crash)
+    assert FAULT_KINDS.index("replica-recover") < FAULT_KINDS.index("replica-crash")
+
+
+def test_validate_accepts_a_legal_timeline():
+    FaultPlan(
+        (
+            FaultEvent("replica-crash", 1.0, replica=0),
+            FaultEvent("replica-recover", 2.0, replica=0),
+            FaultEvent("partition", 3.0, replicas=(1,)),
+            FaultEvent("heal", 4.0, replicas=(1,)),
+            FaultEvent("message-storm", 5.0, until=6.0, factor=2.0),
+        )
+    ).validate(3)
+
+
+def test_validate_rejects_out_of_range_replica():
+    with pytest.raises(ValueError, match="out of range"):
+        FaultPlan((FaultEvent("replica-crash", 1.0, replica=7),)).validate(3)
+
+
+def test_validate_rejects_double_crash():
+    with pytest.raises(ValueError, match="crashed twice"):
+        FaultPlan(
+            (
+                FaultEvent("replica-crash", 1.0, replica=0),
+                FaultEvent("replica-crash", 2.0, replica=0),
+            )
+        ).validate(3)
+
+
+def test_validate_rejects_recover_without_crash():
+    with pytest.raises(ValueError, match="without a crash"):
+        FaultPlan((FaultEvent("replica-recover", 1.0, replica=0),)).validate(3)
+
+
+def test_validate_rejects_heal_without_partition():
+    with pytest.raises(ValueError, match="without an open partition"):
+        FaultPlan((FaultEvent("heal", 1.0, replicas=(0,)),)).validate(3)
+
+
+def test_validate_rejects_whole_world_island():
+    with pytest.raises(ValueError, match="exclude some replica"):
+        FaultPlan((FaultEvent("partition", 1.0, replicas=(0, 1, 2)),)).validate(3)
+
+
+def test_validate_allows_transient_majority_crash():
+    # Liveness is deliberately not validate()'s business: campaigns may
+    # probe plans that transiently stall quorums.
+    FaultPlan(
+        (
+            FaultEvent("replica-crash", 1.0, replica=0),
+            FaultEvent("replica-crash", 1.5, replica=1),
+            FaultEvent("replica-recover", 5.0, replica=0),
+            FaultEvent("replica-recover", 6.0, replica=1),
+        )
+    ).validate(3)
+
+
+def test_groups_pair_injection_with_repair():
+    crash = FaultEvent("replica-crash", 1.0, replica=0)
+    recover = FaultEvent("replica-recover", 2.0, replica=0)
+    part = FaultEvent("partition", 3.0, replicas=(1,))
+    heal = FaultEvent("heal", 4.0, replicas=(1,))
+    storm = FaultEvent("message-storm", 5.0, until=6.0, factor=2.0)
+    plan = FaultPlan((crash, recover, part, heal, storm))
+    assert plan.groups() == [(crash, recover), (part, heal), (storm,)]
+
+
+def test_groups_keep_unrepaired_injection_as_singleton():
+    crash = FaultEvent("replica-crash", 1.0, replica=0)
+    assert FaultPlan((crash,)).groups() == [(crash,)]
+
+
+def test_from_groups_round_trips():
+    plan = FaultPlan(
+        (
+            FaultEvent("replica-crash", 1.0, replica=0),
+            FaultEvent("replica-recover", 2.0, replica=0),
+            FaultEvent("message-storm", 5.0, until=6.0, factor=2.0),
+        )
+    )
+    assert FaultPlan.from_groups(plan.groups()) == plan
+
+
+# ----------------------------------------------------------------------
+# Windows and serialization
+# ----------------------------------------------------------------------
+def test_partition_windows_close_at_heal_or_horizon():
+    plan = FaultPlan(
+        (
+            FaultEvent("partition", 2.0, replicas=(0,)),
+            FaultEvent("heal", 5.0, replicas=(0,)),
+            FaultEvent("partition", 7.0, replicas=(1,)),
+        )
+    )
+    assert plan.partition_windows(10.0) == ((2.0, 5.0, (0,)), (7.0, 10.0, (1,)))
+
+
+def test_storm_windows_are_horizon_clamped():
+    plan = FaultPlan((FaultEvent("message-storm", 2.0, until=60.0, factor=3.0),))
+    assert plan.storm_windows(10.0) == ((2.0, 10.0, 3.0),)
+
+
+def test_last_event_time_counts_lifetimes():
+    plan = FaultPlan((FaultEvent("message-storm", 2.0, until=60.0, factor=3.0),))
+    assert plan.last_event_time() == 60.0
+    unhealed = FaultPlan((FaultEvent("partition", 2.0, replicas=(0,)),))
+    assert unhealed.last_event_time() == float("inf")
+
+
+def test_plan_json_round_trip():
+    plan = FaultPlan(
+        (
+            FaultEvent("replica-crash", 1.0, replica=0),
+            FaultEvent("replica-recover", 2.0, replica=0),
+            FaultEvent("partition", 3.0, replicas=(1,)),
+            FaultEvent("heal", 4.0, replicas=(1,)),
+        )
+    )
+    assert FaultPlan.from_jsonable(plan.to_jsonable()) == plan
+    assert FaultPlan.from_jsonable(None) == FaultPlan()

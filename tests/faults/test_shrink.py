@@ -1,0 +1,88 @@
+"""ddmin over fault-plan groups: convergence, minimality, legality."""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.shrink import shrink_plan
+
+
+def _crash_recover(replica, at):
+    return (
+        FaultEvent("replica-crash", at, replica=replica),
+        FaultEvent("replica-recover", at + 10.0, replica=replica),
+    )
+
+
+def _big_plan(groups=8):
+    events = []
+    for i in range(groups):
+        events.extend(_crash_recover(i % 3, 100.0 * (i + 1)))
+    return FaultPlan(tuple(events))
+
+
+def test_shrinks_to_the_single_culprit_group():
+    plan = _big_plan(8)
+    culprit = plan.groups()[5]
+
+    def oracle(candidate):
+        return culprit in candidate.groups()
+
+    result = shrink_plan(plan, oracle)
+    assert result.plan.groups() == [culprit]
+    assert result.oracle_runs <= 30
+    assert result.trajectory[0] == 8 and result.trajectory[-1] == 1
+
+
+def test_shrunk_plan_is_one_minimal_over_groups():
+    # Violation needs groups 1 AND 6 together; the result must keep
+    # exactly that pair -- dropping either member kills the violation.
+    plan = _big_plan(8)
+    needed = {plan.groups()[1], plan.groups()[6]}
+
+    def oracle(candidate):
+        return needed <= set(candidate.groups())
+
+    result = shrink_plan(plan, oracle)
+    final = result.plan.groups()
+    assert set(final) == needed
+    for i in range(len(final)):
+        dropped = FaultPlan.from_groups(final[:i] + final[i + 1 :])
+        assert not oracle(dropped)
+
+
+def test_every_candidate_the_oracle_sees_is_legal():
+    plan = _big_plan(6)
+    seen = []
+
+    def oracle(candidate):
+        candidate.validate(3)  # raises if a repair lost its injection
+        seen.append(candidate)
+        return True  # always-violating: maximal reduction pressure
+
+    result = shrink_plan(plan, oracle)
+    assert seen, "oracle was never consulted"
+    assert len(result.plan.groups()) == 1
+
+
+def test_irreducible_plan_survives_unchanged():
+    plan = _big_plan(4)
+
+    def oracle(candidate):
+        return len(candidate.groups()) == 4  # any removal kills it
+
+    result = shrink_plan(plan, oracle)
+    assert result.plan == plan
+
+
+def test_oracle_budget_is_respected():
+    plan = _big_plan(8)
+    calls = []
+
+    def oracle(candidate):
+        calls.append(candidate)
+        return False  # never reduces: worst case for the budget
+
+    result = shrink_plan(plan, oracle, max_oracle_runs=5)
+    assert len(calls) <= 5
+    assert result.oracle_runs == len(calls)
+    assert result.plan == plan  # no lying: un-reduced plan comes back

@@ -9,7 +9,9 @@ from repro.netsim.network import (
     FairLossyLinks,
     Message,
     Network,
+    PartitionScheduleLinks,
     SourceChurnLinks,
+    SynchronousLinks,
     TimelyLinks,
 )
 from repro.sim.kernel import Simulator
@@ -167,3 +169,72 @@ class TestNetwork:
         for _ in range(50):
             net.send(0, 1, "X", None)
         assert net.dropped > 0
+
+
+class TestPartitionScheduleLinks:
+    """The fault-injection overlay: scheduled islands and storms."""
+
+    def _links(self, **kwargs):
+        return PartitionScheduleLinks(SynchronousLinks(1.0), **kwargs)
+
+    def test_empty_schedule_is_the_base_model(self):
+        links = self._links()
+        for t in (0.0, 5.0, 100.0):
+            assert links.delivery_delay(msg(sent_at=t)) == 1.0
+        assert links.partitioned_drops == 0
+
+    def test_island_crossings_drop_during_the_window(self):
+        # Replica indices 0 and 1 live at wire addresses -1 and -2.
+        links = self._links(partitions=[(10.0, 20.0, [1])])
+        crossing = msg(sender=-1, receiver=-2, sent_at=15.0)
+        assert links.delivery_delay(crossing) is None
+        assert links.delivery_delay(msg(sender=-2, receiver=-1, sent_at=15.0)) is None
+        assert links.partitioned_drops == 2
+
+    def test_island_internal_traffic_survives(self):
+        links = self._links(partitions=[(10.0, 20.0, [1, 2])])
+        internal = msg(sender=-2, receiver=-3, sent_at=15.0)
+        assert links.delivery_delay(internal) == 1.0
+
+    def test_drop_is_judged_at_the_send_instant(self):
+        links = self._links(partitions=[(10.0, 20.0, [1])])
+        crossing = dict(sender=-1, receiver=-2)
+        assert links.delivery_delay(msg(sent_at=9.9, **crossing)) == 1.0
+        assert links.delivery_delay(msg(sent_at=20.0, **crossing)) == 1.0
+        assert links.severed(msg(sent_at=10.0, **crossing))
+
+    def test_clients_always_sit_outside_the_island(self):
+        links = self._links(partitions=[(0.0, 100.0, [1])])
+        # Client (pid 0) to islanded replica: severed both ways.
+        assert links.delivery_delay(msg(sender=0, receiver=-2, sent_at=5.0)) is None
+        assert links.delivery_delay(msg(sender=-2, receiver=0, sent_at=5.0)) is None
+        # Client to majority-side replica: untouched.
+        assert links.delivery_delay(msg(sender=0, receiver=-1, sent_at=5.0)) == 1.0
+
+    def test_storms_scale_delay_and_stack(self):
+        links = self._links(storms=[(0.0, 50.0, 2.0), (25.0, 75.0, 3.0)])
+        assert links.delivery_delay(msg(sent_at=10.0)) == 2.0
+        assert links.delivery_delay(msg(sent_at=30.0)) == 6.0  # overlap stacks
+        assert links.delivery_delay(msg(sent_at=60.0)) == 3.0
+        assert links.delivery_delay(msg(sent_at=80.0)) == 1.0
+
+    def test_storms_scale_but_never_drop(self):
+        links = self._links(storms=[(0.0, 50.0, 4.0)])
+        assert links.delivery_delay(msg(sent_at=10.0)) == 4.0
+        assert links.partitioned_drops == 0
+
+    def test_base_losses_stay_lost_under_storms(self):
+        lossy = PartitionScheduleLinks(
+            FairLossyLinks(make_rng(7), loss=1.0 - 1e-9),
+            storms=[(0.0, 100.0, 2.0)],
+        )
+        assert lossy.delivery_delay(msg(sent_at=5.0)) is None
+        assert lossy.partitioned_drops == 0  # base loss, not a partition
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="non-empty island"):
+            self._links(partitions=[(10.0, 20.0, [])])
+        with pytest.raises(ValueError, match="end > start"):
+            self._links(partitions=[(20.0, 10.0, [1])])
+        with pytest.raises(ValueError, match="factor >= 1"):
+            self._links(storms=[(0.0, 10.0, 0.5)])
