@@ -22,6 +22,16 @@ Commands
     under the theorem monitors and the consistency history audit; on a
     violation, delta-debug the fault plan down to a minimal pinned
     repro scenario.  Exits non-zero on any violating plan.
+``fuzz``
+    Coverage-guided scenario fuzzing: mutate typed scenario genomes
+    one axis at a time over the full workload space (delay models,
+    crash plans, link models, fault plans, backends, consistency
+    levels), keep an AFL-style corpus of genomes reaching novel
+    trace-feature signatures, and judge every run with the theorem
+    monitors plus the consistency/integrity audits; violating genomes
+    are shrunk to mutation-minimal pinned repro scenarios.  Exits
+    non-zero on any violation.  ``--replay`` re-runs a corpus's pinned
+    regressions instead.
 ``compare``
     Run several algorithms on one scenario and print the comparison
     table (the Section 5 trade-off, on demand).
@@ -51,6 +61,8 @@ Examples
     python -m repro check --jobs 4
     python -m repro chaos --plans 25 --seed 7
     python -m repro chaos --plans 10 --no-resync --retry-policy backoff
+    python -m repro fuzz --budget 50 --seed 0 --corpus results/fuzz
+    python -m repro fuzz --replay --corpus results/fuzz
     python -m repro lint
     python -m repro compare --scenario nominal --seeds 0 1 2
     python -m repro perf --quick --compare BENCH_perf.json --max-regress 25%
@@ -132,6 +144,7 @@ CHECK_EXEMPT_SCENARIOS = [
     "leader-crash-emulated",  # subsumed by replica-crash + leader-storm
     "emulated-lossy",  # non-audited twin of emulated-lossy-audit
     "emulated-gst-ramp",  # emulated twin of the shared gst-ramp cell
+    "fuzz-cell",  # genome-pinned fuzz cell; `repro fuzz` audits the space
 ]
 
 
@@ -469,6 +482,84 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if result.violations else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run the coverage-guided fuzzer (or replay pinned regressions)."""
+    import json
+    from pathlib import Path
+
+    from repro.fuzz.loop import FuzzConfig, amnesia_probe, replay_regressions, run_fuzz
+
+    corpus_dir = Path(args.corpus) if args.corpus else None
+    if args.replay:
+        if corpus_dir is None:
+            print("repro fuzz: error: --replay needs --corpus", file=sys.stderr)
+            return 2
+        rows = replay_regressions(corpus_dir)
+        red = 0
+        for key, _payload, count in rows:
+            verdict = "ok (fixed)" if count == 0 else f"{count} VIOLATION(S)"
+            red += 1 if count else 0
+            print(f"  regression {key}: {verdict}")
+        print(f"{len(rows)} pinned regression(s) replayed: {red} still red")
+        return 1 if red else 0
+
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        batch=args.batch,
+        jobs=args.jobs,
+        horizon=args.horizon,
+        shrink=not args.no_shrink,
+        resync=not args.no_resync,
+    )
+    if not args.json:
+        print(
+            f"fuzz: budget {config.budget} genome(s), seed {config.seed}, "
+            f"base horizon {config.horizon:g}, batch {config.batch}"
+            + ("" if config.resync else ", NO RESYNC")
+        )
+
+    def progress(genome: "Any", summary: "Any", novel: bool, count: int) -> None:
+        verdict = "ok" if count == 0 else f"{count} VIOLATION(S)"
+        marker = "NEW" if novel else "   "
+        print(f"  {genome.key()} {marker} {verdict}; {summary.scenario}")
+
+    # The negative control seeds its population with the canonical
+    # recover-without-resync canary, so the broken mode is caught
+    # deterministically instead of hoping a generated plan hits it.
+    initial = () if config.resync else (amnesia_probe(config.horizon),)
+    result = run_fuzz(
+        config,
+        corpus_dir=corpus_dir,
+        initial=initial,
+        progress=progress if args.verbose else None,
+    )
+    if args.json:
+        print(json.dumps(result.to_jsonable(), indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+    print(
+        f"\n{result.genomes_run} genome(s) run: {len(result.violations)} "
+        f"violating genome(s), {result.total_signatures} trace-feature "
+        f"signature(s) ({result.new_signatures} new), corpus size "
+        f"{result.corpus_size}"
+    )
+    for failure in result.failures:
+        print(f"FAILED {failure}", file=sys.stderr)
+    for violation in result.violations:
+        shrunk = violation.shrunk or violation.genome
+        print(
+            f"\nVIOLATING GENOME {violation.genome.key()} "
+            f"({violation.violations} violation(s)): shrunk to complexity "
+            f"{shrunk.complexity()} in {violation.oracle_runs} oracle run(s)",
+            file=sys.stderr,
+        )
+        print(
+            "pinned repro: " + json.dumps(violation.repro, sort_keys=True),
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -824,6 +915,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full campaign report as JSON"
     )
     chaos_p.set_defaults(func=cmd_chaos)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help=(
+            "coverage-guided scenario fuzzing under the theorem and "
+            "consistency oracles; shrink violating genomes to pinned repros"
+        ),
+    )
+    fuzz_p.add_argument(
+        "--budget", type=int, default=50, help="total genomes to run"
+    )
+    fuzz_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fuzz seed (the mutation stream and every cell's run seed)",
+    )
+    fuzz_p.add_argument(
+        "--batch", type=int, default=16, help="genomes per parallel engine batch"
+    )
+    fuzz_p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per batch; 1 = serial, omitted or 0 = one per CPU",
+    )
+    fuzz_p.add_argument(
+        "--horizon",
+        type=float,
+        default=3000.0,
+        help=(
+            "base horizon genomes derive their run horizons from (substrate "
+            "axes scale it up)"
+        ),
+    )
+    fuzz_p.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help=(
+            "corpus directory to load and extend (genomes reaching novel "
+            "coverage, the coverage map, pinned regressions); omitted = "
+            "in-memory only"
+        ),
+    )
+    fuzz_p.add_argument(
+        "--replay",
+        action="store_true",
+        help=(
+            "re-run the pinned regressions in --corpus instead of fuzzing; "
+            "exits non-zero while any replays red"
+        ),
+    )
+    fuzz_p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="pin violating genomes as-is instead of delta-debugging them",
+    )
+    fuzz_p.add_argument(
+        "--no-resync",
+        action="store_true",
+        help=(
+            "DELIBERATELY BROKEN mode: recovered replicas serve straight out "
+            "of amnesia without the quorum state-resync (the negative oracle "
+            "-- the fuzzer is expected to catch and shrink this)"
+        ),
+    )
+    fuzz_p.add_argument(
+        "--verbose", action="store_true", help="print a line per genome"
+    )
+    fuzz_p.add_argument(
+        "--json", action="store_true", help="emit the full fuzz report as JSON"
+    )
+    fuzz_p.set_defaults(func=cmd_fuzz)
 
     lint_p = sub.add_parser(
         "lint",

@@ -36,7 +36,9 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 #: 5: scenarios can carry fault-plan timelines (repro.faults) and retry
 #:    policies; RunSummary records the resilience counters
 #:    (retransmissions, recoveries, resyncs, integrity_violations).
-SPEC_FORMAT = 5
+#: 6: RunSummary records the fuzz coverage censuses (leader_changes,
+#:    write_backs).
+SPEC_FORMAT = 6
 
 
 def _canonical(payload: Any) -> str:

@@ -96,6 +96,13 @@ class RunSummary(SweepRow):
     recoveries: int = 0
     resyncs: int = 0
     integrity_violations: int = 0
+    #: Leader-output changes across all pids over the run (the churn
+    #: census the fuzz coverage signatures bucket): how many times any
+    #: process's leader sample differed from its previous one.
+    leader_changes: int = 0
+    #: ABD write-back phases completed by atomic-level reads (0 for
+    #: shared memory or regular reads) -- the quorum-race census.
+    write_backs: int = 0
 
     # ------------------------------------------------------------------
     def to_jsonable(self) -> Dict[str, Any]:
@@ -150,6 +157,17 @@ def _suspicion_census(result: RunResult) -> tuple[Optional[float], int, int]:
             v = float(value)
             best = v if best is None or v > best else best
     return best, total, tail
+
+
+def _leader_churn(result: RunResult) -> int:
+    """Count leader-output changes across all pids in the sample trace."""
+    last: dict = {}
+    changes = 0
+    for _, pid, leader in result.trace.leader_samples():
+        if pid in last and last[pid] != leader:
+            changes += 1
+        last[pid] = leader
+    return changes
 
 
 def summarize_run(
@@ -218,6 +236,8 @@ def summarize_run(
         recoveries=getattr(result.memory, "recoveries", 0),
         resyncs=getattr(result.memory, "resyncs", 0),
         integrity_violations=getattr(result.memory, "integrity_violations", 0),
+        leader_changes=_leader_churn(result),
+        write_backs=getattr(result.memory, "write_backs", 0),
     )
 
 

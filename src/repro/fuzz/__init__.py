@@ -1,0 +1,59 @@
+"""Coverage-guided scenario fuzzing (the ``repro fuzz`` subsystem).
+
+The fuzzer composes the repo's full scenario space -- algorithm,
+backend, membership, delay model, crash plan, link model, consistency
+level, fault timeline -- into typed
+:class:`~repro.fuzz.genome.ScenarioGenome` values, mutates them one
+axis at a time, and keeps an AFL-style corpus of genomes whose runs
+reached novel :mod:`~repro.fuzz.coverage` signatures.  Violations of
+the theorem monitors, the consistency history audit or the write-ack
+integrity check are shrunk to mutation-minimal pinned repros that
+replay through the scenario registry.
+
+:mod:`repro.fuzz.loop` imports the workloads/engine stack and is
+imported explicitly (by the CLI and tests), mirroring
+:mod:`repro.faults.campaign`.
+"""
+
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.coverage import Signature, TraceFeatureMap, bucket, signature, signature_key
+from repro.fuzz.genome import (
+    BASELINE_GENOME,
+    DEFAULT_BASE_HORIZON,
+    GENOME_ALGORITHMS,
+    GENOME_BACKENDS,
+    GENOME_CONSISTENCY,
+    GENOME_CRASHES,
+    GENOME_DELAYS,
+    GENOME_LINKS,
+    GENOME_NS,
+    GENOME_REPLICAS,
+    ScenarioGenome,
+)
+from repro.fuzz.mutate import mutate, random_genome
+from repro.fuzz.shrink import AXIS_ORDER, GenomeShrinkResult, shrink_genome
+
+__all__ = [
+    "AXIS_ORDER",
+    "BASELINE_GENOME",
+    "Corpus",
+    "DEFAULT_BASE_HORIZON",
+    "GENOME_ALGORITHMS",
+    "GENOME_BACKENDS",
+    "GENOME_CONSISTENCY",
+    "GENOME_CRASHES",
+    "GENOME_DELAYS",
+    "GENOME_LINKS",
+    "GENOME_NS",
+    "GENOME_REPLICAS",
+    "GenomeShrinkResult",
+    "ScenarioGenome",
+    "Signature",
+    "TraceFeatureMap",
+    "bucket",
+    "mutate",
+    "random_genome",
+    "shrink_genome",
+    "signature",
+    "signature_key",
+]

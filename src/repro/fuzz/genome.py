@@ -1,0 +1,271 @@
+"""Typed scenario genomes: one point of the full scenario space.
+
+A :class:`ScenarioGenome` composes every axis the repo's workloads vary
+-- algorithm, memory backend, membership size, delay model, crash plan,
+replica count, link model, consistency level, and a
+:mod:`repro.faults` timeline -- into one frozen, JSON-round-trippable
+value object (the fuzz analogue of :class:`~repro.faults.plan.FaultPlan`).
+The coverage-guided fuzzer (:mod:`repro.fuzz.loop`) mutates genomes one
+axis at a time (:mod:`repro.fuzz.mutate`) and shrinks violating ones
+back toward :data:`BASELINE_GENOME` (:mod:`repro.fuzz.shrink`), so the
+genome's :meth:`~ScenarioGenome.complexity` -- its mutation distance
+from the baseline -- is the fuzzer's size metric.
+
+Axis vocabularies are deliberately *conservative*: every member keeps
+the environment inside the paper's AWB assumption (and the emulation
+correct by construction), so on a clean tree the oracles must pass on
+every reachable genome.  Known-negative axes -- ``corruption`` links,
+which deliberately break the Theorem 1 audit, and the sub-AWB timer
+families -- are excluded; they stay reachable by hand-built scenarios,
+not by the fuzzer.
+
+Horizons are *derived*, not a genome axis: substrate choices that slow
+every register access (emulation, retransmitting link models, atomic
+write-back reads) scale the horizon up so "did not stabilize" keeps
+meaning a bug rather than an under-provisioned run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.faults.plan import FaultEvent, FaultPlan
+
+#: Algorithms the fuzzer composes.  Algorithm 2's hand-shake needs
+#: roughly 10x the horizon of the Algorithm 1 family under identical
+#: timers (see EXPERIMENTS.md), so it keeps its own dedicated suites
+#: (``repro check``, the backend-equivalence cells) instead of inflating
+#: every fuzz batch's horizon.
+GENOME_ALGORITHMS: Tuple[str, ...] = ("alg1", "alg1-nwnr", "alg1-no-timer")
+
+#: Memory backends (mirrors :data:`repro.memory.backend.BACKENDS`).
+GENOME_BACKENDS: Tuple[str, ...] = ("shared", "emulated")
+
+#: Delay-model families (subset of the scenario factories' adversaries).
+GENOME_DELAYS: Tuple[str, ...] = ("uniform", "gst-ramp", "bursts")
+
+#: Process-crash plans; ``minority-cascade`` keeps a majority alive.
+GENOME_CRASHES: Tuple[str, ...] = ("none", "leader", "minority-cascade")
+
+#: Replica-fabric link models (emulated backend only).  ``corruption``
+#: is excluded: it is the known-negative adversary the Theorem 1 audit
+#: is *expected* to fail under.
+GENOME_LINKS: Tuple[str, ...] = ("sync", "lossy", "gst-ramp", "duplication")
+
+#: Consistency levels of the emulated registers.
+GENOME_CONSISTENCY: Tuple[str, ...] = ("regular", "atomic")
+
+#: Membership sizes.
+GENOME_NS: Tuple[int, ...] = (3, 4, 5)
+
+#: Replica counts (odd, so majorities are strict).
+GENOME_REPLICAS: Tuple[int, ...] = (3, 5)
+
+#: Base horizon every derived horizon scales from (the shared-backend
+#: run length).  The fuzz loop's ``horizon`` knob overrides it.
+DEFAULT_BASE_HORIZON = 3000.0
+
+
+@dataclass(frozen=True)
+class ScenarioGenome:
+    """One scenario-space point, as plain frozen data.
+
+    The defaults *are* the baseline genome: Algorithm 1 on shared
+    memory, three processes, uniform delays, fault-free.  Validation
+    canonicalizes the space -- a shared-backend genome must keep every
+    emulated-only axis at its baseline value, so two genomes that would
+    build identical scenarios are identical values (the corpus dedup
+    relies on this).
+    """
+
+    algorithm: str = "alg1"
+    backend: str = "shared"
+    n: int = 3
+    delay: str = "uniform"
+    crash: str = "none"
+    replicas: int = 3
+    links: str = "sync"
+    consistency: str = "regular"
+    fault_plan: Tuple[FaultEvent, ...] = ()
+    #: ``False`` switches the emulation to the deliberately broken
+    #: recover-without-resync mode.  The fuzzer never mutates this axis;
+    #: it exists so the negative-control tests can inject a genome the
+    #: oracles *must* catch.
+    resync: bool = True
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in GENOME_ALGORITHMS:
+            raise ValueError(
+                f"unknown genome algorithm {self.algorithm!r}; "
+                f"choose from {list(GENOME_ALGORITHMS)}"
+            )
+        if self.backend not in GENOME_BACKENDS:
+            raise ValueError(
+                f"unknown genome backend {self.backend!r}; "
+                f"choose from {list(GENOME_BACKENDS)}"
+            )
+        if self.n not in GENOME_NS:
+            raise ValueError(f"genome n must be one of {list(GENOME_NS)}, got {self.n}")
+        if self.delay not in GENOME_DELAYS:
+            raise ValueError(
+                f"unknown genome delay {self.delay!r}; choose from {list(GENOME_DELAYS)}"
+            )
+        if self.crash not in GENOME_CRASHES:
+            raise ValueError(
+                f"unknown genome crash {self.crash!r}; choose from {list(GENOME_CRASHES)}"
+            )
+        if self.replicas not in GENOME_REPLICAS:
+            raise ValueError(
+                f"genome replicas must be one of {list(GENOME_REPLICAS)}, "
+                f"got {self.replicas}"
+            )
+        if self.links not in GENOME_LINKS:
+            raise ValueError(
+                f"unknown genome links {self.links!r}; choose from {list(GENOME_LINKS)}"
+            )
+        if self.consistency not in GENOME_CONSISTENCY:
+            raise ValueError(
+                f"unknown genome consistency {self.consistency!r}; "
+                f"choose from {list(GENOME_CONSISTENCY)}"
+            )
+        if self.backend == "shared":
+            off_axis = {
+                "replicas": (self.replicas, 3),
+                "links": (self.links, "sync"),
+                "consistency": (self.consistency, "regular"),
+                "fault_plan": (self.fault_plan, ()),
+                "resync": (self.resync, True),
+            }
+            dirty = [k for k, (got, want) in off_axis.items() if got != want]
+            if dirty:
+                raise ValueError(
+                    f"shared-backend genome must keep emulated axes at baseline; "
+                    f"off-baseline: {dirty}"
+                )
+        if self.fault_plan:
+            if self.links != "sync":
+                raise ValueError(
+                    "fault plans are defined over the deterministic sync fabric; "
+                    f"got links={self.links!r}"
+                )
+            FaultPlan(self.fault_plan).validate(self.replicas)
+
+    # ------------------------------------------------------------------
+    def horizon(self, base: float = DEFAULT_BASE_HORIZON) -> float:
+        """The derived run horizon for this genome.
+
+        Substrate axes that slow every register access scale it up:
+        the ABD emulation adds a quorum round trip per access (x1.5),
+        retransmitting link models stretch the round trips (x4/3), and
+        atomic write-back reads double the read cost (x1.5).
+        """
+        h = base
+        if self.backend == "emulated":
+            h *= 1.5
+            if self.links in ("lossy", "gst-ramp"):
+                h *= 4.0 / 3.0
+            if self.consistency == "atomic":
+                h *= 1.5
+        return h
+
+    def scenario_kwargs(self, base: float = DEFAULT_BASE_HORIZON) -> Dict[str, Any]:
+        """The ``fuzz-cell`` factory kwargs this genome pins down.
+
+        Plain JSON data (the fault plan in its list-of-dicts form), so
+        the payload travels through :class:`~repro.engine.spec.ScenarioRef`
+        content hashes and replays via
+        :func:`repro.workloads.registry.build_scenario`.
+        """
+        plan: Optional[List[Dict[str, Any]]] = None
+        if self.fault_plan:
+            plan = FaultPlan(self.fault_plan).to_jsonable()
+        return {
+            "n": self.n,
+            "horizon": self.horizon(base),
+            "delay": self.delay,
+            "crash": self.crash,
+            "backend": self.backend,
+            "replicas": self.replicas,
+            "links": self.links,
+            "consistency": self.consistency,
+            "plan": plan,
+            "resync": self.resync,
+        }
+
+    def complexity(self) -> int:
+        """Mutation distance from :data:`BASELINE_GENOME`.
+
+        One step per axis that differs from the baseline, plus one step
+        per fault group (each group is one injected disturbance).  The
+        shrinker minimizes exactly this.
+        """
+        steps = 0
+        baseline = BASELINE_GENOME
+        for f in fields(self):
+            if f.name == "fault_plan":
+                continue
+            if getattr(self, f.name) != getattr(baseline, f.name):
+                steps += 1
+        steps += len(FaultPlan(self.fault_plan).groups())
+        return steps
+
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        """The plain-JSON form (the corpus file payload)."""
+        return {
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "n": self.n,
+            "delay": self.delay,
+            "crash": self.crash,
+            "replicas": self.replicas,
+            "links": self.links,
+            "consistency": self.consistency,
+            "fault_plan": FaultPlan(self.fault_plan).to_jsonable(),
+            "resync": self.resync,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "ScenarioGenome":
+        """Rebuild a genome from :meth:`to_jsonable` output."""
+        data = dict(payload)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown genome key(s): {sorted(unknown)}")
+        plan = FaultPlan.from_jsonable(data.pop("fault_plan", None))
+        init: Dict[str, Any] = {k: v for k, v in data.items() if k in known}
+        init["fault_plan"] = plan.events
+        return cls(**init)
+
+    def key(self) -> str:
+        """Stable content digest (corpus file names, dedup sets)."""
+        canon = json.dumps(self.to_jsonable(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:12]
+
+    def with_plan(self, plan: FaultPlan) -> "ScenarioGenome":
+        """This genome with its fault-plan axis replaced."""
+        return replace(self, fault_plan=plan.events)
+
+
+#: The origin of the mutation space: Algorithm 1, shared memory, three
+#: processes, uniform delays, fault-free.
+BASELINE_GENOME = ScenarioGenome()
+
+
+__all__ = [
+    "BASELINE_GENOME",
+    "DEFAULT_BASE_HORIZON",
+    "GENOME_ALGORITHMS",
+    "GENOME_BACKENDS",
+    "GENOME_CONSISTENCY",
+    "GENOME_CRASHES",
+    "GENOME_DELAYS",
+    "GENOME_LINKS",
+    "GENOME_NS",
+    "GENOME_REPLICAS",
+    "ScenarioGenome",
+]

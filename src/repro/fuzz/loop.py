@@ -1,0 +1,401 @@
+"""The coverage-guided fuzz loop: mutate, batch-run, judge, shrink.
+
+One iteration builds a batch of unseen genomes -- mutations of corpus
+members, with a seeded-random infusion -- and runs it through the
+parallel experiment engine (one :class:`~repro.engine.spec.ExperimentSpec`
+per algorithm in the batch, ``cache=False``: fuzz cells are one-shot,
+caching them would only bloat the result store).  Every summary is
+judged twice:
+
+* **novelty** -- its :func:`~repro.fuzz.coverage.signature` is offered
+  to the corpus's :class:`~repro.fuzz.coverage.TraceFeatureMap`; novel
+  genomes join the corpus and become mutation parents;
+* **violation** -- the chaos oracle
+  (:func:`repro.faults.campaign.violation_count`: theorem monitors +
+  history audit + write-ack integrity) must be zero.  Violating genomes
+  are shrunk (:func:`repro.fuzz.shrink.shrink_genome`, replaying
+  in-process with the exact worker semantics) and pinned as regression
+  payloads that replay through the scenario registry.
+
+Determinism: every random draw comes from one ``Random`` stream seeded
+by the config, every run uses the config seed, and batches are
+deduplicated by genome content key -- so the genome sequence, the
+coverage map and every verdict are a pure function of
+``(config, corpus)``.
+
+This module imports the workloads/engine stack; like
+:mod:`repro.faults.campaign` it is deliberately not re-exported from
+:mod:`repro.fuzz` -- import it explicitly, as ``repro fuzz`` does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.driver import run_experiment
+from repro.engine.spec import AlgorithmRef, ExperimentSpec, ScenarioRef
+from repro.engine.summary import RunSummary, summarize_run
+from repro.faults.campaign import violation_count
+from repro.faults.plan import FaultEvent
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.coverage import signature
+from repro.fuzz.genome import DEFAULT_BASE_HORIZON, ScenarioGenome
+from repro.fuzz.mutate import mutate, random_genome
+from repro.fuzz.shrink import GenomeShrinkResult, shrink_genome
+from repro.workloads.registry import build_scenario, resolve_algorithm
+
+#: Probability of mutating a corpus parent (vs drawing a random genome)
+#: once the corpus is non-empty.
+PARENT_BIAS = 0.75
+
+#: Give up composing a batch after this many duplicate draws per slot.
+DEDUP_ATTEMPTS = 12
+
+#: Fault-plan shape of :func:`amnesia_probe`, as fractions of the plan
+#: horizon: two serialized crash/recover pairs on distinct replicas.
+#: One amnesiac replica alone cannot corrupt a majority quorum -- the
+#: staleness only becomes observable once the *second* crash removes a
+#: fresh replica and forces reads to count the amnesiac one.
+AMNESIA_PROBE_SHAPE = (
+    ("replica-crash", 0.06, 1),
+    ("replica-recover", 0.14, 1),
+    ("replica-crash", 0.25, 0),
+    ("replica-recover", 0.32, 0),
+)
+
+
+def amnesia_probe(base_horizon: float = DEFAULT_BASE_HORIZON) -> ScenarioGenome:
+    """The canonical recover-without-resync canary genome.
+
+    An emulated baseline genome carrying the two-pair crash/recover
+    timeline of :data:`AMNESIA_PROBE_SHAPE`, scaled to ``base_horizon``.
+    On a correct emulation it runs clean; under the broken
+    ``resync=False`` mode the oracles must flag it -- ``repro fuzz
+    --no-resync`` seeds its population with this probe so the negative
+    control is a deterministic canary rather than a lottery over
+    generated fault plans.
+    """
+    horizon = 1.5 * base_horizon  # the sync-links emulated horizon
+    events = tuple(
+        FaultEvent(kind=kind, at=fraction * horizon, replica=replica)
+        for kind, fraction, replica in AMNESIA_PROBE_SHAPE
+    )
+    return ScenarioGenome(backend="emulated", fault_plan=events)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzz run (all plain data)."""
+
+    #: Run seed: the mutation stream and every cell's run seed.
+    seed: int = 0
+    #: Total genomes to run (shrink-oracle replays not counted).
+    budget: int = 50
+    #: Genomes per engine batch.
+    batch: int = 16
+    #: Worker processes per batch (None/0 -> one per CPU).
+    jobs: Optional[int] = None
+    #: Base horizon genomes derive their run horizons from.
+    horizon: float = DEFAULT_BASE_HORIZON
+    #: Delta-debug violating genomes down to minimal pinned repros.
+    shrink: bool = True
+    #: Mutation steps per seeded random genome.
+    max_mutations: int = 3
+    #: ``False`` forces the DELIBERATELY BROKEN recover-without-resync
+    #: emulation mode onto every cell (the negative oracle: the fuzzer
+    #: is expected to catch, shrink and pin it).
+    resync: bool = True
+
+
+@dataclass
+class FuzzViolation:
+    """One violating genome, with its shrunk pinned repro."""
+
+    #: The genome as the fuzzer first found it.
+    genome: ScenarioGenome
+    #: Oracle count of the violating run.
+    violations: int
+    #: The mutation-minimal violating genome (None when shrinking off).
+    shrunk: Optional[ScenarioGenome] = None
+    #: In-process replays the shrinker spent.
+    oracle_runs: int = 0
+    #: Engine-ready pinned repro payload (``fuzz-cell`` kwargs).
+    repro: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class FuzzResult:
+    """What one fuzz run produced."""
+
+    config: FuzzConfig
+    genomes_run: int = 0
+    #: Signatures first reached by this run.
+    new_signatures: int = 0
+    #: Coverage-map size after the run.
+    total_signatures: int = 0
+    #: Corpus size after the run.
+    corpus_size: int = 0
+    violations: List[FuzzViolation] = field(default_factory=list)
+    #: Engine cell failures (infrastructure errors, not oracle verdicts).
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every genome ran clean."""
+        return not self.violations and not self.failures
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """The ``repro fuzz --json`` payload."""
+        return {
+            "seed": self.config.seed,
+            "budget": self.config.budget,
+            "horizon": self.config.horizon,
+            "resync": self.config.resync,
+            "genomes_run": self.genomes_run,
+            "new_signatures": self.new_signatures,
+            "total_signatures": self.total_signatures,
+            "corpus_size": self.corpus_size,
+            "failures": list(self.failures),
+            "violations": [
+                {
+                    "genome": v.genome.to_jsonable(),
+                    "violations": v.violations,
+                    "shrunk": None if v.shrunk is None else v.shrunk.to_jsonable(),
+                    "complexity": (v.shrunk or v.genome).complexity(),
+                    "oracle_runs": v.oracle_runs,
+                    "repro": v.repro,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+def _cell_kwargs(genome: ScenarioGenome, config: FuzzConfig) -> Dict[str, Any]:
+    """The ``fuzz-cell`` kwargs for ``genome`` under ``config`` (the
+    config's negative-control override folds into the resync knob)."""
+    kwargs = genome.scenario_kwargs(config.horizon)
+    kwargs["resync"] = genome.resync and config.resync
+    return kwargs
+
+
+def replay_genome(genome: ScenarioGenome, config: FuzzConfig) -> RunSummary:
+    """Run one genome in-process with the exact worker semantics.
+
+    Mirrors :func:`repro.engine.worker.run_cell` fast mode (no read
+    log, no event trace, default census window), so the shrinker's
+    oracle sees byte-identical summaries to the batched forward path.
+    """
+    scenario = build_scenario("fuzz-cell", _cell_kwargs(genome, config))
+    result = scenario.run(
+        resolve_algorithm(genome.algorithm),
+        seed=config.seed,
+        log_reads=False,
+        trace_events=False,
+    )
+    return summarize_run(
+        result,
+        scenario_name=scenario.name,
+        margin=scenario.margin,
+        assumption=scenario.assumption,
+    )
+
+
+def pinned_repro(genome: ScenarioGenome, config: FuzzConfig) -> Dict[str, Any]:
+    """The engine-ready pinned repro payload for ``genome``.
+
+    Same shape as the chaos campaigns': factory + kwargs + algorithm +
+    seed (``repro run``-able via the registry), plus the genome itself
+    so the corpus stays mutation-aware.
+    """
+    return {
+        "factory": "fuzz-cell",
+        "kwargs": _cell_kwargs(genome, config),
+        "algorithm": genome.algorithm,
+        "seed": config.seed,
+        "genome": genome.to_jsonable(),
+    }
+
+
+def _run_batch(
+    genomes: Sequence[ScenarioGenome], config: FuzzConfig
+) -> Tuple[List[Optional[RunSummary]], List[str]]:
+    """Run a deduplicated batch through the parallel engine.
+
+    Cells are grouped into one spec per algorithm (a spec is a grid, so
+    mixed-algorithm batches would run every algorithm on every
+    scenario).  Returns per-genome summaries (None where the cell
+    failed) plus the failure descriptions.
+    """
+    summaries: List[Optional[RunSummary]] = [None] * len(genomes)
+    failures: List[str] = []
+    by_algorithm: Dict[str, List[int]] = {}
+    for index, genome in enumerate(genomes):
+        by_algorithm.setdefault(genome.algorithm, []).append(index)
+    for algorithm in sorted(by_algorithm):
+        slots = by_algorithm[algorithm]
+        spec = ExperimentSpec(
+            name="fuzz",
+            algorithms=(AlgorithmRef(label=algorithm, target=algorithm),),
+            scenarios=tuple(
+                ScenarioRef.make("fuzz-cell", _cell_kwargs(genomes[i], config))
+                for i in slots
+            ),
+            seeds=(config.seed,),
+        )
+        report = run_experiment(spec, jobs=config.jobs, cache=False, strict=False)
+        failed_keys = {outcome.key for outcome in report.failures}
+        rows = iter(report.rows)
+        for slot, cell in zip(slots, spec.cells()):
+            if cell.key in failed_keys:
+                continue
+            summaries[slot] = next(rows)
+        for outcome in report.failures:
+            failures.append(f"{outcome.key}: {outcome.error.strip().splitlines()[-1]}")
+    return summaries, failures
+
+
+# ----------------------------------------------------------------------
+def run_fuzz(
+    config: FuzzConfig,
+    *,
+    corpus_dir: Optional[Path] = None,
+    initial: Sequence[ScenarioGenome] = (),
+    progress: Optional[Callable[[ScenarioGenome, RunSummary, bool, int], None]] = None,
+) -> FuzzResult:
+    """Run one coverage-guided fuzz session.
+
+    ``initial`` genomes are run first (the negative-control tests
+    inject hand-built genomes this way); they count against the budget.
+    ``progress`` is an optional ``callable(genome, summary, novel,
+    violations)`` hook for per-genome CLI lines.
+    """
+    rng = random.Random(f"fuzz:{config.seed}")
+    corpus = Corpus.load(corpus_dir)
+    result = FuzzResult(config=config)
+    seen = set(corpus.genomes)
+    pending: List[ScenarioGenome] = []
+    for genome in initial:
+        if genome.key() not in seen:
+            seen.add(genome.key())
+            pending.append(genome)
+
+    def next_batch() -> List[ScenarioGenome]:
+        batch: List[ScenarioGenome] = []
+        want = min(config.batch, config.budget - result.genomes_run)
+        while pending and len(batch) < want:
+            batch.append(pending.pop(0))
+        parents = corpus.members()
+        attempts = 0
+        while len(batch) < want and attempts < want * DEDUP_ATTEMPTS:
+            attempts += 1
+            if parents and rng.random() < PARENT_BIAS:
+                genome = mutate(
+                    parents[rng.randrange(len(parents))],
+                    rng,
+                    base_horizon=config.horizon,
+                )
+            else:
+                genome = random_genome(
+                    rng,
+                    base_horizon=config.horizon,
+                    max_mutations=config.max_mutations,
+                )
+            if genome.key() in seen:
+                continue
+            seen.add(genome.key())
+            batch.append(genome)
+        return batch
+
+    while result.genomes_run < config.budget:
+        batch = next_batch()
+        if not batch:
+            break  # mutation space locally exhausted around this corpus
+        summaries, failures = _run_batch(batch, config)
+        result.failures.extend(failures)
+        result.genomes_run += len(batch)
+        for genome, summary in zip(batch, summaries):
+            if summary is None:
+                continue
+            novel = corpus.coverage.observe(signature(summary))
+            if novel:
+                result.new_signatures += 1
+                corpus.add_genome(genome)
+            count = violation_count(summary)
+            if progress is not None:
+                progress(genome, summary, novel, count)
+            if count == 0:
+                continue
+            violation = FuzzViolation(genome=genome, violations=count)
+            if config.shrink:
+                shrunk: GenomeShrinkResult = shrink_genome(
+                    genome,
+                    lambda candidate: violation_count(
+                        replay_genome(candidate, config)
+                    )
+                    > 0,
+                )
+                violation.shrunk = shrunk.genome
+                violation.oracle_runs = shrunk.oracle_runs
+                violation.repro = pinned_repro(shrunk.genome, config)
+                corpus.add_regression(shrunk.genome, violation.repro)
+            else:
+                violation.repro = pinned_repro(genome, config)
+                corpus.add_regression(genome, violation.repro)
+            result.violations.append(violation)
+
+    corpus.save_coverage(config.horizon)
+    result.total_signatures = len(corpus.coverage)
+    result.corpus_size = len(corpus.genomes)
+    return result
+
+
+# ----------------------------------------------------------------------
+def replay_regressions(
+    corpus_dir: Path, *, jobs: Optional[int] = None
+) -> List[Tuple[str, Dict[str, Any], int]]:
+    """Re-run every pinned regression in ``corpus_dir``.
+
+    Returns ``(key, payload, violation_count)`` per regression, in
+    deterministic key order.  A fixed regression replays with zero
+    violations; an unfixed one stays red -- ``repro fuzz --replay``
+    exits non-zero on any red entry.  ``jobs`` is accepted for CLI
+    symmetry; replays are in-process (each payload pins one cell).
+    """
+    del jobs  # one cell per payload; the engine would add no parallelism
+    out: List[Tuple[str, Dict[str, Any], int]] = []
+    corpus = Corpus.load(corpus_dir)
+    for key, payload in corpus.regression_items():
+        scenario = build_scenario(payload["factory"], payload["kwargs"])
+        run = scenario.run(
+            resolve_algorithm(payload["algorithm"]),
+            seed=int(payload["seed"]),
+            log_reads=False,
+            trace_events=False,
+        )
+        summary = summarize_run(
+            run,
+            scenario_name=scenario.name,
+            margin=scenario.margin,
+            assumption=scenario.assumption,
+        )
+        out.append((key, payload, violation_count(summary)))
+    return out
+
+
+__all__ = [
+    "AMNESIA_PROBE_SHAPE",
+    "DEDUP_ATTEMPTS",
+    "FuzzConfig",
+    "FuzzResult",
+    "FuzzViolation",
+    "PARENT_BIAS",
+    "amnesia_probe",
+    "pinned_repro",
+    "replay_genome",
+    "replay_regressions",
+    "run_fuzz",
+]

@@ -1,0 +1,153 @@
+"""Seeded one-axis genome mutations.
+
+Every operator perturbs exactly one :class:`~repro.fuzz.genome.ScenarioGenome`
+axis, drawing all randomness from a caller-supplied ``random.Random``
+instance -- the fuzz loop owns a single stream seeded from its config,
+so the genome sequence is a pure function of ``(seed, corpus)`` (the
+determinism tests compare it byte for byte).
+
+Two structural rules keep every mutation a *single* step:
+
+* the ``links`` axis is only mutable while the fault plan is empty
+  (fault timelines are defined over the sync fabric, so re-linking a
+  faulted genome would have to clear the plan too);
+* the ``faults`` axis is only mutable while the links are ``sync``.
+
+Fault plans are drawn from the same conservative
+:class:`~repro.faults.generator.FaultScheduleGenerator` the chaos
+campaigns use, sized for the *smallest* emulated horizon -- so a plan
+stays legal (serialized windows, quiet tail) under every horizon a
+later axis mutation can derive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import List, Tuple
+
+from repro.faults.generator import FaultScheduleGenerator
+from repro.fuzz.genome import (
+    BASELINE_GENOME,
+    DEFAULT_BASE_HORIZON,
+    GENOME_ALGORITHMS,
+    GENOME_CONSISTENCY,
+    GENOME_CRASHES,
+    GENOME_DELAYS,
+    GENOME_LINKS,
+    GENOME_NS,
+    GENOME_REPLICAS,
+    ScenarioGenome,
+)
+
+#: Disturbance windows per generated fault-plan axis value.
+MAX_PLAN_FAULTS = 2
+
+
+def _plan_horizon(base: float) -> float:
+    """The horizon fault plans are sized for: the smallest horizon any
+    emulated genome can derive (sync links, regular reads)."""
+    return base * 1.5
+
+
+def _pick_other(rng: random.Random, pool: Tuple[str, ...], current: str) -> str:
+    """A uniformly drawn pool member different from ``current``."""
+    return rng.choice([value for value in pool if value != current])
+
+
+def _pick_other_int(rng: random.Random, pool: Tuple[int, ...], current: int) -> int:
+    return rng.choice([value for value in pool if value != current])
+
+
+def _mutable_axes(genome: ScenarioGenome) -> List[str]:
+    """The axes a single mutation may touch on ``genome``."""
+    axes = ["algorithm", "n", "delay", "crash", "backend"]
+    if genome.backend == "emulated":
+        axes.append("consistency")
+        if genome.fault_plan == ():
+            axes.append("links")
+        if genome.links == "sync":
+            axes.append("faults")
+            # Replica-count moves must keep the plan's indices legal;
+            # offering the axis only on a plan-free genome keeps the
+            # mutation single-step.
+            if genome.fault_plan == ():
+                axes.append("replicas")
+    return axes
+
+
+def _fresh_plan(
+    genome: ScenarioGenome, rng: random.Random, base_horizon: float
+) -> ScenarioGenome:
+    """Replace the fault-plan axis with a freshly generated timeline."""
+    generator = FaultScheduleGenerator(
+        rng.randrange(2**31),
+        replicas=genome.replicas,
+        horizon=_plan_horizon(base_horizon),
+        max_faults=MAX_PLAN_FAULTS,
+        quiet_tail=0.45,
+    )
+    return genome.with_plan(generator.generate(0))
+
+
+def mutate(
+    genome: ScenarioGenome,
+    rng: random.Random,
+    *,
+    base_horizon: float = DEFAULT_BASE_HORIZON,
+) -> ScenarioGenome:
+    """One uniformly drawn single-axis mutation of ``genome``."""
+    axis = rng.choice(_mutable_axes(genome))
+    if axis == "algorithm":
+        return replace(genome, algorithm=_pick_other(rng, GENOME_ALGORITHMS, genome.algorithm))
+    if axis == "n":
+        return replace(genome, n=_pick_other_int(rng, GENOME_NS, genome.n))
+    if axis == "delay":
+        return replace(genome, delay=_pick_other(rng, GENOME_DELAYS, genome.delay))
+    if axis == "crash":
+        return replace(genome, crash=_pick_other(rng, GENOME_CRASHES, genome.crash))
+    if axis == "backend":
+        if genome.backend == "shared":
+            return replace(genome, backend="emulated")
+        # Dropping back to shared memory resets every emulated-only axis
+        # (validation requires them at baseline there).
+        return ScenarioGenome(
+            algorithm=genome.algorithm,
+            backend="shared",
+            n=genome.n,
+            delay=genome.delay,
+            crash=genome.crash,
+        )
+    if axis == "consistency":
+        return replace(
+            genome, consistency=_pick_other(rng, GENOME_CONSISTENCY, genome.consistency)
+        )
+    if axis == "links":
+        return replace(genome, links=_pick_other(rng, GENOME_LINKS, genome.links))
+    if axis == "replicas":
+        return replace(genome, replicas=_pick_other_int(rng, GENOME_REPLICAS, genome.replicas))
+    # axis == "faults": clear a non-empty plan half the time, else draw
+    # a fresh timeline (also the only way *onto* the axis).
+    if genome.fault_plan and rng.random() < 0.5:
+        return replace(genome, fault_plan=())
+    return _fresh_plan(genome, rng, base_horizon)
+
+
+def random_genome(
+    rng: random.Random,
+    *,
+    base_horizon: float = DEFAULT_BASE_HORIZON,
+    max_mutations: int = 3,
+) -> ScenarioGenome:
+    """A genome ``0..max_mutations`` single-axis steps from baseline.
+
+    Zero steps yields the baseline itself, so a seeded population
+    always contains the origin of the space.
+    """
+    genome = BASELINE_GENOME
+    for _ in range(rng.randint(0, max_mutations)):
+        genome = mutate(genome, rng, base_horizon=base_horizon)
+    return genome
+
+
+__all__ = ["MAX_PLAN_FAULTS", "mutate", "random_genome"]

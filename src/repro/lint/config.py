@@ -43,6 +43,7 @@ DETERMINISM_PACKAGES: FrozenSet[str] = frozenset(
         "apps",
         "lint",
         "faults",
+        "fuzz",
     }
 )
 
@@ -146,6 +147,8 @@ STRICT_TYPED_MODULES: Tuple[str, ...] = (
     "repro/memory/backend.py",
     "repro/memory/linearizability.py",
     "repro/faults/plan.py",
+    "repro/fuzz/genome.py",
+    "repro/fuzz/coverage.py",
     "repro/lint/findings.py",
     "repro/lint/config.py",
     "repro/lint/baseline.py",

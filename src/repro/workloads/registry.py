@@ -67,6 +67,9 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     # Fault-injection campaigns: a repro.faults timeline threaded down
     # to the emulation (the `repro chaos` workhorse cell).
     "chaos": scen_mod.chaos,
+    # Coverage-guided fuzzing: the cell a ScenarioGenome pins down
+    # (the `repro fuzz` workhorse; pinned repros replay through it).
+    "fuzz-cell": scen_mod.fuzz_cell,
 }
 
 

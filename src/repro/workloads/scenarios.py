@@ -1034,6 +1034,129 @@ def chaos(
     )
 
 
+#: Delay families the fuzzer composes (names -> builders are inlined in
+#: :func:`fuzz_cell`; the genome vocabulary in :mod:`repro.fuzz.genome`
+#: mirrors these keys).
+FUZZ_DELAYS: Tuple[str, ...] = ("uniform", "gst-ramp", "bursts")
+
+#: Crash-plan families the fuzzer composes.
+FUZZ_CRASHES: Tuple[str, ...] = ("none", "leader", "minority-cascade")
+
+
+@scenario_factory
+def fuzz_cell(
+    n: int = 3,
+    horizon: float = 3000.0,
+    delay: str = "uniform",
+    crash: str = "none",
+    backend: str = "shared",
+    replicas: int = 3,
+    links: str = "sync",
+    delta: float = 0.25,
+    consistency: str = "regular",
+    plan: Optional[List[Dict[str, Any]]] = None,
+    resync: bool = True,
+) -> Scenario:
+    """The scenario a :class:`~repro.fuzz.genome.ScenarioGenome` pins.
+
+    Flat JSON-serializable kwargs (the genome's
+    ``scenario_kwargs()``) composing the delay family, the crash plan,
+    the memory backend and -- on the emulated backend -- the replica
+    fabric, the consistency level and a :mod:`repro.faults` timeline.
+    Emulated cells always arm the history recorder: a fuzz run without
+    the consistency audit would be blind to exactly the stale-read bugs
+    the fuzzer hunts.  ``resync=False`` is the deliberately broken
+    recover-without-resync mode (the negative-control oracle).  Knob
+    timings (GST, crash instants, burst periods) scale with the
+    horizon, so the derived-horizon scaling in the genome keeps every
+    cell proportionally shaped.
+    """
+    if delay not in FUZZ_DELAYS:
+        raise ValueError(f"unknown fuzz delay {delay!r}; choose from {list(FUZZ_DELAYS)}")
+    if crash not in FUZZ_CRASHES:
+        raise ValueError(f"unknown fuzz crash {crash!r}; choose from {list(FUZZ_CRASHES)}")
+
+    def make_delay(rng: RngRegistry) -> StepDelayModel:
+        if delay == "gst-ramp":
+            return GstRampDelay(
+                rng, gst=horizon * 0.35, start_scale=6.0, lo=0.5, hi=1.5
+            )
+        if delay == "bursts":
+            # The timely process is the HIGHEST pid: both fuzz crash
+            # plans kill low pids, and AWB must keep holding after the
+            # crashes (a dead timely process would void the assumption
+            # the theorem monitors audit under).
+            return AlternatingBurstDelay(
+                rng,
+                period=horizon / 20.0,
+                burst_fraction=0.4,
+                timely_pids={n - 1},
+                gst=horizon * 0.2,
+            )
+        return UniformDelay(rng, 0.5, 1.5)
+
+    make_crash_plan: Optional[Callable[[RngRegistry], CrashPlan]] = None
+    if crash == "leader":
+        make_crash_plan = lambda rng: CrashPlan.single(n, 0, horizon * 0.35)  # noqa: E731
+    elif crash == "minority-cascade":
+        victims = list(range(max(1, (n - 1) // 2)))
+        make_crash_plan = lambda rng: CrashPlan.cascade(  # noqa: E731
+            n, victims, start=horizon * 0.2, spacing=horizon * 0.08
+        )
+
+    emulation: Dict[str, Any] = {}
+    level: Optional[str] = None
+    if backend == "emulated":
+        if links == "lossy":
+            emulation = {
+                "replicas": replicas,
+                "links": "lossy",
+                "link_params": {"loss": 0.1, "lo": 0.5, "hi": 4.0, "cap": 8.0},
+                "retry_interval": 10.0,
+            }
+        elif links == "gst-ramp":
+            emulation = {
+                "replicas": replicas,
+                "links": "gst-ramp",
+                "link_params": {
+                    "gst": horizon * 0.3,
+                    "start_scale": 6.0,
+                    "lo": 0.25,
+                    "hi": 1.0,
+                },
+                "retry_interval": 4.0,
+            }
+        else:  # sync / duplication share the deterministic delta timing
+            emulation = _emulation_knobs(replicas, links, delta)
+        emulation["record_history"] = True
+        emulation["resync"] = resync
+        if plan:
+            emulation["fault_plan"] = [dict(ev) for ev in plan]
+        level = consistency
+    fault_note = f", {len(plan)}-event fault plan" if plan else ""
+    return Scenario(
+        name=f"fuzz-{backend}-{delay}-{crash}-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"fuzz cell: {delay} delays, crash={crash}, {backend} memory"
+            + (
+                f" ({replicas} replicas, {links} links, {consistency} reads"
+                f"{', NO resync' if not resync else ''}{fault_note}, audited)"
+                if backend == "emulated"
+                else ""
+            )
+        ),
+        make_delay=make_delay,
+        make_timers=_awb_timers(alpha=2.0),
+        make_crash_plan=make_crash_plan,
+        margin=horizon * 0.02,
+        memory=backend,
+        emulation=emulation,
+        consistency=level,
+    )
+
+
 #: Backend-equivalence cells: ``(algorithm registry name, shared
 #: factory, emulated factory, seed)``.  On the deterministic ``sync``
 #: link model an emulated run consumes exactly the same random streams
@@ -1052,6 +1175,13 @@ BACKEND_EQUIVALENCE_CELLS: Tuple[Tuple[str, Any, Any, int], ...] = (
     ("alg1-nwnr", nominal, nominal_emulated, 1),
     ("alg1-nwnr", leader_crash, leader_crash_emulated, 0),
     ("alg1-no-timer", leader_crash, leader_crash_emulated, 1),
+    # Algorithm 2 cells: the bounded-counter protocol stresses a
+    # different register schedule (epoch counters instead of suspicion
+    # vectors), so equivalence there pins the emulation against a second
+    # protocol family, not just the Algorithm 1 variants.
+    ("alg2", nominal, nominal_emulated, 2),
+    ("alg2", nominal, nominal_emulated, 3),
+    ("alg2", leader_crash, leader_crash_emulated, 9),
 )
 
 
@@ -1163,6 +1293,9 @@ __all__ = [
     "emulated_lossy",
     "emulated_lossy_audit",
     "ev_sync",
+    "fuzz_cell",
+    "FUZZ_CRASHES",
+    "FUZZ_DELAYS",
     "gst_ramp",
     "leader_crash",
     "leader_crash_emulated",

@@ -155,6 +155,25 @@ def test_emulated_lossy_audit_clean_under_retransmission_races():
     assert audit is not None and audit.ok and audit.ops_checked > 0
 
 
+def test_emulated_gst_ramp_audit_clean_under_duplicate_floods():
+    """The `repro check` ramp audit cell: pre-GST quorum round trips
+    outlast the deliberately tight retry timer, so phases re-broadcast
+    into links that deliver everything -- the reply dedup must not
+    double-count a replica into a fake quorum, and the recorded history
+    must stay regular."""
+    from repro.workloads.scenarios import emulated_gst_ramp_audit
+
+    scen = emulated_gst_ramp_audit(n=3, horizon=6000.0)
+    result = scen.run(ALGORITHMS["alg1"], seed=0)
+    assert result.memory.config.record_history is True
+    assert result.memory.config.consistency == "regular"
+    # The stress is real: phases retried into non-lossy links, so every
+    # retransmission manufactured duplicate REQ/ACK traffic.
+    assert result.memory.retransmissions > 0
+    audit = result.audit_consistency()
+    assert audit is not None and audit.ok and audit.ops_checked > 0
+
+
 def test_regular_run_passes_the_regularity_audit():
     """The default level really is regular: its history passes the
     regularity check (the atomic check is not promised -- the pinned

@@ -1,0 +1,81 @@
+"""Corpus persistence: write-through files, idempotent reloads."""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults.plan import FaultEvent
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.coverage import TraceFeatureMap
+from repro.fuzz.genome import BASELINE_GENOME, ScenarioGenome
+
+FAULTED = ScenarioGenome(
+    backend="emulated",
+    fault_plan=(
+        FaultEvent(kind="replica-crash", at=100.0, replica=1),
+        FaultEvent(kind="replica-recover", at=300.0, replica=1),
+    ),
+)
+
+
+class TestInMemory:
+    def test_rootless_corpus_never_touches_disk(self):
+        corpus = Corpus(None)
+        corpus.add_genome(BASELINE_GENOME)
+        corpus.save_coverage(3000.0)  # must be a no-op, not a crash
+        assert corpus.members() == [BASELINE_GENOME]
+
+    def test_members_are_key_sorted(self):
+        corpus = Corpus(None)
+        genomes = [BASELINE_GENOME, FAULTED, ScenarioGenome(n=5)]
+        for g in genomes:
+            corpus.add_genome(g)
+        assert [g.key() for g in corpus.members()] == sorted(g.key() for g in genomes)
+
+    def test_add_genome_is_idempotent(self):
+        corpus = Corpus(None)
+        corpus.add_genome(BASELINE_GENOME)
+        corpus.add_genome(BASELINE_GENOME)
+        assert len(corpus.genomes) == 1
+
+
+class TestPersistence:
+    def test_round_trip_through_a_directory(self, tmp_path):
+        root = tmp_path / "corpus"
+        corpus = Corpus(root)
+        corpus.add_genome(BASELINE_GENOME)
+        corpus.add_genome(FAULTED)
+        corpus.coverage = TraceFeatureMap({"stabilized=True": 3})
+        corpus.add_regression(FAULTED, {"factory": "fuzz-cell", "kwargs": {}})
+        corpus.save_coverage(3000.0)
+
+        loaded = Corpus.load(root)
+        assert loaded.members() == corpus.members()
+        assert loaded.coverage.keys() == corpus.coverage.keys()
+        assert loaded.coverage.hits("stabilized=True") == 3
+        assert loaded.regression_items() == corpus.regression_items()
+
+    def test_missing_directory_loads_fresh(self, tmp_path):
+        corpus = Corpus.load(tmp_path / "nope")
+        assert corpus.members() == []
+        assert len(corpus.coverage) == 0
+
+    def test_files_are_content_addressed_and_canonical(self, tmp_path):
+        root = tmp_path / "corpus"
+        Corpus(root).add_genome(FAULTED)
+        path = root / "genomes" / f"{FAULTED.key()}.json"
+        assert path.is_file()
+        payload = json.loads(path.read_text())
+        assert ScenarioGenome.from_jsonable(payload) == FAULTED
+        # Canonical bytes: rewriting the same genome changes nothing.
+        before = path.read_bytes()
+        Corpus.load(root).add_genome(FAULTED)
+        assert path.read_bytes() == before
+
+    def test_coverage_file_carries_the_base_horizon(self, tmp_path):
+        root = tmp_path / "corpus"
+        corpus = Corpus(root)
+        corpus.save_coverage(1200.0)
+        payload = json.loads((root / "coverage.json").read_text())
+        assert payload["base_horizon"] == 1200.0
+        assert payload["format"] == 1

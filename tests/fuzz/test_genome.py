@@ -1,0 +1,143 @@
+"""ScenarioGenome: validation, derived horizons, JSON round trips."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultEvent
+from repro.fuzz.genome import (
+    BASELINE_GENOME,
+    GENOME_ALGORITHMS,
+    GENOME_BACKENDS,
+    GENOME_CONSISTENCY,
+    GENOME_CRASHES,
+    GENOME_DELAYS,
+    GENOME_LINKS,
+    GENOME_NS,
+    GENOME_REPLICAS,
+    ScenarioGenome,
+)
+from repro.fuzz.mutate import random_genome
+
+PAIR = (
+    FaultEvent(kind="replica-crash", at=100.0, replica=1),
+    FaultEvent(kind="replica-recover", at=300.0, replica=1),
+)
+
+
+class TestValidation:
+    def test_baseline_is_the_default(self):
+        assert BASELINE_GENOME == ScenarioGenome()
+        assert BASELINE_GENOME.complexity() == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"algorithm": "alg2"},  # excluded: needs ~10x the horizon
+            {"backend": "virtual"},
+            {"n": 6},
+            {"delay": "corrupted"},
+            {"crash": "all"},
+            {"replicas": 4},  # even replica counts are off-vocabulary
+            {"links": "corruption"},  # the known-negative adversary
+            {"consistency": "causal"},
+        ],
+    )
+    def test_off_vocabulary_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioGenome(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"replicas": 5},
+            {"links": "lossy"},
+            {"consistency": "atomic"},
+            {"fault_plan": PAIR},
+            {"resync": False},
+        ],
+    )
+    def test_shared_backend_forces_emulated_axes_to_baseline(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioGenome(backend="shared", **kwargs)
+        ScenarioGenome(backend="emulated", **kwargs)  # legal there
+
+    def test_fault_plans_require_the_sync_fabric(self):
+        with pytest.raises(ValueError):
+            ScenarioGenome(backend="emulated", links="lossy", fault_plan=PAIR)
+
+    def test_fault_plan_replica_indices_validated(self):
+        storm = (
+            FaultEvent(kind="replica-crash", at=50.0, replica=4),
+            FaultEvent(kind="replica-recover", at=90.0, replica=4),
+        )
+        with pytest.raises(ValueError):
+            ScenarioGenome(backend="emulated", replicas=3, fault_plan=storm)
+        ScenarioGenome(backend="emulated", replicas=5, fault_plan=storm)
+
+
+class TestDerivedHorizon:
+    def test_shared_runs_at_the_base(self):
+        assert BASELINE_GENOME.horizon(3000.0) == 3000.0
+
+    def test_substrate_axes_scale_up_monotonically(self):
+        emulated = ScenarioGenome(backend="emulated")
+        lossy = ScenarioGenome(backend="emulated", links="lossy")
+        atomic = ScenarioGenome(backend="emulated", links="lossy", consistency="atomic")
+        horizons = [g.horizon(3000.0) for g in (BASELINE_GENOME, emulated, lossy, atomic)]
+        assert horizons == sorted(horizons)
+        assert len(set(horizons)) == len(horizons)
+
+    def test_kwargs_carry_the_derived_horizon(self):
+        g = ScenarioGenome(backend="emulated", consistency="atomic")
+        kwargs = g.scenario_kwargs(2000.0)
+        assert kwargs["horizon"] == g.horizon(2000.0)
+        assert kwargs["plan"] is None
+
+
+class TestComplexity:
+    def test_axis_steps_count_once_each(self):
+        g = ScenarioGenome(algorithm="alg1-nwnr", n=5, delay="bursts")
+        assert g.complexity() == 3
+
+    def test_fault_groups_count_as_steps(self):
+        g = ScenarioGenome(backend="emulated", fault_plan=PAIR)
+        assert g.complexity() == 2  # backend step + one crash/recover group
+
+
+class TestRoundTrip:
+    def test_unknown_keys_rejected(self):
+        payload = BASELINE_GENOME.to_jsonable()
+        payload["timer"] = "exp"
+        with pytest.raises(ValueError):
+            ScenarioGenome.from_jsonable(payload)
+
+    def test_plan_survives_the_round_trip(self):
+        g = ScenarioGenome(backend="emulated", fault_plan=PAIR, resync=False)
+        assert ScenarioGenome.from_jsonable(g.to_jsonable()) == g
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_every_reachable_genome_round_trips(self, seed):
+        g = random_genome(random.Random(seed), max_mutations=6)
+        clone = ScenarioGenome.from_jsonable(g.to_jsonable())
+        assert clone == g
+        assert clone.key() == g.key()
+        assert clone.scenario_kwargs() == g.scenario_kwargs()
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_vocabularies_are_closed_under_mutation(self, seed):
+        g = random_genome(random.Random(seed), max_mutations=8)
+        assert g.algorithm in GENOME_ALGORITHMS
+        assert g.backend in GENOME_BACKENDS
+        assert g.n in GENOME_NS
+        assert g.delay in GENOME_DELAYS
+        assert g.crash in GENOME_CRASHES
+        assert g.replicas in GENOME_REPLICAS
+        assert g.links in GENOME_LINKS
+        assert g.consistency in GENOME_CONSISTENCY

@@ -1,0 +1,165 @@
+"""The fuzz loop end to end: determinism, the negative control, replay.
+
+The satellite acceptance bars live here:
+
+* same ``(seed, corpus)`` -> byte-identical genome sequence and
+  coverage map, in-process and across ``REPRO_KERNEL`` variants;
+* the deliberately broken recover-without-resync emulation is caught,
+  shrunk to a mutation-minimal genome (complexity <= 6) and pinned as a
+  registry-replayable regression that stays red until fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.faults.campaign import violation_count
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.loop import (
+    FuzzConfig,
+    amnesia_probe,
+    replay_genome,
+    replay_regressions,
+    run_fuzz,
+)
+from repro.workloads.registry import ALGORITHMS, build_scenario
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Small enough for test wall-clock, large enough to reach >= 3
+#: signatures and exercise batching.
+QUICK = dict(seed=0, budget=6, batch=6, jobs=2, horizon=900.0)
+
+
+def quick_config(**overrides) -> FuzzConfig:
+    return FuzzConfig(**{**QUICK, **overrides})
+
+
+def fingerprint(result, corpus_dir: Path) -> dict:
+    corpus = Corpus.load(corpus_dir)
+    return {
+        "result": result.to_jsonable(),
+        "genomes": sorted(corpus.genomes),
+        "coverage": corpus.coverage.keys(),
+    }
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence_and_coverage(self, tmp_path):
+        a = run_fuzz(quick_config(), corpus_dir=tmp_path / "a")
+        b = run_fuzz(quick_config(), corpus_dir=tmp_path / "b")
+        assert json.dumps(fingerprint(a, tmp_path / "a"), sort_keys=True) == json.dumps(
+            fingerprint(b, tmp_path / "b"), sort_keys=True
+        )
+        assert a.genomes_run == QUICK["budget"]
+        assert a.total_signatures >= 3
+
+    def test_kernel_variants_agree_byte_for_byte(self, tmp_path):
+        """REPRO_KERNEL=python and =compiled produce identical fuzz runs
+        (with no built extension the compiled variant falls back, which
+        must be equally deterministic)."""
+        probe = (
+            "import json, sys\n"
+            "from pathlib import Path\n"
+            "from repro.fuzz.corpus import Corpus\n"
+            "from repro.fuzz.loop import FuzzConfig, run_fuzz\n"
+            "root = Path(sys.argv[1])\n"
+            "result = run_fuzz(FuzzConfig(seed=3, budget=4, batch=4, jobs=2, "
+            "horizon=900.0), corpus_dir=root)\n"
+            "corpus = Corpus.load(root)\n"
+            "print(json.dumps({'result': result.to_jsonable(), "
+            "'genomes': sorted(corpus.genomes), "
+            "'coverage': corpus.coverage.keys()}, sort_keys=True))\n"
+        )
+        outputs = {}
+        for variant in ("python", "compiled"):
+            env = {**os.environ, "REPRO_KERNEL": variant,
+                   "PYTHONPATH": str(REPO / "src")}
+            proc = subprocess.run(
+                [sys.executable, "-c", probe, str(tmp_path / variant)],
+                capture_output=True, text=True, timeout=600, env=env, cwd=REPO,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs[variant] = proc.stdout
+        assert outputs["python"] == outputs["compiled"]
+
+    def test_corpus_reload_skips_already_seen_genomes(self, tmp_path):
+        root = tmp_path / "corpus"
+        first = run_fuzz(quick_config(), corpus_dir=root)
+        second = run_fuzz(quick_config(budget=4), corpus_dir=root)
+        assert second.total_signatures >= first.total_signatures
+        # The reloaded corpus seeds the dedup set, so the second run
+        # explores fresh genomes instead of re-running the corpus.
+        assert second.genomes_run == 4
+        assert len(Corpus.load(root).genomes) >= first.corpus_size
+
+
+class TestNegativeControl:
+    def test_amnesia_probe_caught_shrunk_and_pinned(self, tmp_path):
+        root = tmp_path / "corpus"
+        probe = amnesia_probe(QUICK["horizon"])
+        config = quick_config(budget=1, resync=False)
+        result = run_fuzz(config, corpus_dir=root, initial=[probe])
+        assert not result.ok
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.violations > 0
+        # Acceptance bar: the pinned repro is <= 6 mutation steps out.
+        assert violation.shrunk is not None
+        assert violation.shrunk.complexity() <= 6
+        assert violation.oracle_runs > 0
+        # Pinned payload is engine-ready and the corpus persisted it.
+        assert violation.repro["factory"] == "fuzz-cell"
+        assert violation.repro["kwargs"]["resync"] is False
+        assert Corpus.load(root).regression_items()
+
+    def test_pinned_regression_replays_red_through_the_registry(self, tmp_path):
+        root = tmp_path / "corpus"
+        probe = amnesia_probe(QUICK["horizon"])
+        run_fuzz(quick_config(budget=1, resync=False), corpus_dir=root, initial=[probe])
+        rows = replay_regressions(root)
+        assert rows and all(count > 0 for _, _, count in rows)
+        # ... and directly through build_scenario, the long-way round.
+        _key, payload, _count = rows[0]
+        scenario = build_scenario(payload["factory"], payload["kwargs"])
+        run = scenario.run(
+            ALGORITHMS[payload["algorithm"]],
+            seed=payload["seed"],
+            log_reads=False,
+            trace_events=False,
+        )
+        audit = run.audit_consistency()
+        assert audit is not None and len(audit.violations) > 0
+
+    def test_fixed_emulation_replays_the_regression_clean(self, tmp_path):
+        # "The fix" for the pinned regression is turning resync back on:
+        # the same cell kwargs with a correct emulation run violation-free.
+        root = tmp_path / "corpus"
+        probe = amnesia_probe(QUICK["horizon"])
+        run_fuzz(quick_config(budget=1, resync=False), corpus_dir=root, initial=[probe])
+        _key, payload, _count = replay_regressions(root)[0]
+        fixed = dict(payload["kwargs"], resync=True)
+        scenario = build_scenario(payload["factory"], fixed)
+        run = scenario.run(
+            ALGORITHMS[payload["algorithm"]],
+            seed=payload["seed"],
+            log_reads=False,
+            trace_events=False,
+        )
+        summary = run.summarize(
+            scenario_name=scenario.name,
+            margin=scenario.margin,
+            assumption=scenario.assumption,
+        )
+        assert violation_count(summary) == 0
+
+    def test_probe_is_clean_on_the_correct_emulation(self):
+        # The canary genome itself carries no violation -- only the
+        # broken resync mode does (so fuzz runs on a clean tree can
+        # mutate onto fault plans without tripping the oracle).
+        summary = replay_genome(amnesia_probe(QUICK["horizon"]), quick_config())
+        assert violation_count(summary) == 0

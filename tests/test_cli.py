@@ -129,6 +129,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--consistency", "sequential"])
 
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.budget == 50 and args.seed == 0 and args.batch == 16
+        assert args.horizon == 3000.0 and args.jobs is None
+        assert args.corpus is None and not args.replay
+        assert not args.no_shrink and not args.no_resync and not args.json
+
+    def test_fuzz_options(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--budget", "25", "--seed", "3", "--batch", "8",
+             "--jobs", "2", "--horizon", "1200", "--corpus", "results/fuzz",
+             "--no-shrink", "--no-resync", "--verbose", "--json"]
+        )
+        assert (args.budget, args.seed, args.batch, args.jobs) == (25, 3, 8, 2)
+        assert args.horizon == 1200.0 and args.corpus == "results/fuzz"
+        assert args.no_shrink and args.no_resync and args.verbose and args.json
+
+    def test_fuzz_cell_is_check_exempt_but_registered(self):
+        # The fuzzer audits the genome space itself; `repro check` must
+        # not re-run an unpinned grid over it, but the factory has to be
+        # registry-resolvable for pinned repros to replay.
+        assert "fuzz-cell" in SCENARIOS
+        assert "fuzz-cell" not in CHECK_SCENARIOS
+
 
 class TestCommands:
     def test_list_output(self, capsys):
@@ -444,3 +468,21 @@ class TestCommands:
         assert code == 0
         assert "alg1" in out and "alg1-no-timer" in out
         assert "forever writers" in out
+
+    def test_fuzz_replay_requires_a_corpus(self, capsys):
+        assert main(["fuzz", "--replay"]) == 2
+        assert "--corpus" in capsys.readouterr().err
+
+    def test_fuzz_smoke_run_reports_signatures(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        code = main(
+            ["fuzz", "--budget", "4", "--batch", "4", "--jobs", "2",
+             "--horizon", "900", "--corpus", str(corpus)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 genome(s) run: 0 violating genome(s)" in out
+        assert (corpus / "coverage.json").is_file()
+        # An immediate replay of an all-clean corpus has nothing pinned.
+        assert main(["fuzz", "--replay", "--corpus", str(corpus)]) == 0
+        assert "0 still red" in capsys.readouterr().out
