@@ -80,6 +80,7 @@ from repro.analysis.write_stats import forever_writers, growing_registers
 from repro.lint.runner import RULE_FAMILIES
 from repro.memory.backend import BACKENDS
 from repro.memory.emulated import CONSISTENCY_LEVELS, LINK_MODELS, RETRY_POLICIES
+from repro.memory.membership import MEMBERSHIP_MODES
 from repro.workloads.registry import ALGORITHMS, SCENARIO_FACTORIES
 from repro.workloads.scenarios import Scenario
 from repro.workloads.sweep import SweepRow, summarize_result
@@ -121,6 +122,11 @@ CHECK_SCENARIOS = [
     # replica crash with recover-and-resync, partition/heal, a message
     # storm) with the history audit on -- the theorems must survive it.
     "chaos",
+    # The dynamic-membership cells: the replica set reconfigures
+    # mid-run through dual-quorum transition windows, and the recorded
+    # history must stay regular/linearizable across every config change.
+    "membership-churn",
+    "membership-churn-atomic",
 ]
 
 #: Scenario factories deliberately NOT in the ``repro check`` default
@@ -145,6 +151,7 @@ CHECK_EXEMPT_SCENARIOS = [
     "emulated-lossy",  # non-audited twin of emulated-lossy-audit
     "emulated-gst-ramp",  # emulated twin of the shared gst-ramp cell
     "fuzz-cell",  # genome-pinned fuzz cell; `repro fuzz` audits the space
+    "membership-canary",  # deliberately broken negative control (CI runs it red)
 ]
 
 
@@ -196,6 +203,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
         overrides["consistency"] = args.consistency
+    if args.membership is not None:
+        if backend != "emulated":
+            print(
+                "repro run: error: --membership is an emulated-backend axis; "
+                "pass --memory emulated or pick an emulated scenario",
+                file=sys.stderr,
+            )
+            return 2
+        overrides["membership"] = args.membership
     if args.links is not None:
         if backend != "emulated":
             print(
@@ -247,6 +263,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"traffic: {result.memory.total_writes} writes / {result.memory.total_reads} reads; "
         f"{result.sim.events_fired} events"
     )
+    if getattr(result.memory, "configs_installed", 0) > 0:
+        print(
+            f"reconfiguration: {result.memory.configs_installed} config(s) installed, "
+            f"{result.memory.transfer_rounds} transfer round(s), "
+            f"{result.memory.dual_quorum_ops} dual-quorum op(s)"
+        )
     audit = result.audit_consistency()
     if audit is not None:
         print(f"consistency audit: {audit.summary()}")
@@ -299,18 +321,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     algorithms = {name: ALGORITHMS[name] for name in (args.algorithms or list(ALGORITHMS))}
     scenarios = [_build_scenario(name, args.n, args.horizon) for name in args.scenarios]
-    if args.consistency is not None and args.memory != "emulated":
-        # The override only ever applies to emulated cells; refusing a
-        # grid where it can't apply anywhere beats silently ignoring it.
-        off_axis = [s.name for s in scenarios if s.memory != "emulated"]
-        if args.memory == "shared" or off_axis:
-            print(
-                "repro sweep: error: --consistency is an emulated-backend axis "
-                f"but these cells run the shared backend: {off_axis or args.scenarios}; "
-                "pass --memory emulated or pick emulated scenarios",
-                file=sys.stderr,
-            )
-            return 2
+    for axis, value in (("consistency", args.consistency), ("membership", args.membership)):
+        if value is not None and args.memory != "emulated":
+            # The override only ever applies to emulated cells; refusing
+            # a grid where it can't apply anywhere beats silently
+            # ignoring it.
+            off_axis = [s.name for s in scenarios if s.memory != "emulated"]
+            if args.memory == "shared" or off_axis:
+                print(
+                    f"repro sweep: error: --{axis} is an emulated-backend axis "
+                    f"but these cells run the shared backend: {off_axis or args.scenarios}; "
+                    "pass --memory emulated or pick emulated scenarios",
+                    file=sys.stderr,
+                )
+                return 2
     try:
         spec = ExperimentSpec.from_objects(
             args.name,
@@ -321,6 +345,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             fast=not args.traced,
             memory=args.memory,
             consistency=args.consistency,
+            membership=args.membership,
         )
     except ValueError as exc:
         print(f"repro sweep: error: {exc}", file=sys.stderr)
@@ -489,7 +514,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.fuzz.loop import FuzzConfig, amnesia_probe, replay_regressions, run_fuzz
+    from repro.fuzz.loop import (
+        FuzzConfig,
+        amnesia_probe,
+        membership_probe,
+        replay_regressions,
+        run_fuzz,
+    )
 
     corpus_dir = Path(args.corpus) if args.corpus else None
     if args.replay:
@@ -513,12 +544,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         shrink=not args.no_shrink,
         resync=not args.no_resync,
+        transition="single-config" if args.broken_transition else "dual-quorum",
     )
     if not args.json:
         print(
             f"fuzz: budget {config.budget} genome(s), seed {config.seed}, "
             f"base horizon {config.horizon:g}, batch {config.batch}"
             + ("" if config.resync else ", NO RESYNC")
+            + ("" if config.transition == "dual-quorum" else ", BROKEN TRANSITIONS")
         )
 
     def progress(genome: "Any", summary: "Any", novel: bool, count: int) -> None:
@@ -526,10 +559,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         marker = "NEW" if novel else "   "
         print(f"  {genome.key()} {marker} {verdict}; {summary.scenario}")
 
-    # The negative control seeds its population with the canonical
-    # recover-without-resync canary, so the broken mode is caught
-    # deterministically instead of hoping a generated plan hits it.
-    initial = () if config.resync else (amnesia_probe(config.horizon),)
+    # The negative controls seed their populations with the canonical
+    # canaries, so each broken mode is caught deterministically instead
+    # of hoping a generated timeline hits it.
+    initial = []
+    if not config.resync:
+        initial.append(amnesia_probe(config.horizon))
+    if config.transition != "dual-quorum":
+        initial.append(membership_probe(config.horizon))
     result = run_fuzz(
         config,
         corpus_dir=corpus_dir,
@@ -762,6 +799,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_p.add_argument(
+        "--membership",
+        choices=list(MEMBERSHIP_MODES),
+        default=None,
+        help=(
+            "dynamic-membership mode of the emulated replica set ('churn' "
+            "installs the canonical replace-one-replica reconfiguration, "
+            "'none' strips the scenario's membership plan); only valid when "
+            "the run is on the emulated backend"
+        ),
+    )
+    run_p.add_argument(
         "--links",
         choices=sorted(LINK_MODELS),
         default=None,
@@ -802,6 +850,17 @@ def build_parser() -> argparse.ArgumentParser:
             "force a consistency level onto every emulated cell ('atomic' = "
             "ABD write-back reads); requires --memory emulated or an "
             "emulated-native scenario list"
+        ),
+    )
+    sweep_p.add_argument(
+        "--membership",
+        choices=list(MEMBERSHIP_MODES),
+        default=None,
+        help=(
+            "force a dynamic-membership mode onto every emulated cell "
+            "('churn' = one replace-one-replica reconfiguration per cell, "
+            "'none' = strip membership plans); requires --memory emulated "
+            "or an emulated-native scenario list"
         ),
     )
     sweep_p.add_argument(
@@ -980,6 +1039,16 @@ def build_parser() -> argparse.ArgumentParser:
             "DELIBERATELY BROKEN mode: recovered replicas serve straight out "
             "of amnesia without the quorum state-resync (the negative oracle "
             "-- the fuzzer is expected to catch and shrink this)"
+        ),
+    )
+    fuzz_p.add_argument(
+        "--broken-transition",
+        action="store_true",
+        help=(
+            "DELIBERATELY BROKEN mode: membership transition windows consult "
+            "old-config quorums only and installs skip the state transfer "
+            "(the membership negative oracle -- the fuzzer is expected to "
+            "catch and shrink this)"
         ),
     )
     fuzz_p.add_argument(

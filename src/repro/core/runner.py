@@ -446,6 +446,16 @@ class Run:
         only valid with ``memory="emulated"`` -- the shared backend's
         instantaneous registers are atomic by construction, so forcing
         a level onto it would be dead configuration.
+    membership:
+        Dynamic-membership mode of the emulated replica set
+        (:data:`repro.memory.membership.MEMBERSHIP_MODES`): ``"none"``
+        strips any membership plan from ``emulation`` (the churn-free
+        control) and ``"churn"`` installs the canonical
+        :func:`~repro.memory.membership.churn_plan` replace-one-replica
+        reconfiguration scaled to the horizon.  A non-None value
+        overrides the ``membership_plan`` key of ``emulation`` and is
+        only valid with ``memory="emulated"`` -- the shared backend has
+        no replica set to reconfigure.
     """
 
     def __init__(
@@ -468,6 +478,7 @@ class Run:
         memory: str = "shared",
         emulation: Optional[Dict[str, Any]] = None,
         consistency: Optional[str] = None,
+        membership: Optional[str] = None,
     ) -> None:
         if n < 2:
             raise ValueError("need at least two processes")
@@ -484,6 +495,27 @@ class Run:
                 )
             emulation = dict(emulation or {})
             emulation["consistency"] = consistency
+        if membership is not None:
+            from repro.memory.membership import MEMBERSHIP_MODES, churn_plan
+
+            if memory != "emulated":
+                raise ValueError(
+                    "membership is an axis of the emulated backend; "
+                    "pass memory='emulated' or drop the option"
+                )
+            if membership not in MEMBERSHIP_MODES:
+                raise ValueError(
+                    f"unknown membership mode {membership!r}; "
+                    f"choose from {list(MEMBERSHIP_MODES)}"
+                )
+            emulation = dict(emulation or {})
+            if membership == "none":
+                emulation["membership_plan"] = []
+            else:  # churn
+                replicas = int(emulation.get("replicas", 3))
+                emulation["membership_plan"] = churn_plan(
+                    replicas, horizon
+                ).to_jsonable()
         self.algorithm_cls = algorithm_cls
         self.n = n
         self.seed = seed

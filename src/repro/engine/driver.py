@@ -160,6 +160,7 @@ def _execute_serial(cells: List[Cell], spec: ExperimentSpec, flush: Flush = None
             fast=spec.fast,
             memory=spec.memory,
             consistency=spec.consistency,
+            membership=spec.membership,
         )
         outcomes.append(outcome)
         if flush is not None:
@@ -175,7 +176,13 @@ def _execute_parallel(
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         pending = {
             pool.submit(
-                execute_cell, cell, spec.window, spec.fast, spec.memory, spec.consistency
+                execute_cell,
+                cell,
+                spec.window,
+                spec.fast,
+                spec.memory,
+                spec.consistency,
+                spec.membership,
             ): idx
             for idx, cell in enumerate(cells)
         }
@@ -210,6 +217,7 @@ def _execute_parallel(
                     spec.fast,
                     spec.memory,
                     spec.consistency,
+                    spec.membership,
                 ).result()
         except Exception as exc:  # noqa: BLE001 - crashed again: record it
             outcomes[idx] = CellOutcome(

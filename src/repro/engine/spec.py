@@ -38,7 +38,10 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 #:    (retransmissions, recoveries, resyncs, integrity_violations).
 #: 6: RunSummary records the fuzz coverage censuses (leader_changes,
 #:    write_backs).
-SPEC_FORMAT = 6
+#: 7: specs carry a membership axis (dynamic replica membership;
+#:    repro.memory.membership); RunSummary records the reconfiguration
+#:    counters (configs_installed, dual_quorum_ops, transfer_rounds).
+SPEC_FORMAT = 7
 
 
 def _canonical(payload: Any) -> str:
@@ -156,6 +159,14 @@ class ExperimentSpec:
         runs the emulated backend (the ``repro sweep --consistency``
         path).  Cells on the shared backend ignore it (their registers
         are atomic by construction).
+    membership:
+        Dynamic-membership override for every *emulated* cell
+        (:data:`repro.memory.membership.MEMBERSHIP_MODES`).  ``None``
+        -- the default -- leaves each scenario's own membership plan in
+        force; ``"churn"`` forces the canonical replace-one-replica
+        reconfiguration (scaled to each cell's horizon) onto every
+        emulated cell and ``"none"`` strips membership plans (the
+        churn-free control).  Cells on the shared backend ignore it.
     """
 
     name: str
@@ -166,10 +177,12 @@ class ExperimentSpec:
     fast: bool = True
     memory: Optional[str] = None
     consistency: Optional[str] = None
+    membership: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.memory.backend import BACKENDS
         from repro.memory.emulated import CONSISTENCY_LEVELS
+        from repro.memory.membership import MEMBERSHIP_MODES
 
         if not self.algorithms or not self.scenarios or not self.seeds:
             raise ValueError("spec needs at least one algorithm, scenario and seed")
@@ -181,6 +194,11 @@ class ExperimentSpec:
             raise ValueError(
                 f"unknown consistency level {self.consistency!r}; "
                 f"choose from {list(CONSISTENCY_LEVELS)}"
+            )
+        if self.membership is not None and self.membership not in MEMBERSHIP_MODES:
+            raise ValueError(
+                f"unknown membership mode {self.membership!r}; "
+                f"choose from {list(MEMBERSHIP_MODES)}"
             )
         labels = [a.label for a in self.algorithms]
         if len(set(labels)) != len(labels):
@@ -217,6 +235,7 @@ class ExperimentSpec:
             "fast": self.fast,
             "memory": self.memory,
             "consistency": self.consistency,
+            "membership": self.membership,
         }
 
     def content_hash(self) -> str:
@@ -242,6 +261,7 @@ class ExperimentSpec:
         fast: bool = True,
         memory: Optional[str] = None,
         consistency: Optional[str] = None,
+        membership: Optional[str] = None,
     ) -> "ExperimentSpec":
         """Build a spec from live objects (the ``run_matrix`` arguments).
 
@@ -277,6 +297,7 @@ class ExperimentSpec:
             fast=fast,
             memory=memory,
             consistency=consistency,
+            membership=membership,
         )
 
 

@@ -103,6 +103,14 @@ class RunSummary(SweepRow):
     #: ABD write-back phases completed by atomic-level reads (0 for
     #: shared memory or regular reads) -- the quorum-race census.
     write_backs: int = 0
+    #: Reconfiguration counters of the emulated backend's dynamic
+    #: membership (all 0 for shared memory or a churn-free plan):
+    #: replica configs installed, operations completed inside a
+    #: dual-quorum transition window, and membership state-transfer
+    #: rounds completed.
+    configs_installed: int = 0
+    dual_quorum_ops: int = 0
+    transfer_rounds: int = 0
 
     # ------------------------------------------------------------------
     def to_jsonable(self) -> Dict[str, Any]:
@@ -238,6 +246,9 @@ def summarize_run(
         integrity_violations=getattr(result.memory, "integrity_violations", 0),
         leader_changes=_leader_churn(result),
         write_backs=getattr(result.memory, "write_backs", 0),
+        configs_installed=getattr(result.memory, "configs_installed", 0),
+        dual_quorum_ops=getattr(result.memory, "dual_quorum_ops", 0),
+        transfer_rounds=getattr(result.memory, "transfer_rounds", 0),
     )
 
 

@@ -44,6 +44,7 @@ def run_cell(
     fast: bool = True,
     memory: Optional[str] = None,
     consistency: Optional[str] = None,
+    membership: Optional[str] = None,
 ) -> RunSummary:
     """Execute one cell in-process and return its summary (raises on error).
 
@@ -55,7 +56,9 @@ def run_cell(
     ``consistency`` is the spec-level consistency-level override for
     emulated cells (``repro sweep --consistency``); cells that end up
     on the shared backend drop it (their registers are atomic by
-    construction).
+    construction).  ``membership`` is the spec-level dynamic-membership
+    override for emulated cells (``repro sweep --membership``), dropped
+    the same way on shared-backend cells.
     """
     from repro.workloads.registry import build_scenario, resolve_algorithm
 
@@ -67,6 +70,8 @@ def run_cell(
         overrides["memory"] = memory
     if consistency is not None and (memory or scenario.memory) == "emulated":
         overrides["consistency"] = consistency
+    if membership is not None and (memory or scenario.memory) == "emulated":
+        overrides["membership"] = membership
     result = scenario.run(algorithm_cls, seed=cell.seed, **overrides)
     summary = summarize_run(
         result,
@@ -87,13 +92,19 @@ def execute_cell(
     fast: bool = True,
     memory: Optional[str] = None,
     consistency: Optional[str] = None,
+    membership: Optional[str] = None,
 ) -> CellOutcome:
     """Pool-safe wrapper around :func:`run_cell`: captures errors."""
     try:
         return CellOutcome(
             key=cell.key,
             summary=run_cell(
-                cell, window=window, fast=fast, memory=memory, consistency=consistency
+                cell,
+                window=window,
+                fast=fast,
+                memory=memory,
+                consistency=consistency,
+                membership=membership,
             ),
         )
     except Exception:  # noqa: BLE001 - the driver re-raises in strict mode

@@ -3,8 +3,8 @@
 The fuzzer's novelty oracle.  :func:`signature` compresses a
 :class:`~repro.engine.summary.RunSummary` into a tuple of bucketed
 behavioural features -- leader-churn counts, stabilization deciles,
-retransmission depth, recovery/resync counts, the quorum write-back and
-message censuses, the audit-op census -- and a
+retransmission depth, recovery/resync counts, the quorum write-back,
+reconfiguration and message censuses, the audit-op census -- and a
 :class:`TraceFeatureMap` keeps the set of signatures the corpus has
 reached, AFL-style: a genome whose run lands in a fresh signature is
 novel and joins the corpus; one that re-treads a known signature is
@@ -69,6 +69,9 @@ def signature(summary: Any) -> Signature:
         ("recoveries", min(count("recoveries"), SMALL_COUNT_CAP)),
         ("resyncs", min(count("resyncs"), SMALL_COUNT_CAP)),
         ("write_backs", bucket(count("write_backs"))),
+        ("configs_installed", min(count("configs_installed"), SMALL_COUNT_CAP)),
+        ("dual_quorum_ops", bucket(count("dual_quorum_ops"))),
+        ("transfer_rounds", min(count("transfer_rounds"), SMALL_COUNT_CAP)),
         ("messages", bucket(count("messages_sent"))),
         ("audit_ops", bucket(count("audit_ops"))),
         ("single_writer", bool(getattr(summary, "single_writer", False))),

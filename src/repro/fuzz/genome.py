@@ -33,6 +33,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.faults.plan import FaultEvent, FaultPlan
+from repro.memory.membership import TRANSITION_MODES, MembershipEvent, MembershipPlan
 
 #: Algorithms the fuzzer composes.  Algorithm 2's hand-shake needs
 #: roughly 10x the horizon of the Algorithm 1 family under identical
@@ -95,6 +96,14 @@ class ScenarioGenome:
     #: it exists so the negative-control tests can inject a genome the
     #: oracles *must* catch.
     resync: bool = True
+    #: Dynamic-membership timeline of the emulated replica set
+    #: (:mod:`repro.memory.membership`); empty = fixed membership.
+    membership_plan: Tuple[MembershipEvent, ...] = ()
+    #: ``"single-config"`` switches transition windows to the
+    #: deliberately broken old-quorums-only mode.  Like ``resync`` the
+    #: fuzzer never mutates this axis; it is the membership
+    #: negative-control hook.
+    transition: str = "dual-quorum"
 
     def __post_init__(self) -> None:
         if self.algorithm not in GENOME_ALGORITHMS:
@@ -131,6 +140,11 @@ class ScenarioGenome:
                 f"unknown genome consistency {self.consistency!r}; "
                 f"choose from {list(GENOME_CONSISTENCY)}"
             )
+        if self.transition not in TRANSITION_MODES:
+            raise ValueError(
+                f"unknown genome transition {self.transition!r}; "
+                f"choose from {list(TRANSITION_MODES)}"
+            )
         if self.backend == "shared":
             off_axis = {
                 "replicas": (self.replicas, 3),
@@ -138,6 +152,8 @@ class ScenarioGenome:
                 "consistency": (self.consistency, "regular"),
                 "fault_plan": (self.fault_plan, ()),
                 "resync": (self.resync, True),
+                "membership_plan": (self.membership_plan, ()),
+                "transition": (self.transition, "dual-quorum"),
             }
             dirty = [k for k, (got, want) in off_axis.items() if got != want]
             if dirty:
@@ -152,6 +168,13 @@ class ScenarioGenome:
                     f"got links={self.links!r}"
                 )
             FaultPlan(self.fault_plan).validate(self.replicas)
+        if self.membership_plan:
+            if self.links != "sync":
+                raise ValueError(
+                    "membership plans are defined over the deterministic sync "
+                    f"fabric; got links={self.links!r}"
+                )
+            MembershipPlan(self.membership_plan).validate(self.replicas)
 
     # ------------------------------------------------------------------
     def horizon(self, base: float = DEFAULT_BASE_HORIZON) -> float:
@@ -182,6 +205,9 @@ class ScenarioGenome:
         plan: Optional[List[Dict[str, Any]]] = None
         if self.fault_plan:
             plan = FaultPlan(self.fault_plan).to_jsonable()
+        membership: Optional[List[Dict[str, Any]]] = None
+        if self.membership_plan:
+            membership = MembershipPlan(self.membership_plan).to_jsonable()
         return {
             "n": self.n,
             "horizon": self.horizon(base),
@@ -193,6 +219,8 @@ class ScenarioGenome:
             "consistency": self.consistency,
             "plan": plan,
             "resync": self.resync,
+            "membership": membership,
+            "transition": self.transition,
         }
 
     def complexity(self) -> int:
@@ -210,7 +238,7 @@ class ScenarioGenome:
             if getattr(self, f.name) != getattr(baseline, f.name):
                 steps += 1
         steps += len(FaultPlan(self.fault_plan).groups())
-        return steps
+        return steps  # membership_plan/transition count via the field loop
 
     # ------------------------------------------------------------------
     def to_jsonable(self) -> Dict[str, Any]:
@@ -226,6 +254,8 @@ class ScenarioGenome:
             "consistency": self.consistency,
             "fault_plan": FaultPlan(self.fault_plan).to_jsonable(),
             "resync": self.resync,
+            "membership_plan": MembershipPlan(self.membership_plan).to_jsonable(),
+            "transition": self.transition,
         }
 
     @classmethod
@@ -237,8 +267,10 @@ class ScenarioGenome:
         if unknown:
             raise ValueError(f"unknown genome key(s): {sorted(unknown)}")
         plan = FaultPlan.from_jsonable(data.pop("fault_plan", None))
+        membership = MembershipPlan.from_jsonable(data.pop("membership_plan", None))
         init: Dict[str, Any] = {k: v for k, v in data.items() if k in known}
         init["fault_plan"] = plan.events
+        init["membership_plan"] = membership.events
         return cls(**init)
 
     def key(self) -> str:

@@ -40,6 +40,7 @@ from repro.engine.spec import AlgorithmRef, ExperimentSpec, ScenarioRef
 from repro.engine.summary import RunSummary, summarize_run
 from repro.faults.campaign import violation_count
 from repro.faults.plan import FaultEvent
+from repro.memory.membership import MembershipEvent
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.coverage import signature
 from repro.fuzz.genome import DEFAULT_BASE_HORIZON, ScenarioGenome
@@ -67,6 +68,25 @@ AMNESIA_PROBE_SHAPE = (
 )
 
 
+#: Membership timeline of :func:`membership_probe`, as fractions of the
+#: plan horizon: the entire initial config is replaced (join 3, join 4,
+#: leave 0, leave 1), then :data:`MEMBERSHIP_PROBE_CRASH` kills the last
+#: original replica so every read quorum must be served by joiners
+#: alone.  Under dual-quorum windows the state transfer has synced the
+#: joiners; under the broken ``single-config`` mode they serve whatever
+#: they overheard and the history audit goes red deterministically.
+MEMBERSHIP_PROBE_SHAPE = (
+    ("join", 0.12, 3),
+    ("join", 0.18, 4),
+    ("leave", 0.24, 0),
+    ("leave", 0.30, 1),
+)
+
+#: The replica-crash accompanying :data:`MEMBERSHIP_PROBE_SHAPE`
+#: (kind, horizon fraction, replica index).
+MEMBERSHIP_PROBE_CRASH = ("replica-crash", 0.5, 2)
+
+
 def amnesia_probe(base_horizon: float = DEFAULT_BASE_HORIZON) -> ScenarioGenome:
     """The canonical recover-without-resync canary genome.
 
@@ -84,6 +104,30 @@ def amnesia_probe(base_horizon: float = DEFAULT_BASE_HORIZON) -> ScenarioGenome:
         for kind, fraction, replica in AMNESIA_PROBE_SHAPE
     )
     return ScenarioGenome(backend="emulated", fault_plan=events)
+
+
+def membership_probe(base_horizon: float = DEFAULT_BASE_HORIZON) -> ScenarioGenome:
+    """The canonical broken-reconfiguration canary genome.
+
+    An emulated baseline genome carrying the full-config-turnover
+    membership timeline of :data:`MEMBERSHIP_PROBE_SHAPE` plus the
+    :data:`MEMBERSHIP_PROBE_CRASH` fault, scaled to ``base_horizon``.
+    On a correct emulation it runs clean; under the broken
+    ``transition="single-config"`` mode the history audit must flag it
+    -- ``repro fuzz --broken-transition`` seeds its population with
+    this probe so the negative control is a deterministic canary rather
+    than a lottery over generated membership plans.
+    """
+    horizon = 1.5 * base_horizon  # the sync-links emulated horizon
+    membership = tuple(
+        MembershipEvent(kind=kind, at=fraction * horizon, replica=replica)
+        for kind, fraction, replica in MEMBERSHIP_PROBE_SHAPE
+    )
+    kind, fraction, replica = MEMBERSHIP_PROBE_CRASH
+    fault = (FaultEvent(kind=kind, at=fraction * horizon, replica=replica),)
+    return ScenarioGenome(
+        backend="emulated", fault_plan=fault, membership_plan=membership
+    )
 
 
 @dataclass(frozen=True)
@@ -108,6 +152,10 @@ class FuzzConfig:
     #: emulation mode onto every cell (the negative oracle: the fuzzer
     #: is expected to catch, shrink and pin it).
     resync: bool = True
+    #: ``"single-config"`` forces the DELIBERATELY BROKEN
+    #: old-quorums-only transition mode onto every cell (the membership
+    #: negative oracle, same contract as ``resync=False``).
+    transition: str = "dual-quorum"
 
 
 @dataclass
@@ -154,6 +202,7 @@ class FuzzResult:
             "budget": self.config.budget,
             "horizon": self.config.horizon,
             "resync": self.config.resync,
+            "transition": self.config.transition,
             "genomes_run": self.genomes_run,
             "new_signatures": self.new_signatures,
             "total_signatures": self.total_signatures,
@@ -179,6 +228,8 @@ def _cell_kwargs(genome: ScenarioGenome, config: FuzzConfig) -> Dict[str, Any]:
     config's negative-control override folds into the resync knob)."""
     kwargs = genome.scenario_kwargs(config.horizon)
     kwargs["resync"] = genome.resync and config.resync
+    if config.transition != "dual-quorum":
+        kwargs["transition"] = config.transition
     return kwargs
 
 
@@ -392,8 +443,11 @@ __all__ = [
     "FuzzConfig",
     "FuzzResult",
     "FuzzViolation",
+    "MEMBERSHIP_PROBE_CRASH",
+    "MEMBERSHIP_PROBE_SHAPE",
     "PARENT_BIAS",
     "amnesia_probe",
+    "membership_probe",
     "pinned_repro",
     "replay_genome",
     "replay_regressions",

@@ -8,10 +8,13 @@ determinism tests compare it byte for byte).
 
 Two structural rules keep every mutation a *single* step:
 
-* the ``links`` axis is only mutable while the fault plan is empty
-  (fault timelines are defined over the sync fabric, so re-linking a
-  faulted genome would have to clear the plan too);
-* the ``faults`` axis is only mutable while the links are ``sync``.
+* the ``links`` axis is only mutable while the fault and membership
+  plans are empty (both timelines are defined over the sync fabric, so
+  re-linking would have to clear them too);
+* the ``faults`` and ``membership`` axes are only mutable while the
+  links are ``sync``, and each only while the *other* plan is empty --
+  composed fault + membership timelines can starve quorums in ways no
+  single mutation step could introduce legally.
 
 Fault plans are drawn from the same conservative
 :class:`~repro.faults.generator.FaultScheduleGenerator` the chaos
@@ -27,6 +30,7 @@ from dataclasses import replace
 from typing import List, Tuple
 
 from repro.faults.generator import FaultScheduleGenerator
+from repro.memory.membership import churn_plan
 from repro.fuzz.genome import (
     BASELINE_GENOME,
     DEFAULT_BASE_HORIZON,
@@ -64,14 +68,18 @@ def _mutable_axes(genome: ScenarioGenome) -> List[str]:
     axes = ["algorithm", "n", "delay", "crash", "backend"]
     if genome.backend == "emulated":
         axes.append("consistency")
-        if genome.fault_plan == ():
+        if genome.fault_plan == () and genome.membership_plan == ():
             axes.append("links")
         if genome.links == "sync":
-            axes.append("faults")
-            # Replica-count moves must keep the plan's indices legal;
-            # offering the axis only on a plan-free genome keeps the
-            # mutation single-step.
+            if genome.membership_plan == ():
+                axes.append("faults")
             if genome.fault_plan == ():
+                axes.append("membership")
+            # Replica-count moves must keep both plans' indices legal
+            # (a membership join names the next fresh index, a fault
+            # event a current one); offering the axis only on a
+            # plan-free genome keeps the mutation single-step.
+            if genome.fault_plan == () and genome.membership_plan == ():
                 axes.append("replicas")
     return axes
 
@@ -126,6 +134,16 @@ def mutate(
         return replace(genome, links=_pick_other(rng, GENOME_LINKS, genome.links))
     if axis == "replicas":
         return replace(genome, replicas=_pick_other_int(rng, GENOME_REPLICAS, genome.replicas))
+    if axis == "membership":
+        # Clear a non-empty plan half the time, else install the
+        # canonical replace-one-replica churn.  Sized for the smallest
+        # emulated horizon (like fault plans), so the join/leave pair
+        # always lands mid-run with a quiet tail; the churn itself never
+        # drops below a quorum (join first, then a single leave).
+        if genome.membership_plan and rng.random() < 0.5:
+            return replace(genome, membership_plan=())
+        plan = churn_plan(genome.replicas, _plan_horizon(base_horizon))
+        return replace(genome, membership_plan=plan.events)
     # axis == "faults": clear a non-empty plan half the time, else draw
     # a fresh timeline (also the only way *onto* the axis).
     if genome.fault_plan and rng.random() < 0.5:

@@ -32,13 +32,16 @@ from repro.faults.shrink import shrink_plan
 from repro.fuzz.genome import BASELINE_GENOME, ScenarioGenome
 
 #: Reduction order: cheap single-axis resets first, the backend
-#: collapse last.  ``resync`` reduces first so a genuinely broken
-#: emulation mode is never masked by axis noise.
+#: collapse last.  ``resync`` and ``transition`` (the two deliberately
+#: broken emulation modes) reduce first so a genuinely broken mode is
+#: never masked by axis noise.
 AXIS_ORDER = (
     "resync",
+    "transition",
     "crash",
     "delay",
     "consistency",
+    "membership_plan",
     "links",
     "algorithm",
     "n",
@@ -70,6 +73,8 @@ def _reduced(genome: ScenarioGenome, axis: str) -> Optional[ScenarioGenome]:
         # the collapse is a true single step.
         if (
             genome.fault_plan != ()
+            or genome.membership_plan != ()
+            or genome.transition != "dual-quorum"
             or genome.links != "sync"
             or genome.consistency != "regular"
             or genome.replicas != 3

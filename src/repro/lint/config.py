@@ -146,6 +146,7 @@ STRICT_TYPED_MODULES: Tuple[str, ...] = (
     "repro/sim/kernel.py",
     "repro/memory/backend.py",
     "repro/memory/linearizability.py",
+    "repro/memory/membership.py",
     "repro/faults/plan.py",
     "repro/fuzz/genome.py",
     "repro/fuzz/coverage.py",

@@ -23,6 +23,11 @@ one-writer/multi-reader (1WnR) registers.  This package provides:
   ABD-style majority-quorum emulation of the registers over
   :mod:`repro.netsim` message passing (replica nodes, timestamped
   values, reader/writer phases, retransmission, replica crashes);
+* :mod:`~repro.memory.membership` -- dynamic replica membership for the
+  emulation: versioned :class:`~repro.memory.membership.ReplicaConfig`
+  member sets and validated join/leave
+  :class:`~repro.memory.membership.MembershipPlan` timelines driving
+  RAMBO-style two-config reconfiguration;
 * :mod:`~repro.memory.disk` -- a network-attached-disk model (the SAN
   deployment the paper motivates) with non-instantaneous operations;
 * :mod:`~repro.memory.linearizability` -- a checker for single-writer
@@ -32,6 +37,7 @@ one-writer/multi-reader (1WnR) registers.  This package provides:
 from repro.memory.arrays import RegisterArray, RegisterMatrix
 from repro.memory.backend import BACKENDS, MemoryBackend, create_memory
 from repro.memory.emulated import EmulatedMemory, EmulationConfig
+from repro.memory.membership import MembershipEvent, MembershipPlan, ReplicaConfig
 from repro.memory.memory import AccessKind, SharedMemory
 from repro.memory.mwmr import MultiWriterRegister
 from repro.memory.register import AtomicRegister, OwnershipError
@@ -42,8 +48,11 @@ __all__ = [
     "BACKENDS",
     "EmulatedMemory",
     "EmulationConfig",
+    "MembershipEvent",
+    "MembershipPlan",
     "MemoryBackend",
     "MultiWriterRegister",
+    "ReplicaConfig",
     "OwnershipError",
     "RegisterArray",
     "RegisterMatrix",

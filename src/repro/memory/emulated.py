@@ -51,6 +51,26 @@ through the :data:`LINK_MODELS` registry over the
 :mod:`repro.netsim.network` behaviours -- including the PR 2
 adversaries (GST ramps, fair loss).
 
+**Dynamic membership** (``EmulationConfig.membership_plan``, a
+:mod:`repro.memory.membership` timeline) removes the last frozen axis:
+the replica set itself.  Each ``join``/``leave`` event opens a
+RAMBO-style *two-config transition window*: the emulation holds both
+the old :class:`~repro.memory.membership.ReplicaConfig` and the
+proposed one, broadcasts every phase to the union of their members,
+and requires every read/write quorum (including ABD write-backs and
+amnesia resyncs) to intersect a **majority of both configs** -- reads
+therefore take the max timestamp across both member sets.  After
+``transfer_delay`` a **state-transfer round** collects snapshots from
+a majority of the old config, pushes the merged state to the new
+members, and -- once a majority of the new config acks -- *installs*
+the new config and garbage-collects the old.  A joiner starts as an
+amnesiac (it applies and acks writes but refuses reads) until the
+transfer lands.  Overlapping events queue and transition one at a
+time, so back-to-back reconfigurations are safe.  The
+``"single-config"`` transition mode is the deliberately broken
+negative control (old quorums only, no state transfer) that the
+history audits must catch.
+
 :class:`EmulatedMemory` subclasses
 :class:`~repro.memory.memory.SharedMemory`: the namespace, the access
 logs, the window queries and the no-log read fast path are all
@@ -69,6 +89,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.faults.plan import FaultEvent, FaultPlan
+from repro.memory.membership import (
+    TRANSITION_MODES,
+    MembershipEvent,
+    MembershipPlan,
+    ReplicaConfig,
+)
 from repro.memory.memory import SharedMemory
 from repro.memory.mwmr import MultiWriterRegister
 from repro.memory.register import AtomicRegister, OwnershipError
@@ -226,6 +252,29 @@ class EmulationConfig:
         a recovered replica serves straight out of amnesia, which the
         history audit is expected to catch (and ``repro chaos`` to
         shrink).
+    membership_plan:
+        A :class:`repro.memory.membership.MembershipPlan` timeline (as
+        a tuple of :class:`~repro.memory.membership.MembershipEvent`):
+        operator-style ``join``/``leave`` transitions of the replica
+        member set.  Each event opens a two-config transition window
+        (quorums intersect majorities of both configs) that a
+        state-transfer round closes by installing the new
+        :class:`~repro.memory.membership.ReplicaConfig`.  Joins extend
+        the replica array, so they must carry sequential fresh indices.
+    transfer_delay:
+        How long a transition window stays open before the
+        state-transfer round starts.  The window is where the
+        dual-quorum discipline is exercised (and what the
+        ``EMU_membership`` bench prices), so it is a real knob, not an
+        implementation detail.
+    transition:
+        Transition-window discipline
+        (:data:`repro.memory.membership.TRANSITION_MODES`):
+        ``"dual-quorum"`` -- the correct RAMBO-style mode, the default
+        -- or ``"single-config"`` -- the *deliberately broken* negative
+        control where window quorums consult the old config only and
+        the install skips the state transfer, which the history audit
+        is expected to catch (and ``repro fuzz`` to shrink).
     consistency:
         Consistency level of the emulated registers
         (:data:`CONSISTENCY_LEVELS`): ``"regular"`` -- single-phase
@@ -251,6 +300,9 @@ class EmulationConfig:
     replica_crash_times: Tuple[Tuple[int, float], ...] = ()
     fault_plan: Tuple[FaultEvent, ...] = ()
     resync: bool = True
+    membership_plan: Tuple[MembershipEvent, ...] = ()
+    transfer_delay: float = 150.0
+    transition: str = "dual-quorum"
     consistency: str = "regular"
     record_history: bool = False
 
@@ -280,17 +332,63 @@ class EmulationConfig:
         if not 0 <= self.retry_jitter < 1:
             raise ValueError("retry_jitter must be in [0, 1)")
         FaultPlan(self.fault_plan).validate(self.replicas)
+        plan = MembershipPlan(self.membership_plan)
+        plan.validate(self.replicas)
+        if self.transition not in TRANSITION_MODES:
+            raise ValueError(
+                f"unknown transition mode {self.transition!r}; "
+                f"choose from {list(TRANSITION_MODES)}"
+            )
+        if self.transfer_delay <= 0:
+            raise ValueError("transfer_delay must be positive")
         crashes = dict(self.replica_crash_times)
+        max_index = plan.max_replica_index(self.replicas)
+        join_times = {ev.replica: ev.at for ev in plan if ev.kind == "join"}
         for idx, t in crashes.items():
-            if not 0 <= idx < self.replicas:
-                raise ValueError(f"replica index {idx} out of range for {self.replicas}")
+            if not 0 <= idx < max_index:
+                raise ValueError(f"replica index {idx} out of range for {max_index}")
             if t < 0:
                 raise ValueError(f"negative crash time {t} for replica {idx}")
-        if len(crashes) > (self.replicas - 1) // 2:
-            raise ValueError(
-                f"crashing {len(crashes)} of {self.replicas} replicas leaves no "
-                "majority; the emulation tolerates only a minority of crashes"
-            )
+            if idx >= self.replicas and t < join_times[idx]:
+                raise ValueError(
+                    f"replica {idx} crashes at t={t} before it joins at "
+                    f"t={join_times[idx]}"
+                )
+        if not self.membership_plan:
+            if len(crashes) > (self.replicas - 1) // 2:
+                raise ValueError(
+                    f"crashing {len(crashes)} of {self.replicas} replicas leaves no "
+                    "majority; the emulation tolerates only a minority of crashes"
+                )
+        else:
+            self._validate_crash_liveness(plan, crashes)
+
+    def _validate_crash_liveness(
+        self, plan: MembershipPlan, crashes: Dict[int, float]
+    ) -> None:
+        """Walk membership and crash timelines together: at every step
+        the *current* member set must keep a live majority, or quorums
+        (and the transitions themselves) become unreachable.  Transient
+        fault-plan crashes are exempt, as for the static-membership
+        check -- campaigns may probe stalls."""
+        timeline: List[Tuple[float, int, str, int]] = [
+            (ev.at, 0, ev.kind, ev.replica) for ev in plan
+        ]
+        timeline.extend((t, 1, "crash", idx) for idx, t in crashes.items())
+        members: Set[int] = set(range(self.replicas))
+        crashed: Set[int] = set()
+        for at, _, kind, idx in sorted(timeline):
+            if kind == "join":
+                members.add(idx)
+            elif kind == "leave":
+                members.discard(idx)
+            else:
+                crashed.add(idx)
+            if len(members & crashed) > (len(members) - 1) // 2:
+                raise ValueError(
+                    f"at t={at} the member set {sorted(members)} has no live "
+                    "majority; membership plans must keep a quorum alive"
+                )
 
     @property
     def majority(self) -> int:
@@ -311,6 +409,9 @@ class EmulationConfig:
             "replica_crash_times": {str(i): t for i, t in self.replica_crash_times},
             "fault_plan": [ev.to_jsonable() for ev in self.fault_plan],
             "resync": self.resync,
+            "membership_plan": [ev.to_jsonable() for ev in self.membership_plan],
+            "transfer_delay": self.transfer_delay,
+            "transition": self.transition,
             "consistency": self.consistency,
             "record_history": self.record_history,
         }
@@ -331,6 +432,9 @@ class EmulationConfig:
             "replica_crash_times",
             "fault_plan",
             "resync",
+            "membership_plan",
+            "transfer_delay",
+            "transition",
             "consistency",
             "record_history",
         }
@@ -352,6 +456,12 @@ class EmulationConfig:
                 FaultEvent.from_jsonable(ev) for ev in data.get("fault_plan") or ()
             ),
             resync=bool(data.get("resync", True)),
+            membership_plan=tuple(
+                MembershipEvent.from_jsonable(ev)
+                for ev in data.get("membership_plan") or ()
+            ),
+            transfer_delay=float(data.get("transfer_delay", 150.0)),
+            transition=str(data.get("transition", "dual-quorum")),
             consistency=str(data.get("consistency", "regular")),
             record_history=bool(data.get("record_history", False)),
         )
@@ -407,6 +517,20 @@ class ReplicaNode:
                 "abd.sync-reply",
                 (sync_id, tuple(sorted(self.store.items()))),
             )
+        elif message.kind == "abd.transfer":
+            # A membership state transfer: the merged old-config state,
+            # applied monotonically (timestamps arbitrate, so a write
+            # this replica overheard during the window never regresses).
+            # The grant carries a majority-of-old-config's worth of
+            # state -- the same guarantee a resync provides -- so an
+            # amnesiac joiner may start serving reads after applying it.
+            transfer_id, entries = message.payload
+            for name, (ts, value) in entries:
+                current = self.store.get(name)
+                if current is None or ts > current[0]:
+                    self.store[name] = (ts, value)
+            self.recovering = False
+            network.send(self.node_id, message.sender, "abd.transfer-ack", (transfer_id,))
         elif message.kind == "abd.write":
             op_id, name, ts, value = message.payload
             current = self.store.get(name) or initial_of(name)
@@ -495,6 +619,41 @@ class _ResyncState:
         self.done = False
 
 
+class _TransferState:
+    """One in-flight membership state-transfer round.
+
+    Two phases: ``collect`` gathers ``(timestamp, value)`` snapshots
+    (``abd.sync`` rounds, like a resync) from a majority of the **old**
+    config -- which intersects every completed write's quorum, both the
+    pre-window writes and the dual-quorum window writes -- then
+    ``install`` pushes the merged state (``abd.transfer``) to every
+    member of the **new** config and installs it once a majority of the
+    new config acks.  Both phases retransmit to the targets yet to
+    reply.
+    """
+
+    __slots__ = (
+        "transfer_id",
+        "coordinator",
+        "phase",
+        "replies",
+        "acks",
+        "merged",
+        "retry_handle",
+        "done",
+    )
+
+    def __init__(self, transfer_id: int) -> None:
+        self.transfer_id = transfer_id
+        self.coordinator = 0  # wire address the round's replies route to
+        self.phase = "collect"  # "collect" | "install"
+        self.replies: Set[int] = set()
+        self.acks: Set[int] = set()
+        self.merged: Dict[str, Tuple[Tuple[int, int], Any]] = {}
+        self.retry_handle = None
+        self.done = False
+
+
 class EmulatedMemory(SharedMemory):
     """1WMR regular registers emulated by an ABD replica quorum.
 
@@ -551,6 +710,23 @@ class EmulatedMemory(SharedMemory):
         self._sync_counter = 0
         self._resyncs: Dict[int, _ResyncState] = {}
         self._started = False
+        # Membership state: the installed config, the proposed config of
+        # an open transition window (None outside windows), the queue of
+        # events waiting for the current transition to install, and the
+        # in-flight state-transfer round.  ``_static_membership`` keeps
+        # the quorum predicate on the two-int fast path for plans-free
+        # runs (the overwhelmingly common case, and the byte-identity
+        # contract with pre-membership releases).
+        self.current_config = ReplicaConfig(0, tuple(range(self.config.replicas)))
+        self.next_config: Optional[ReplicaConfig] = None
+        self._static_membership = not self.config.membership_plan
+        self._cur_members = self.current_config.member_set
+        self._cur_majority = self.current_config.majority
+        self._new_members = frozenset()
+        self._new_majority = 0
+        self._pending_membership: List[MembershipEvent] = []
+        self._transfers: Dict[int, _TransferState] = {}
+        self._serving: List[ReplicaNode] = []
         # Protocol statistics (per-run observability; see RunSummary).
         self.reads_completed = 0
         self.writes_completed = 0
@@ -571,6 +747,15 @@ class EmulatedMemory(SharedMemory):
         #: quorum-certificate cross-check (one count per replica per
         #: phase; 0 on loss-free and corruption-free fabrics).
         self.integrity_violations = 0
+        #: Reconfigurations installed (one per membership event whose
+        #: transition window closed before the horizon).
+        self.configs_installed = 0
+        #: Operations completed while a dual-quorum transition window
+        #: was open -- the ops that paid the two-config intersection
+        #: discipline (0 in the broken ``single-config`` mode).
+        self.dual_quorum_ops = 0
+        #: Membership state-transfer rounds completed (collect + push).
+        self.transfer_rounds = 0
         #: Completed-operation interval records (empty unless
         #: ``config.record_history``); see :meth:`recorded_history`.
         self.op_history: List[EmuOpRecord] = []
@@ -594,14 +779,33 @@ class EmulatedMemory(SharedMemory):
         self.replicas = [
             ReplicaNode(i, self._initial) for i in range(self.config.replicas)
         ]
+        self._serving = list(self.replicas)
         for idx, t in self.config.replica_crash_times:
             if t <= horizon:
-                replica = self.replicas[idx]
+                if idx < len(self.replicas):
+                    replica = self.replicas[idx]
 
-                def crash(node: ReplicaNode = replica) -> None:
-                    self._crash_replica(node)
+                    def crash(node: ReplicaNode = replica) -> None:
+                        self._crash_replica(node)
 
-                self._sim.schedule_at(t, crash, kind="replica-crash")
+                    self._sim.schedule_at(t, crash, kind="replica-crash")
+                else:
+                    # A joiner's crash: the node does not exist yet, so
+                    # resolve the index at fire time (config validation
+                    # guarantees the join precedes the crash).
+                    def crash_joiner(i: int = idx) -> None:
+                        if i < len(self.replicas):
+                            self._crash_replica(self.replicas[i])
+
+                    self._sim.schedule_at(t, crash_joiner, kind="replica-crash")
+        for ev in MembershipPlan(self.config.membership_plan):
+            if ev.at > horizon:
+                continue
+
+            def fire(event: MembershipEvent = ev) -> None:
+                self._on_membership_event(event)
+
+            self._sim.schedule_at(ev.at, fire, kind="membership-event")
         self._apply_fault_plan(horizon)
 
     def _apply_fault_plan(self, horizon: float) -> None:
@@ -695,8 +899,14 @@ class EmulatedMemory(SharedMemory):
         )
 
     def _broadcast_sync(self, state: _ResyncState) -> None:
-        """(Re-)request snapshots from the replicas yet to reply."""
-        for replica in self.replicas:
+        """(Re-)request snapshots from the replicas yet to reply.
+
+        Targets are the *serving* set -- the installed config, or the
+        union of both configs during a transition window -- so a resync
+        racing a reconfiguration certifies against the same replicas
+        quorum operations run against.
+        """
+        for replica in self._serving:
             if replica.index == state.node.index or replica.index in state.replies:
                 continue
             self.network.send(
@@ -704,11 +914,21 @@ class EmulatedMemory(SharedMemory):
             )
 
     def _on_sync_reply(self, message: Message) -> None:
-        """Merge one snapshot; rejoin service on a majority of others."""
+        """Merge one snapshot; rejoin service on a majority of others.
+
+        ``abd.sync`` rounds are shared with the membership state
+        transfer (same snapshot request, same reply kind), so replies
+        that belong to a transfer round route there by id.
+        """
         sync_id, entries = message.payload
         state = self._resyncs.get(sync_id)
-        if state is None or state.done:
-            return  # late reply of an abandoned or completed round
+        if state is None:
+            transfer = self._transfers.get(sync_id)
+            if transfer is not None:
+                self._on_transfer_snapshot(transfer, message)
+            return  # else: late reply of an abandoned or completed round
+        if state.done:
+            return
         replica_index = -message.sender - 1
         if replica_index in state.replies:
             return
@@ -724,7 +944,7 @@ class EmulatedMemory(SharedMemory):
         # through at least one non-amnesiac holder.  Capped at the
         # other-replica count so the two-replica emulation (where the
         # single other replica holds every completed write) can finish.
-        if len(state.replies) < min(self.config.majority, len(self.replicas) - 1):
+        if not self._resync_quorum_met(state):
             return
         state.done = True
         if state.retry_handle is not None:
@@ -740,10 +960,241 @@ class EmulatedMemory(SharedMemory):
         node.recovering = False
         self.resyncs += 1
 
+    def _resync_quorum_met(self, state: _ResyncState) -> bool:
+        """Completion predicate of a recovery resync.
+
+        Static membership keeps the original count; under membership
+        the certifying majority is drawn from the *current* config's
+        other members -- and from the new config's too during a
+        dual-quorum window, so a resync completing mid-transition is
+        certified against both member sets its future readers may
+        quorum with.
+        """
+        if self._static_membership:
+            return len(state.replies) >= min(self.config.majority, len(self.replicas) - 1)
+        node_index = state.node.index
+        others = self._cur_members - {node_index}
+        if len(state.replies & others) < min(self._cur_majority, len(others)):
+            return False
+        if self.next_config is None or self.config.transition == "single-config":
+            return True
+        new_others = self._new_members - {node_index}
+        return len(state.replies & new_others) >= min(self._new_majority, len(new_others))
+
     @property
     def live_replicas(self) -> int:
         """Replicas that have not crashed yet."""
         return sum(1 for r in self.replicas if not r.crashed)
+
+    # ------------------------------------------------------------------
+    # Dynamic membership: transitions, dual quorums, state transfer
+    # ------------------------------------------------------------------
+    def _on_membership_event(self, event: MembershipEvent) -> None:
+        """Queue one operator join/leave; transitions run one at a time."""
+        self._pending_membership.append(event)
+        self._maybe_begin_transition()
+
+    def _maybe_begin_transition(self) -> None:
+        """Open the next transition window, if none is in flight.
+
+        A join creates the new replica node *now*, as an amnesiac (it
+        applies and acks window writes -- timestamps make that safe --
+        but refuses reads until the state transfer lands); a leave only
+        shrinks the proposed member set, the node itself stays up so
+        late window quorums can still count it.  The state transfer is
+        scheduled ``transfer_delay`` later, which is how long the
+        dual-quorum window stays open.
+        """
+        if self.next_config is not None or not self._pending_membership:
+            return
+        event = self._pending_membership.pop(0)
+        members = set(self.current_config.members)
+        if event.kind == "join":
+            while len(self.replicas) <= event.replica:
+                node = ReplicaNode(len(self.replicas), {})
+                node.recovering = True
+                self.replicas.append(node)
+            members.add(event.replica)
+        else:
+            members.discard(event.replica)
+        self.next_config = ReplicaConfig(
+            self.current_config.config_id + 1, tuple(sorted(members))
+        )
+        self._refresh_quorum_state()
+        expected = self.next_config.config_id
+
+        def begin(config_id: int = expected) -> None:
+            if self.next_config is not None and self.next_config.config_id == config_id:
+                self._begin_transfer()
+
+        self._sim.schedule_after(
+            self.config.transfer_delay, begin, kind="membership-transfer"
+        )
+
+    def _refresh_quorum_state(self) -> None:
+        """Recompute the cached member sets and the broadcast targets.
+
+        Outside a window the serving set is the installed config; during
+        a dual-quorum window it is the **union** of both configs (reads
+        take the max timestamp across both, writes ack in both).  The
+        broken ``single-config`` mode keeps broadcasting to the old
+        config only -- the writer pretends the new config does not exist
+        yet, which is exactly the bug the negative control pins.
+        """
+        self._cur_members = self.current_config.member_set
+        self._cur_majority = self.current_config.majority
+        nxt = self.next_config
+        if nxt is None:
+            self._new_members = frozenset()
+            self._new_majority = 0
+            serving: Tuple[int, ...] = self.current_config.members
+        else:
+            self._new_members = nxt.member_set
+            self._new_majority = nxt.majority
+            if self.config.transition == "single-config":
+                serving = self.current_config.members
+            else:
+                serving = tuple(sorted(self._cur_members | self._new_members))
+        self._serving = [self.replicas[i] for i in serving]
+
+    def _quorum_met(self, replies: Set[int]) -> bool:
+        """The completion predicate of every quorum phase.
+
+        Static membership keeps the original two-int comparison (the
+        hot path, and the byte-identity contract).  During a dual-quorum
+        transition window a phase completes only when its replies
+        contain a majority of **both** the old and the new config --
+        any quorum drawn from either adjacent config intersects it, so
+        reads see every completed write and writes survive the install.
+        """
+        if self._static_membership:
+            return len(replies) >= self.config.majority
+        if len(replies & self._cur_members) < self._cur_majority:
+            return False
+        if self.next_config is None or self.config.transition == "single-config":
+            return True
+        return len(replies & self._new_members) >= self._new_majority
+
+    def _begin_transfer(self) -> None:
+        """Close the window: state-transfer round, then install."""
+        nxt = self.next_config
+        if nxt is None:
+            return
+        if self.config.transition == "single-config":
+            # BROKEN negative control: install without a state transfer.
+            # Joiners start serving reads out of whatever they happened
+            # to overhear -- for any register not rewritten since the
+            # join that is the seeded initial value, which the history
+            # audit must flag the moment a quorum is all-joiners.
+            for idx in nxt.members:
+                node = self.replicas[idx]
+                if node.recovering:
+                    node.recovering = False
+            self._install_config()
+            return
+        self._sync_counter += 1
+        state = _TransferState(self._sync_counter)
+        state.coordinator = -(min(nxt.members) + 1)
+        self._transfers[state.transfer_id] = state
+
+        def retry() -> None:
+            if state.done:
+                return
+            self.retransmissions += 1
+            self._broadcast_transfer(state)
+            state.retry_handle = self._sim.schedule_after_cancellable(
+                self.config.retry_interval,
+                retry,
+                kind="abd-transfer-retry",
+                pid=state.coordinator,
+            )
+
+        self._broadcast_transfer(state)
+        state.retry_handle = self._sim.schedule_after_cancellable(
+            self.config.retry_interval,
+            retry,
+            kind="abd-transfer-retry",
+            pid=state.coordinator,
+        )
+
+    def _broadcast_transfer(self, state: _TransferState) -> None:
+        """(Re-)send the transfer's current phase to unreplied targets."""
+        if state.phase == "collect":
+            for idx in self.current_config.members:
+                if idx in state.replies:
+                    continue
+                self.network.send(
+                    state.coordinator, -(idx + 1), "abd.sync", (state.transfer_id,)
+                )
+        else:
+            entries = tuple(sorted(state.merged.items()))
+            nxt = self.next_config
+            for idx in nxt.members if nxt is not None else ():
+                if idx in state.acks:
+                    continue
+                self.network.send(
+                    state.coordinator,
+                    -(idx + 1),
+                    "abd.transfer",
+                    (state.transfer_id, entries),
+                )
+
+    def _on_transfer_snapshot(self, state: _TransferState, message: Message) -> None:
+        """Merge one old-config snapshot; push once a majority replied."""
+        if state.done or state.phase != "collect":
+            return
+        _, entries = message.payload
+        replica_index = -message.sender - 1
+        if replica_index in state.replies:
+            return
+        state.replies.add(replica_index)
+        for name, (ts, value) in entries:
+            current = state.merged.get(name)
+            if current is None or ts > current[0]:
+                state.merged[name] = (ts, value)
+        # A majority of the OLD config intersects every completed
+        # write's quorum (pre-window writes by old-majority quorums,
+        # window writes because dual quorums contain an old majority),
+        # so the merge holds the freshest completed state.
+        if len(state.replies & self._cur_members) < self._cur_majority:
+            return
+        state.phase = "install"
+        self._broadcast_transfer(state)
+
+    def _on_transfer_ack(self, message: Message) -> None:
+        """Count one install ack; install on a majority of the new config."""
+        transfer_id = message.payload[0]
+        state = self._transfers.get(transfer_id)
+        if state is None or state.done or state.phase != "install":
+            return
+        replica_index = -message.sender - 1
+        if replica_index in state.acks:
+            return
+        state.acks.add(replica_index)
+        nxt = self.next_config
+        if nxt is None or len(state.acks & nxt.member_set) < nxt.majority:
+            return
+        state.done = True
+        if state.retry_handle is not None:
+            state.retry_handle.cancel()
+        del self._transfers[transfer_id]
+        self.transfer_rounds += 1
+        self._install_config()
+
+    def _install_config(self) -> None:
+        """Install the proposed config and garbage-collect the old one.
+
+        From this instant quorums are drawn from the new config alone;
+        members of the old config that left stop being broadcast to.
+        Any queued membership event opens its window immediately.
+        """
+        if self.next_config is None:
+            return
+        self.current_config = self.next_config
+        self.next_config = None
+        self.configs_installed += 1
+        self._refresh_quorum_state()
+        self._maybe_begin_transition()
 
     # ------------------------------------------------------------------
     # Operation-history recorder
@@ -875,9 +1326,17 @@ class EmulatedMemory(SharedMemory):
             self._arm_retry(op)
 
     def _broadcast_phase(self, op: _PendingOp) -> None:
-        """(Re-)send the current phase's message to unacked replicas."""
+        """(Re-)send the current phase's message to unacked replicas.
+
+        The target set is the membership *serving* set: the installed
+        config's members, or the union of both configs during a
+        dual-quorum transition window (so reads can take the max
+        timestamp across both and writes can ack in both).  Retries
+        re-evaluate it, so an operation in flight across an install
+        follows the config change.
+        """
         name = op.register.name
-        for replica in self.replicas:
+        for replica in self._serving:
             if replica.index in op.replies:
                 continue
             if op.phase == "query":
@@ -925,6 +1384,8 @@ class EmulatedMemory(SharedMemory):
         if op.retry_handle is not None:
             op.retry_handle.cancel()
         del self._ops[op.op_id]
+        if self.next_config is not None and self.config.transition == "dual-quorum":
+            self.dual_quorum_ops += 1
         self.total_op_latency += self._clock() - op.started_at
         op.callback(result)
 
@@ -935,8 +1396,15 @@ class EmulatedMemory(SharedMemory):
         if message.kind == "abd.sync-reply":
             # Resync replies address the recovering *replica* (negative
             # receiver), but the round's state machine lives here -- so
-            # route by kind before the replica dispatch.
+            # route by kind before the replica dispatch.  Membership
+            # state-transfer collections share the reply kind and route
+            # by round id inside the handler.
             self._on_sync_reply(message)
+            return
+        if message.kind == "abd.transfer-ack":
+            # Install acks address the transfer coordinator (negative
+            # receiver); the round's state machine also lives here.
+            self._on_transfer_ack(message)
             return
         if message.receiver < 0:
             self.replicas[-message.receiver - 1].handle(
@@ -961,7 +1429,7 @@ class EmulatedMemory(SharedMemory):
         op.replies.add(replica_index)
         if ts > op.best_ts:
             op.best_ts, op.best_value = ts, value
-        if len(op.replies) < self.config.majority:
+        if not self._quorum_met(op.replies):
             return
         if op.kind == "read":
             if self.config.consistency == "atomic":
@@ -993,7 +1461,7 @@ class EmulatedMemory(SharedMemory):
             # history audit make the corruption visible.
             self.integrity_violations += 1
         op.replies.add(replica_index)
-        if len(op.replies) < self.config.majority:
+        if not self._quorum_met(op.replies):
             return
         if op.kind == "read":  # an atomic read's write-back completed
             self._complete_read(op)
@@ -1037,6 +1505,10 @@ __all__ = [
     "EmulatedMemory",
     "EmulationConfig",
     "LINK_MODELS",
+    "MembershipEvent",
+    "MembershipPlan",
     "RETRY_POLICIES",
+    "ReplicaConfig",
     "ReplicaNode",
+    "TRANSITION_MODES",
 ]

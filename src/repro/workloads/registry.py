@@ -64,6 +64,12 @@ SCENARIO_FACTORIES: Dict[str, Callable[..., Scenario]] = {
     # history audited by the interval-order checkers.
     "nominal-emulated-atomic": scen_mod.nominal_emulated_atomic,
     "replica-crash-atomic": scen_mod.replica_crash_atomic,
+    # Dynamic replica membership: the emulation reconfigures mid-run
+    # through dual-quorum transition windows (repro.memory.membership);
+    # the canary is the pinned single-config negative control.
+    "membership-churn": scen_mod.membership_churn,
+    "membership-churn-atomic": scen_mod.membership_churn_atomic,
+    "membership-canary": scen_mod.membership_canary,
     # Fault-injection campaigns: a repro.faults timeline threaded down
     # to the emulation (the `repro chaos` workhorse cell).
     "chaos": scen_mod.chaos,

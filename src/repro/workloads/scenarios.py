@@ -155,10 +155,11 @@ class Scenario:
         if kwargs.get("memory") == "shared":
             # Forcing an emulated scenario back onto the shared backend
             # (e.g. ``repro run --memory shared``) drops the emulation
-            # knobs (consistency included) instead of tripping the
-            # dead-configuration guards.
+            # knobs (consistency and membership included) instead of
+            # tripping the dead-configuration guards.
             kwargs["emulation"] = None
             kwargs["consistency"] = None
+            kwargs["membership"] = None
         return Run(algorithm_cls, self.n, **kwargs)
 
     def run(self, algorithm_cls: Type[OmegaAlgorithm], seed: int = 0, **overrides: Any) -> RunResult:
@@ -971,6 +972,145 @@ def emulated_gst_ramp_audit(
     return base
 
 
+@scenario_factory
+def membership_churn(
+    n: int = 3,
+    horizon: float = 8000.0,
+    replicas: int = 3,
+    delta: float = 0.25,
+    plan: Optional[List[Dict[str, Any]]] = None,
+    transition: str = "dual-quorum",
+    crash_times: Optional[Dict[str, float]] = None,
+    transfer_delay: float = 150.0,
+) -> Scenario:
+    """ABD emulation reconfiguring mid-run: dynamic replica membership.
+
+    ``plan`` is the membership timeline in its JSON list-of-dicts form
+    (:meth:`~repro.memory.membership.MembershipPlan.to_jsonable`);
+    ``None`` runs the canonical
+    :func:`~repro.memory.membership.churn_plan` -- join a fresh replica
+    at 0.3x horizon, retire replica 0 at 0.55x -- so the default cell
+    exercises two back-to-back transitions, each with a dual-quorum
+    window and a state-transfer round.  The recorder is always on: a
+    churn run without the history audit would miss exactly the
+    stale-read bugs a broken reconfiguration manufactures.
+    ``transition="single-config"`` switches to the deliberately broken
+    old-quorums-only mode (the membership negative-control oracle), and
+    ``crash_times`` forwards replica-crash times (stringified index ->
+    time) so negative controls can force reads onto under-synced
+    joiners.
+    """
+    from repro.memory.membership import churn_plan
+
+    events = churn_plan(replicas, horizon).to_jsonable() if plan is None else list(plan)
+    membership_plan = [dict(ev) for ev in events]
+    knobs: Dict[str, Any] = _emulation_knobs(
+        replicas,
+        "sync",
+        delta,
+        membership_plan=membership_plan,
+        transition=transition,
+        transfer_delay=transfer_delay,
+        record_history=True,
+    )
+    if crash_times:
+        knobs["replica_crash_times"] = {str(k): float(v) for k, v in crash_times.items()}
+    return Scenario(
+        name=f"membership-churn-n{n}",
+        n=n,
+        horizon=horizon,
+        description=(
+            f"{replicas}-replica ABD emulation reconfiguring through a "
+            f"{len(membership_plan)}-event membership plan "
+            f"({transition} windows), history audited"
+        ),
+        make_delay=lambda rng: UniformDelay(rng, 0.5, 1.5),
+        make_timers=_awb_timers(alpha=2.0),
+        margin=horizon * 0.05,
+        memory="emulated",
+        emulation=knobs,
+    )
+
+
+@scenario_factory
+def membership_churn_atomic(
+    n: int = 3,
+    horizon: float = 10000.0,
+    replicas: int = 3,
+    delta: float = 0.25,
+    plan: Optional[List[Dict[str, Any]]] = None,
+    transition: str = "dual-quorum",
+    crash_times: Optional[Dict[str, float]] = None,
+    transfer_delay: float = 150.0,
+) -> Scenario:
+    """:func:`membership_churn` at the atomic consistency level.
+
+    The hardest audit cell of the membership family: write-back phases
+    must assemble dual majorities across the transition window and the
+    recorded history must still be linearizable -- old/new quorum
+    intersection is exactly what the two-config window promises.  The
+    horizon scales up because the write-back doubles every read's
+    quorum cost.
+    """
+    base = membership_churn(
+        n, horizon, replicas, delta, plan, transition, crash_times, transfer_delay
+    )
+    base.name = f"membership-churn-atomic-n{n}"
+    base.description += "; atomic (write-back) reads"
+    base.consistency = "atomic"
+    return base
+
+
+#: The pinned membership negative-control construction (the membership
+#: analogue of the ``--no-resync`` canary): replace the entire initial
+#: config -- join 3, join 4, leave 0, leave 1 -- then crash replica 2,
+#: the last original member, so every read quorum must be served by
+#: joiners alone.  Under ``dual-quorum`` windows the state transfer has
+#: synced the joiners and the audit stays clean; under the broken
+#: ``single-config`` mode the joiners serve whatever they overheard and
+#: the history audit catches the stale reads deterministically.
+MEMBERSHIP_CANARY_PLAN: Tuple[Dict[str, Any], ...] = (
+    {"kind": "join", "at": 600.0, "replica": 3},
+    {"kind": "join", "at": 900.0, "replica": 4},
+    {"kind": "leave", "at": 1200.0, "replica": 0},
+    {"kind": "leave", "at": 1500.0, "replica": 1},
+)
+
+#: Crash times accompanying :data:`MEMBERSHIP_CANARY_PLAN`.
+MEMBERSHIP_CANARY_CRASHES: Dict[str, float] = {"2": 2500.0}
+
+
+@scenario_factory
+def membership_canary(
+    n: int = 3,
+    horizon: float = 5000.0,
+    transition: str = "single-config",
+) -> Scenario:
+    """The membership negative control: full config turnover, then the
+    last original replica crashes.
+
+    With ``transition="single-config"`` (the default) this is the
+    deliberately broken mode the atomic/regular history audits must
+    flag red; flipping to ``"dual-quorum"`` is the matched positive
+    control that must stay clean.  Kept as its own factory so the fuzz
+    registry and CI can replay the pinned construction by name.
+    """
+    base = membership_churn(
+        n,
+        horizon,
+        replicas=3,
+        plan=list(MEMBERSHIP_CANARY_PLAN),
+        transition=transition,
+        crash_times=dict(MEMBERSHIP_CANARY_CRASHES),
+    )
+    base.name = f"membership-canary-n{n}"
+    base.description = (
+        "membership negative control: initial config fully replaced, last "
+        f"original replica crashes at t=2500 ({transition} windows), audited"
+    )
+    return base
+
+
 #: The default ``chaos`` fault timeline: one disturbance of each kind,
 #: serialized with slack between them and a long quiet tail -- harsh
 #: enough to force a recovery-resync, a partition detour and a storm
@@ -1056,20 +1196,24 @@ def fuzz_cell(
     consistency: str = "regular",
     plan: Optional[List[Dict[str, Any]]] = None,
     resync: bool = True,
+    membership: Optional[List[Dict[str, Any]]] = None,
+    transition: str = "dual-quorum",
 ) -> Scenario:
     """The scenario a :class:`~repro.fuzz.genome.ScenarioGenome` pins.
 
     Flat JSON-serializable kwargs (the genome's
     ``scenario_kwargs()``) composing the delay family, the crash plan,
     the memory backend and -- on the emulated backend -- the replica
-    fabric, the consistency level and a :mod:`repro.faults` timeline.
-    Emulated cells always arm the history recorder: a fuzz run without
-    the consistency audit would be blind to exactly the stale-read bugs
-    the fuzzer hunts.  ``resync=False`` is the deliberately broken
-    recover-without-resync mode (the negative-control oracle).  Knob
-    timings (GST, crash instants, burst periods) scale with the
-    horizon, so the derived-horizon scaling in the genome keeps every
-    cell proportionally shaped.
+    fabric, the consistency level, a :mod:`repro.faults` timeline and a
+    :mod:`repro.memory.membership` timeline.  Emulated cells always arm
+    the history recorder: a fuzz run without the consistency audit
+    would be blind to exactly the stale-read bugs the fuzzer hunts.
+    ``resync=False`` is the deliberately broken recover-without-resync
+    mode and ``transition="single-config"`` the deliberately broken
+    old-quorums-only reconfiguration mode (the negative-control
+    oracles).  Knob timings (GST, crash instants, burst periods) scale
+    with the horizon, so the derived-horizon scaling in the genome
+    keeps every cell proportionally shaped.
     """
     if delay not in FUZZ_DELAYS:
         raise ValueError(f"unknown fuzz delay {delay!r}; choose from {list(FUZZ_DELAYS)}")
@@ -1132,8 +1276,17 @@ def fuzz_cell(
         emulation["resync"] = resync
         if plan:
             emulation["fault_plan"] = [dict(ev) for ev in plan]
+        if membership:
+            emulation["membership_plan"] = [dict(ev) for ev in membership]
+            emulation["transition"] = transition
         level = consistency
     fault_note = f", {len(plan)}-event fault plan" if plan else ""
+    churn_note = (
+        f", {len(membership)}-event membership plan"
+        + (" (single-config)" if transition != "dual-quorum" else "")
+        if membership
+        else ""
+    )
     return Scenario(
         name=f"fuzz-{backend}-{delay}-{crash}-n{n}",
         n=n,
@@ -1142,7 +1295,7 @@ def fuzz_cell(
             f"fuzz cell: {delay} delays, crash={crash}, {backend} memory"
             + (
                 f" ({replicas} replicas, {links} links, {consistency} reads"
-                f"{', NO resync' if not resync else ''}{fault_note}, audited)"
+                f"{', NO resync' if not resync else ''}{fault_note}{churn_note}, audited)"
                 if backend == "emulated"
                 else ""
             )
@@ -1279,6 +1432,8 @@ def ablation(
 __all__ = [
     "BACKEND_EQUIVALENCE_CELLS",
     "DEFAULT_CHAOS_PLAN",
+    "MEMBERSHIP_CANARY_CRASHES",
+    "MEMBERSHIP_CANARY_PLAN",
     "Scenario",
     "ablation",
     "all_but_one",
@@ -1300,6 +1455,9 @@ __all__ = [
     "leader_crash",
     "leader_crash_emulated",
     "leader_storm",
+    "membership_canary",
+    "membership_churn",
+    "membership_churn_atomic",
     "near_all_cascade",
     "nominal",
     "nominal_emulated",

@@ -9,6 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.faults.plan import FaultEvent
+from repro.memory.membership import MembershipEvent
 from repro.fuzz.genome import (
     BASELINE_GENOME,
     GENOME_ALGORITHMS,
@@ -26,6 +27,11 @@ from repro.fuzz.mutate import random_genome
 PAIR = (
     FaultEvent(kind="replica-crash", at=100.0, replica=1),
     FaultEvent(kind="replica-recover", at=300.0, replica=1),
+)
+
+CHURN = (
+    MembershipEvent(kind="join", at=400.0, replica=3),
+    MembershipEvent(kind="leave", at=800.0, replica=0),
 )
 
 
@@ -59,6 +65,8 @@ class TestValidation:
             {"consistency": "atomic"},
             {"fault_plan": PAIR},
             {"resync": False},
+            {"membership_plan": CHURN},
+            {"transition": "single-config"},
         ],
     )
     def test_shared_backend_forces_emulated_axes_to_baseline(self, kwargs):
@@ -69,6 +77,20 @@ class TestValidation:
     def test_fault_plans_require_the_sync_fabric(self):
         with pytest.raises(ValueError):
             ScenarioGenome(backend="emulated", links="lossy", fault_plan=PAIR)
+
+    def test_membership_plans_require_the_sync_fabric(self):
+        with pytest.raises(ValueError):
+            ScenarioGenome(backend="emulated", links="lossy", membership_plan=CHURN)
+
+    def test_membership_plan_validated_against_replicas(self):
+        # A join of replica 3 is out of order when 5 replicas exist.
+        with pytest.raises(ValueError):
+            ScenarioGenome(backend="emulated", replicas=5, membership_plan=CHURN)
+        ScenarioGenome(backend="emulated", replicas=3, membership_plan=CHURN)
+
+    def test_off_vocabulary_transition_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioGenome(backend="emulated", transition="triple-config")
 
     def test_fault_plan_replica_indices_validated(self):
         storm = (
@@ -108,6 +130,19 @@ class TestComplexity:
         g = ScenarioGenome(backend="emulated", fault_plan=PAIR)
         assert g.complexity() == 2  # backend step + one crash/recover group
 
+    def test_membership_plan_counts_as_one_step(self):
+        g = ScenarioGenome(backend="emulated", membership_plan=CHURN)
+        assert g.complexity() == 2  # backend step + the membership axis
+
+    def test_membership_kwargs_carry_plan_and_transition(self):
+        g = ScenarioGenome(
+            backend="emulated", membership_plan=CHURN, transition="single-config"
+        )
+        kwargs = g.scenario_kwargs(2000.0)
+        assert kwargs["membership"] == [ev.to_jsonable() for ev in CHURN]
+        assert kwargs["transition"] == "single-config"
+        assert BASELINE_GENOME.scenario_kwargs(2000.0)["membership"] is None
+
 
 class TestRoundTrip:
     def test_unknown_keys_rejected(self):
@@ -119,6 +154,13 @@ class TestRoundTrip:
     def test_plan_survives_the_round_trip(self):
         g = ScenarioGenome(backend="emulated", fault_plan=PAIR, resync=False)
         assert ScenarioGenome.from_jsonable(g.to_jsonable()) == g
+
+    def test_membership_plan_survives_the_round_trip(self):
+        g = ScenarioGenome(
+            backend="emulated", membership_plan=CHURN, transition="single-config"
+        )
+        clone = ScenarioGenome.from_jsonable(g.to_jsonable())
+        assert clone == g and clone.key() == g.key()
 
     @settings(max_examples=60, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=2**32 - 1))

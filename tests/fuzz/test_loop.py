@@ -22,6 +22,7 @@ from repro.fuzz.corpus import Corpus
 from repro.fuzz.loop import (
     FuzzConfig,
     amnesia_probe,
+    membership_probe,
     replay_genome,
     replay_regressions,
     run_fuzz,
@@ -163,3 +164,103 @@ class TestNegativeControl:
         # mutate onto fault plans without tripping the oracle).
         summary = replay_genome(amnesia_probe(QUICK["horizon"]), quick_config())
         assert violation_count(summary) == 0
+
+
+class TestMembershipNegativeControl:
+    """The ``--broken-transition`` canary: single-config reconfiguration
+    must be caught, shrunk and pinned exactly like the resync one."""
+
+    def test_membership_probe_caught_shrunk_and_pinned(self, tmp_path):
+        root = tmp_path / "corpus"
+        probe = membership_probe(QUICK["horizon"])
+        config = quick_config(budget=1, transition="single-config")
+        result = run_fuzz(config, corpus_dir=root, initial=[probe])
+        assert not result.ok
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.violations > 0
+        # Acceptance bar: the pinned repro is <= 6 mutation steps out.
+        assert violation.shrunk is not None
+        assert violation.shrunk.complexity() <= 6
+        # Both timelines survive shrinking: the crash of the last
+        # original member AND the full-turnover plan are load-bearing.
+        assert violation.shrunk.membership_plan != ()
+        assert violation.shrunk.fault_plan != ()
+        assert violation.oracle_runs > 0
+        # Pinned payload is engine-ready and the corpus persisted it.
+        assert violation.repro["factory"] == "fuzz-cell"
+        assert violation.repro["kwargs"]["transition"] == "single-config"
+        assert violation.repro["kwargs"]["membership"]
+        assert Corpus.load(root).regression_items()
+
+    def test_pinned_membership_regression_replays_red_through_the_registry(
+        self, tmp_path
+    ):
+        root = tmp_path / "corpus"
+        probe = membership_probe(QUICK["horizon"])
+        run_fuzz(
+            quick_config(budget=1, transition="single-config"),
+            corpus_dir=root,
+            initial=[probe],
+        )
+        rows = replay_regressions(root)
+        assert rows and all(count > 0 for _, _, count in rows)
+        # ... and directly through build_scenario, the long-way round.
+        _key, payload, _count = rows[0]
+        scenario = build_scenario(payload["factory"], payload["kwargs"])
+        run = scenario.run(
+            ALGORITHMS[payload["algorithm"]],
+            seed=payload["seed"],
+            log_reads=False,
+            trace_events=False,
+        )
+        audit = run.audit_consistency()
+        assert audit is not None and len(audit.violations) > 0
+
+    def test_dual_quorum_replays_the_membership_regression_clean(self, tmp_path):
+        # "The fix" is restoring dual-quorum windows: the same cell
+        # kwargs with a correct transition mode run violation-free.
+        root = tmp_path / "corpus"
+        probe = membership_probe(QUICK["horizon"])
+        run_fuzz(
+            quick_config(budget=1, transition="single-config"),
+            corpus_dir=root,
+            initial=[probe],
+        )
+        _key, payload, _count = replay_regressions(root)[0]
+        fixed = dict(payload["kwargs"], transition="dual-quorum")
+        scenario = build_scenario(payload["factory"], fixed)
+        run = scenario.run(
+            ALGORITHMS[payload["algorithm"]],
+            seed=payload["seed"],
+            log_reads=False,
+            trace_events=False,
+        )
+        summary = run.summarize(
+            scenario_name=scenario.name,
+            margin=scenario.margin,
+            assumption=scenario.assumption,
+        )
+        assert violation_count(summary) == 0
+
+    def test_membership_probe_is_clean_on_the_correct_emulation(self):
+        # The probe genome carries no violation of its own -- only the
+        # broken transition mode does (so clean-tree fuzz runs can
+        # mutate onto membership plans without tripping the oracle).
+        summary = replay_genome(membership_probe(QUICK["horizon"]), quick_config())
+        assert violation_count(summary) == 0
+        assert summary.configs_installed > 0
+        assert summary.transfer_rounds > 0
+
+    def test_membership_counters_reach_the_coverage_signature(self):
+        # The new counters are real coverage features: a churned run and
+        # a static run land in different signatures.
+        from repro.fuzz.coverage import signature
+
+        churned = dict(signature(replay_genome(membership_probe(QUICK["horizon"]),
+                                               quick_config())))
+        static = dict(signature(replay_genome(
+            amnesia_probe(QUICK["horizon"]), quick_config())))
+        assert churned["configs_installed"] > 0
+        assert static["configs_installed"] == 0
+        assert churned["transfer_rounds"] > 0

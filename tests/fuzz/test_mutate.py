@@ -34,7 +34,7 @@ class TestSingleStep:
                 # The collapse back to shared resets emulated-only axes.
                 assert set(diff) <= {
                     "backend", "replicas", "links", "consistency",
-                    "fault_plan", "resync",
+                    "fault_plan", "resync", "membership_plan", "transition",
                 }
             else:
                 assert len(diff) == 1, diff
@@ -47,6 +47,13 @@ class TestSingleStep:
             genome = mutate(genome, rng)
             assert genome.resync is True
 
+    def test_transition_is_never_a_mutation_axis(self):
+        rng = random.Random(11)
+        genome = BASELINE_GENOME
+        for _ in range(200):
+            genome = mutate(genome, rng)
+            assert genome.transition == "dual-quorum"
+
 
 class TestAxisRules:
     def test_shared_genomes_offer_no_emulated_axes(self):
@@ -55,8 +62,9 @@ class TestAxisRules:
         assert "replicas" not in axes
         assert "consistency" not in axes
         assert "faults" not in axes
+        assert "membership" not in axes
 
-    def test_faulted_genomes_freeze_links_and_replicas(self):
+    def test_faulted_genomes_freeze_links_replicas_and_membership(self):
         pair = (
             FaultEvent(kind="replica-crash", at=100.0, replica=1),
             FaultEvent(kind="replica-recover", at=300.0, replica=1),
@@ -64,12 +72,45 @@ class TestAxisRules:
         axes = _mutable_axes(ScenarioGenome(backend="emulated", fault_plan=pair))
         assert "links" not in axes
         assert "replicas" not in axes
+        assert "membership" not in axes
         assert "faults" in axes  # clearing the plan stays offered
 
-    def test_non_sync_links_freeze_the_faults_axis(self):
+    def test_non_sync_links_freeze_the_timeline_axes(self):
         axes = _mutable_axes(ScenarioGenome(backend="emulated", links="lossy"))
         assert "faults" not in axes
+        assert "membership" not in axes
         assert "links" in axes
+
+    def test_churned_genomes_freeze_links_replicas_and_faults(self):
+        from repro.memory.membership import churn_plan
+
+        plan = churn_plan(3, 4500.0)
+        axes = _mutable_axes(
+            ScenarioGenome(backend="emulated", membership_plan=plan.events)
+        )
+        assert "links" not in axes
+        assert "replicas" not in axes
+        assert "faults" not in axes
+        assert "membership" in axes  # clearing the plan stays offered
+
+    def test_membership_mutations_keep_a_quorum_alive(self):
+        from repro.memory.membership import MembershipPlan
+
+        rng = random.Random(5)
+        seen_plans = 0
+        genome = ScenarioGenome(backend="emulated")
+        for _ in range(300):
+            genome = mutate(genome, rng)
+            if genome.backend != "emulated":
+                genome = ScenarioGenome(backend="emulated")
+            if genome.membership_plan:
+                seen_plans += 1
+                plan = MembershipPlan(genome.membership_plan)
+                # validate() enforces >= 2 members after every event.
+                plan.validate(genome.replicas)
+                for _at, members in plan.member_timeline(genome.replicas):
+                    assert len(members) >= 2
+        assert seen_plans > 0
 
     def test_generated_plans_respect_the_group_budget(self):
         rng = random.Random(3)

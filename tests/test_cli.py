@@ -129,6 +129,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--consistency", "sequential"])
 
+    def test_membership_flags(self):
+        assert build_parser().parse_args(["run"]).membership is None
+        assert build_parser().parse_args(["sweep"]).membership is None
+        assert (
+            build_parser().parse_args(["run", "--membership", "churn"]).membership
+            == "churn"
+        )
+        assert (
+            build_parser().parse_args(["sweep", "--membership", "none"]).membership
+            == "none"
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--membership", "rolling"])
+
+    def test_check_suite_includes_membership_cells(self):
+        assert "membership-churn" in CHECK_SCENARIOS
+        assert "membership-churn-atomic" in CHECK_SCENARIOS
+
+    def test_membership_canary_is_check_exempt_but_registered(self):
+        # The canary is deliberately broken (single-config transitions);
+        # `repro check` must never run it as a green cell, but CI replays
+        # it by name expecting red.
+        assert "membership-canary" in SCENARIOS
+        assert "membership-canary" not in CHECK_SCENARIOS
+
     def test_fuzz_defaults(self):
         args = build_parser().parse_args(["fuzz"])
         assert args.budget == 50 and args.seed == 0 and args.batch == 16
@@ -145,6 +170,12 @@ class TestParser:
         assert (args.budget, args.seed, args.batch, args.jobs) == (25, 3, 8, 2)
         assert args.horizon == 1200.0 and args.corpus == "results/fuzz"
         assert args.no_shrink and args.no_resync and args.verbose and args.json
+
+    def test_fuzz_broken_transition_flag(self):
+        assert not build_parser().parse_args(["fuzz"]).broken_transition
+        assert build_parser().parse_args(
+            ["fuzz", "--broken-transition"]
+        ).broken_transition
 
     def test_fuzz_cell_is_check_exempt_but_registered(self):
         # The fuzzer audits the genome space itself; `repro check` must
@@ -469,6 +500,61 @@ class TestCommands:
         assert "alg1" in out and "alg1-no-timer" in out
         assert "forever writers" in out
 
+    def test_run_membership_churn_override(self, capsys):
+        assert main(
+            ["run", "--algorithm", "alg1", "--scenario", "nominal-emulated",
+             "--seed", "0", "--n", "3", "--horizon", "4000",
+             "--membership", "churn"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reconfiguration: 2 config(s) installed" in out
+        assert "2 transfer round(s)" in out
+
+    def test_run_membership_on_shared_is_friendly(self, capsys):
+        code = main(["run", "--scenario", "nominal", "--membership", "churn"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--membership is an emulated-backend axis" in captured.err
+
+    def test_run_membership_churn_scenario(self, capsys):
+        assert main(
+            ["run", "--algorithm", "alg1", "--scenario", "membership-churn",
+             "--seed", "0", "--n", "3", "--horizon", "6000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reconfiguration: 2 config(s) installed" in out
+        assert "consistency audit: consistent:" in out
+
+    def test_run_membership_canary_exits_red(self, capsys):
+        # The negative control: the broken single-config mode must turn
+        # the history audit red and flip the exit code.
+        code = main(
+            ["run", "--algorithm", "alg1", "--scenario", "membership-canary",
+             "--seed", "0", "--n", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT consistent" in out
+
+    def test_sweep_membership_on_shared_grid_is_friendly(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "alg1", "--scenarios", "nominal",
+             "--seeds", "0", "--membership", "churn"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--membership is an emulated-backend axis" in captured.err
+
+    def test_sweep_membership_on_emulated_grid(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--algorithms", "alg1", "--scenarios", "nominal-emulated",
+             "--seeds", "0", "--n", "3", "--horizon", "4000",
+             "--membership", "churn", "--jobs", "1",
+             "--results-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out
+
     def test_fuzz_replay_requires_a_corpus(self, capsys):
         assert main(["fuzz", "--replay"]) == 2
         assert "--corpus" in capsys.readouterr().err
@@ -486,3 +572,22 @@ class TestCommands:
         # An immediate replay of an all-clean corpus has nothing pinned.
         assert main(["fuzz", "--replay", "--corpus", str(corpus)]) == 0
         assert "0 still red" in capsys.readouterr().out
+
+    def test_fuzz_broken_transition_pins_the_membership_repro(self, capsys, tmp_path):
+        # The membership negative oracle end to end: seeding the probe
+        # under --broken-transition must catch, shrink and pin a
+        # registry-replayable repro, mirroring --no-resync.
+        corpus = tmp_path / "corpus"
+        code = main(
+            ["fuzz", "--budget", "1", "--batch", "1", "--jobs", "1",
+             "--horizon", "900", "--broken-transition", "--corpus", str(corpus)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "BROKEN TRANSITIONS" in captured.out
+        assert "1 violating genome(s)" in captured.out
+        assert "pinned repro" in captured.err
+        assert '"transition": "single-config"' in captured.err
+        # The pinned repro stays red on replay until the mode is fixed.
+        assert main(["fuzz", "--replay", "--corpus", str(corpus)]) == 1
+        assert "1 still red" in capsys.readouterr().out
